@@ -1,0 +1,111 @@
+// Ablation: engine choices inside the flow.
+//  * exact (prime enumeration + branch-and-bound) vs heuristic (espresso
+//    style) two-level minimisation for the final equations;
+//  * single-pass vs multi-pass heuristic minimisation inside the search
+//    cost function.
+#include "bench_util.hpp"
+#include "bdd/symbolic.hpp"
+#include "logic/synthesis.hpp"
+
+using namespace asynth;
+using namespace bench_util;
+
+namespace {
+
+void print_symbolic_ablation() {
+    std::printf("\n=== Ablation: explicit vs symbolic (BDD) reachability ===\n");
+    std::printf("%-10s %12s %12s %12s %12s\n", "spec", "explicit", "symbolic", "bdd nodes",
+                "iterations");
+    for (const auto& [name, spec] : benchmarks::spec_suite()) {
+        auto expanded = expand_handshakes(spec);
+        auto gen = state_graph::generate(expanded);
+        std::unordered_map<dyn_bitset, bool> markings;
+        for (const auto& s : gen.graph.states()) markings.emplace(s.m, true);
+        auto sym = symbolic_reachable_markings(expanded);
+        std::printf("%-10s %12zu %12.0f %12zu %12zu %s\n", name.c_str(), markings.size(),
+                    sym.reachable_markings, sym.bdd_nodes, sym.iterations,
+                    markings.size() == static_cast<std::size_t>(sym.reachable_markings)
+                        ? "(agree)" : "(MISMATCH)");
+    }
+}
+
+void print_ablation() {
+    std::printf("\n=== Ablation: minimiser choice (exact vs heuristic) ===\n");
+    std::printf("%-10s %14s %14s\n", "spec", "exact(lits)", "heuristic(lits)");
+    for (const auto& [name, spec] : benchmarks::spec_suite()) {
+        auto sg = state_graph::generate(expand_handshakes(spec)).graph;
+        if (sg.state_count() > 120) {
+            // CSC-encoding the largest unreduced graphs dominates the whole
+            // bench run; the minimiser comparison is about the covers, so
+            // the small/medium specs carry the signal.
+            std::printf("%-10s %14s %14s\n", name.c_str(), "(skipped)", "-");
+            continue;
+        }
+        auto g = subgraph::full(sg);
+        auto csc = resolve_csc(g, csc_options{6, 4});
+        if (!csc.solved) {
+            std::printf("%-10s %14s %14s\n", name.c_str(), "csc-unsolved", "-");
+            continue;
+        }
+        auto enc = subgraph::full(csc.graph);
+        std::size_t exact_lits = 0, heur_lits = 0;
+        for (uint32_t s = 0; s < csc.graph.signals().size(); ++s) {
+            if (csc.graph.signals()[s].kind == signal_kind::input) continue;
+            if (!csc.graph.find_event(static_cast<int32_t>(s), edge::plus)) continue;
+            auto ns = derive_nextstate(enc, s);
+            exact_lits += minimize_exact(ns.spec).literal_count();
+            heur_lits += minimize_heuristic(ns.spec).literal_count();
+        }
+        std::printf("%-10s %14zu %14zu\n", name.c_str(), exact_lits, heur_lits);
+    }
+}
+
+void bm_minimize_exact(benchmark::State& state) {
+    auto sg = state_graph::generate(expand_handshakes(benchmarks::mmu_controller())).graph;
+    auto g = subgraph::full(sg);
+    auto ns = derive_nextstate(g, static_cast<uint32_t>(signal_id(sg, "lo")));
+    for (auto _ : state) {
+        auto c = minimize_exact(ns.spec);
+        benchmark::DoNotOptimize(c.literal_count());
+    }
+}
+BENCHMARK(bm_minimize_exact);
+
+void bm_minimize_heuristic(benchmark::State& state) {
+    auto sg = state_graph::generate(expand_handshakes(benchmarks::mmu_controller())).graph;
+    auto g = subgraph::full(sg);
+    auto ns = derive_nextstate(g, static_cast<uint32_t>(signal_id(sg, "lo")));
+    for (auto _ : state) {
+        auto c = minimize_heuristic(ns.spec);
+        benchmark::DoNotOptimize(c.literal_count());
+    }
+}
+BENCHMARK(bm_minimize_heuristic);
+
+}  // namespace
+
+void bm_explicit_reachability(benchmark::State& state) {
+    auto expanded = expand_handshakes(benchmarks::mmu_controller());
+    for (auto _ : state) {
+        auto gen = state_graph::generate(expanded);
+        benchmark::DoNotOptimize(gen.graph.state_count());
+    }
+}
+BENCHMARK(bm_explicit_reachability);
+
+void bm_symbolic_reachability(benchmark::State& state) {
+    auto expanded = expand_handshakes(benchmarks::mmu_controller());
+    for (auto _ : state) {
+        auto sym = symbolic_reachable_markings(expanded);
+        benchmark::DoNotOptimize(sym.reachable_markings);
+    }
+}
+BENCHMARK(bm_symbolic_reachability);
+
+int main(int argc, char** argv) {
+    print_symbolic_ablation();
+    print_ablation();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

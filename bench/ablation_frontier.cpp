@@ -1,0 +1,53 @@
+// Ablation: width of the exploration frontier (the paper's size_frontier
+// parameter, Fig. 9).  A width of 1 is greedy hill-climbing; wider frontiers
+// explore more configurations and find better reshufflings at higher cost.
+#include "bench_util.hpp"
+
+using namespace asynth;
+using namespace bench_util;
+
+namespace {
+
+void print_ablation() {
+    std::printf("\n=== Ablation: size_frontier (Fig. 9 beam width) ===\n");
+    std::printf("%-8s %-10s %12s %10s %8s %8s\n", "spec", "frontier", "explored", "cost",
+                "csc", "lits");
+    for (const auto& [name, spec] : benchmarks::spec_suite()) {
+        stg expanded = expand_handshakes(spec);
+        auto sg = state_graph::generate(expanded).graph;
+        auto g = subgraph::full(sg);
+        for (std::size_t width : {1u, 2u, 4u, 8u}) {
+            search_options so;
+            so.cost.w = 0.5;
+            so.size_frontier = width;
+            so.keep_concurrent = keepconc_events(expanded);
+            auto res = reduce_concurrency(g, so);
+            std::printf("%-8s %-10zu %12zu %10.1f %8zu %8zu\n", name.c_str(), width,
+                        res.explored, res.best_cost.value, res.best_cost.csc_pairs,
+                        res.best_cost.literals);
+        }
+    }
+}
+
+void bm_search_width(benchmark::State& state) {
+    auto sg = state_graph::generate(expand_handshakes(benchmarks::par_component())).graph;
+    auto g = subgraph::full(sg);
+    search_options so;
+    so.cost.w = 0.5;
+    so.size_frontier = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto res = reduce_concurrency(g, so);
+        benchmark::DoNotOptimize(res.best_cost.value);
+    }
+    state.counters["explored"] = static_cast<double>(reduce_concurrency(g, so).explored);
+}
+BENCHMARK(bm_search_width)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_ablation();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,66 @@
+// Fig. 1: the simple memory/processor controller.  Reproduces the paper's
+// observations: the SG has five states, is consistent and output-persistent,
+// Req+ and Ack- are concurrent (their ERs intersect), and CSC fails on the
+// code pair 11* / 1*1.  Also demonstrates that the conflict cannot be fixed
+// by state-signal insertion alone (the conflicting states are separated only
+// by input events) -- the paper uses this controller precisely as the
+// motivating CSC illustration.
+#include "bench_util.hpp"
+#include "csc/csc.hpp"
+
+using namespace asynth;
+using namespace bench_util;
+
+namespace {
+
+void print_figure() {
+    std::printf("\n=== Fig. 1: simple asynchronous controller ===\n");
+    auto net = benchmarks::fig1_controller();
+    auto gen = state_graph::generate(net);
+    auto g = subgraph::full(gen.graph);
+    std::printf("states: %zu (paper: 5), arcs: %zu\n", g.live_state_count(), g.live_arc_count());
+    std::printf("initial state: %s (paper: 0*1)\n",
+                gen.graph.state_code_string(gen.graph.initial()).c_str());
+    auto si = check_speed_independence(g);
+    std::printf("speed-independent: %s\n", si.ok() ? "yes" : "no");
+    auto rep = check_csc(g, 4);
+    std::printf("CSC conflict pairs: %zu (paper: 1, codes 11* vs 1*1)\n", rep.conflict_pairs);
+    for (const auto& c : rep.examples)
+        std::printf("  conflict: %s vs %s\n", gen.graph.state_code_string(c.state_a).c_str(),
+                    gen.graph.state_code_string(c.state_b).c_str());
+    auto reqp = gen.graph.find_event(signal_id(gen.graph, "Req"), edge::plus);
+    auto ackm = gen.graph.find_event(signal_id(gen.graph, "Ack"), edge::minus);
+    std::printf("Req+ || Ack-: %s (paper: concurrent, ERs intersect)\n",
+                concurrent_by_diamond(g, *reqp, *ackm) ? "concurrent" : "ordered");
+    auto csc = resolve_csc(g);
+    std::printf("insertion-only CSC resolution: %s (%s)\n", csc.solved ? "solved" : "impossible",
+                csc.solved ? "" : "conflict states separated only by input events");
+}
+
+void bm_fig1_generate(benchmark::State& state) {
+    auto net = benchmarks::fig1_controller();
+    for (auto _ : state) {
+        auto gen = state_graph::generate(net);
+        benchmark::DoNotOptimize(gen.graph.state_count());
+    }
+}
+BENCHMARK(bm_fig1_generate);
+
+void bm_fig1_csc_check(benchmark::State& state) {
+    auto gen = state_graph::generate(benchmarks::fig1_controller());
+    auto g = subgraph::full(gen.graph);
+    for (auto _ : state) {
+        auto rep = check_csc(g, 0);
+        benchmark::DoNotOptimize(rep.conflict_pairs);
+    }
+}
+BENCHMARK(bm_fig1_csc_check);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_figure();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

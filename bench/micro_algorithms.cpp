@@ -1,0 +1,84 @@
+// Raw algorithm throughput over the random handshake corpus: SG generation,
+// excitation regions, FwdRed, CSC checking, region-based STG recovery and
+// timed simulation.
+#include "bench_util.hpp"
+#include "core/reduce.hpp"
+#include "perf/timing.hpp"
+#include "regions/regions.hpp"
+
+using namespace asynth;
+using namespace bench_util;
+
+namespace {
+
+state_graph corpus_sg(int leaves) {
+    return state_graph::generate(
+               expand_handshakes(benchmarks::random_handshake_spec(7, leaves)))
+        .graph;
+}
+
+void bm_sg_generation(benchmark::State& state) {
+    auto spec = expand_handshakes(
+        benchmarks::random_handshake_spec(7, static_cast<int>(state.range(0))));
+    for (auto _ : state) {
+        auto gen = state_graph::generate(spec);
+        benchmark::DoNotOptimize(gen.graph.state_count());
+    }
+    state.counters["states"] = static_cast<double>(state_graph::generate(spec).graph.state_count());
+}
+BENCHMARK(bm_sg_generation)->Arg(2)->Arg(4)->Arg(6);
+
+void bm_excitation_regions(benchmark::State& state) {
+    auto sg = corpus_sg(static_cast<int>(state.range(0)));
+    auto g = subgraph::full(sg);
+    for (auto _ : state) {
+        auto comps = excitation_regions(g);
+        benchmark::DoNotOptimize(comps.size());
+    }
+}
+BENCHMARK(bm_excitation_regions)->Arg(2)->Arg(4)->Arg(6);
+
+void bm_csc_check(benchmark::State& state) {
+    auto sg = corpus_sg(static_cast<int>(state.range(0)));
+    auto g = subgraph::full(sg);
+    for (auto _ : state) {
+        auto rep = check_csc(g, 0);
+        benchmark::DoNotOptimize(rep.conflict_pairs);
+    }
+}
+BENCHMARK(bm_csc_check)->Arg(2)->Arg(4)->Arg(6);
+
+void bm_speed_independence(benchmark::State& state) {
+    auto sg = corpus_sg(static_cast<int>(state.range(0)));
+    auto g = subgraph::full(sg);
+    for (auto _ : state) {
+        auto rep = check_speed_independence(g);
+        benchmark::DoNotOptimize(rep.ok());
+    }
+}
+BENCHMARK(bm_speed_independence)->Arg(2)->Arg(4);
+
+void bm_region_recovery(benchmark::State& state) {
+    auto sg = corpus_sg(static_cast<int>(state.range(0)));
+    auto g = subgraph::full(sg);
+    for (auto _ : state) {
+        auto res = recover_stg(g);
+        benchmark::DoNotOptimize(res.ok);
+    }
+}
+BENCHMARK(bm_region_recovery)->Arg(2)->Arg(3);
+
+void bm_timed_simulation(benchmark::State& state) {
+    auto sg = corpus_sg(static_cast<int>(state.range(0)));
+    auto g = subgraph::full(sg);
+    delay_model dm;
+    for (auto _ : state) {
+        auto rep = analyze_performance(g, dm);
+        benchmark::DoNotOptimize(rep.cycle_time);
+    }
+}
+BENCHMARK(bm_timed_simulation)->Arg(2)->Arg(4);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,117 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace asynth {
+
+bdd_manager::ref bdd_manager::make(uint32_t v, ref lo, ref hi) {
+    if (lo == hi) return lo;
+    auto key = std::make_tuple(v, lo, hi);
+    auto [it, inserted] = unique_.emplace(key, static_cast<ref>(nodes_.size()));
+    if (inserted) {
+        require(nodes_.size() < (1u << 30), "BDD node limit exceeded");
+        nodes_.push_back(node{v, lo, hi});
+    }
+    return it->second;
+}
+
+uint32_t bdd_manager::top_var(ref f, ref g, ref h) const {
+    uint32_t v = nvars_;
+    if (!is_terminal(f)) v = std::min(v, nodes_[f].var);
+    if (!is_terminal(g)) v = std::min(v, nodes_[g].var);
+    if (!is_terminal(h)) v = std::min(v, nodes_[h].var);
+    return v;
+}
+
+bdd_manager::ref bdd_manager::ite(ref f, ref g, ref h) {
+    if (f == 1) return g;
+    if (f == 0) return h;
+    if (g == h) return g;
+    if (g == 1 && h == 0) return f;
+    auto key = std::make_tuple(f, g, h);
+    if (auto it = ite_cache_.find(key); it != ite_cache_.end()) return it->second;
+
+    const uint32_t v = top_var(f, g, h);
+    auto cof = [&](ref x, bool hi) -> ref {
+        if (is_terminal(x) || nodes_[x].var != v) return x;
+        return hi ? nodes_[x].hi : nodes_[x].lo;
+    };
+    ref lo = ite(cof(f, false), cof(g, false), cof(h, false));
+    ref hi = ite(cof(f, true), cof(g, true), cof(h, true));
+    ref out = make(v, lo, hi);
+    ite_cache_.emplace(key, out);
+    return out;
+}
+
+bdd_manager::ref bdd_manager::exists(ref f, const dyn_bitset& vars) {
+    if (is_terminal(f)) return f;
+    // The cache is keyed on the node and invalidated when a different
+    // variable set is quantified.
+    if (vars.hash() != quant_sig_) {
+        quant_cache_.clear();
+        quant_sig_ = vars.hash();
+    }
+    const uint64_t key = f;
+    if (auto it = quant_cache_.find(key); it != quant_cache_.end()) return it->second;
+    const auto& n = nodes_[f];
+    ref lo = exists(n.lo, vars);
+    ref hi = exists(n.hi, vars);
+    ref out = vars.test(n.var) ? apply_or(lo, hi) : make(n.var, lo, hi);
+    quant_cache_.emplace(key, out);
+    return out;
+}
+
+bdd_manager::ref bdd_manager::rename(ref f, const std::vector<uint32_t>& map) {
+    if (is_terminal(f)) return f;
+    // The cache is keyed on the node and invalidated when the map changes.
+    std::size_t sig = 0;
+    for (uint32_t v : map) hash_combine(sig, v);
+    if (sig != rename_sig_) {
+        rename_cache_.clear();
+        rename_sig_ = sig;
+    }
+    const uint64_t key = f;
+    if (auto it = rename_cache_.find(key); it != rename_cache_.end()) return it->second;
+    const auto& n = nodes_[f];
+    ref lo = rename(n.lo, map);
+    ref hi = rename(n.hi, map);
+    ref out = make(map.at(n.var), lo, hi);
+    rename_cache_.emplace(key, out);
+    return out;
+}
+
+double bdd_manager::sat_count(ref f) {
+    if (f == 0) return 0.0;
+    struct walker {
+        bdd_manager* m;
+        std::unordered_map<uint64_t, double>& cache;
+        double walk(ref x) {
+            if (x == 0) return 0.0;
+            if (x == 1) return 1.0;
+            auto key = static_cast<uint64_t>(x);
+            if (auto it = cache.find(key); it != cache.end()) return it->second;
+            const auto& n = m->nodes_[x];
+            const uint32_t lo_var = m->is_terminal(n.lo) ? m->nvars_ : m->nodes_[n.lo].var;
+            const uint32_t hi_var = m->is_terminal(n.hi) ? m->nvars_ : m->nodes_[n.hi].var;
+            double lo = walk(n.lo) * std::pow(2.0, lo_var - n.var - 1);
+            double hi = walk(n.hi) * std::pow(2.0, hi_var - n.var - 1);
+            double out = lo + hi;
+            cache.emplace(key, out);
+            return out;
+        }
+    };
+    walker w{this, count_cache_};
+    const uint32_t top = is_terminal(f) ? nvars_ : nodes_[f].var;
+    return w.walk(f) * std::pow(2.0, top);
+}
+
+bool bdd_manager::eval(ref f, const dyn_bitset& point) const {
+    while (!is_terminal(f)) {
+        const auto& n = nodes_[f];
+        f = point.test(n.var) ? n.hi : n.lo;
+    }
+    return f == 1;
+}
+
+}  // namespace asynth

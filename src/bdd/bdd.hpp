@@ -1,0 +1,89 @@
+// A compact ROBDD package (stand-in for CUDD): unique table, apply cache,
+// ITE, quantification and variable renaming -- enough to run symbolic
+// reachability over safe Petri nets as an independent cross-check of the
+// explicit state-graph engine (see bdd/symbolic.hpp).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/dyn_bitset.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace asynth {
+
+class bdd_manager {
+public:
+    using ref = uint32_t;
+
+    explicit bdd_manager(uint32_t nvars) : nvars_(nvars) {
+        nodes_.push_back(node{nvars, 0, 0});  // 0 terminal
+        nodes_.push_back(node{nvars, 1, 1});  // 1 terminal
+    }
+
+    [[nodiscard]] ref zero() const noexcept { return 0; }
+    [[nodiscard]] ref one() const noexcept { return 1; }
+    [[nodiscard]] uint32_t var_count() const noexcept { return nvars_; }
+    [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+
+    /// The single-variable function x_i (or its negation).
+    [[nodiscard]] ref var(uint32_t i) { return make(i, 0, 1); }
+    [[nodiscard]] ref nvar(uint32_t i) { return make(i, 1, 0); }
+
+    [[nodiscard]] ref apply_and(ref f, ref g) { return ite(f, g, 0); }
+    [[nodiscard]] ref apply_or(ref f, ref g) { return ite(f, 1, g); }
+    [[nodiscard]] ref apply_xor(ref f, ref g) { return ite(f, negate(g), g); }
+    [[nodiscard]] ref negate(ref f) { return ite(f, 0, 1); }
+    /// f <-> g
+    [[nodiscard]] ref iff(ref f, ref g) { return ite(f, g, negate(g)); }
+
+    [[nodiscard]] ref ite(ref f, ref g, ref h);
+
+    /// Existential quantification over the variables set in @p vars.
+    [[nodiscard]] ref exists(ref f, const dyn_bitset& vars);
+
+    /// Renames variables: var i becomes map[i] (must be order-preserving on
+    /// the support for correctness; our current/next interleaving satisfies
+    /// this).
+    [[nodiscard]] ref rename(ref f, const std::vector<uint32_t>& map);
+
+    /// Number of satisfying assignments over all nvars variables.
+    [[nodiscard]] double sat_count(ref f);
+
+    /// Evaluates f at a point.
+    [[nodiscard]] bool eval(ref f, const dyn_bitset& point) const;
+
+private:
+    struct node {
+        uint32_t var;
+        ref lo, hi;
+    };
+
+    ref make(uint32_t v, ref lo, ref hi);
+
+    [[nodiscard]] bool is_terminal(ref f) const noexcept { return f <= 1; }
+    [[nodiscard]] uint32_t top_var(ref f, ref g, ref h) const;
+
+    uint32_t nvars_;
+    std::vector<node> nodes_;
+
+    struct triple_hash {
+        std::size_t operator()(const std::tuple<uint32_t, uint32_t, uint32_t>& t) const noexcept {
+            std::size_t h = std::get<0>(t);
+            hash_combine(h, std::get<1>(t));
+            hash_combine(h, std::get<2>(t));
+            return h;
+        }
+    };
+    std::unordered_map<std::tuple<uint32_t, uint32_t, uint32_t>, ref, triple_hash> unique_;
+    std::unordered_map<std::tuple<uint32_t, uint32_t, uint32_t>, ref, triple_hash> ite_cache_;
+    std::unordered_map<uint64_t, ref> quant_cache_;
+    std::unordered_map<uint64_t, ref> rename_cache_;
+    std::unordered_map<uint64_t, double> count_cache_;
+    std::size_t quant_sig_ = 0;
+    std::size_t rename_sig_ = 0;
+};
+
+}  // namespace asynth

@@ -1,0 +1,75 @@
+#include "bdd/symbolic.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace asynth {
+
+symbolic_result symbolic_reachable_markings(const stg& net) {
+    const auto nplaces = static_cast<uint32_t>(net.places().size());
+    // Interleaved ordering: current place p at 2p, next at 2p+1.
+    bdd_manager m(2 * nplaces);
+    auto cur = [&](uint32_t p) { return 2 * p; };
+    auto nxt = [&](uint32_t p) { return 2 * p + 1; };
+
+    // Transition relations.
+    std::vector<bdd_manager::ref> relations;
+    for (const auto& t : net.transitions()) {
+        dyn_bitset in_pre(nplaces), in_post(nplaces);
+        for (uint32_t p : t.pre) in_pre.set(p);
+        for (uint32_t p : t.post) in_post.set(p);
+        auto rel = m.one();
+        for (uint32_t p = 0; p < nplaces; ++p) {
+            bdd_manager::ref clause;
+            if (in_pre.test(p) && in_post.test(p))
+                clause = m.apply_and(m.var(cur(p)), m.var(nxt(p)));
+            else if (in_pre.test(p))
+                clause = m.apply_and(m.var(cur(p)), m.nvar(nxt(p)));
+            else if (in_post.test(p))
+                // Safeness: the target place must be empty before the firing.
+                clause = m.apply_and(m.nvar(cur(p)), m.var(nxt(p)));
+            else
+                clause = m.iff(m.var(cur(p)), m.var(nxt(p)));
+            rel = m.apply_and(rel, clause);
+        }
+        relations.push_back(rel);
+    }
+
+    // Initial marking.
+    auto reached = m.one();
+    for (uint32_t p = 0; p < nplaces; ++p)
+        reached = m.apply_and(reached,
+                              net.places()[p].tokens ? m.var(cur(p)) : m.nvar(cur(p)));
+
+    dyn_bitset current_vars(2 * nplaces);
+    for (uint32_t p = 0; p < nplaces; ++p) current_vars.set(cur(p));
+    std::vector<uint32_t> next_to_cur(2 * nplaces);
+    for (uint32_t p = 0; p < nplaces; ++p) {
+        next_to_cur[cur(p)] = cur(p);
+        next_to_cur[nxt(p)] = cur(p);
+    }
+
+    symbolic_result out;
+    bool grew = true;
+    while (grew) {
+        ++out.iterations;
+        grew = false;
+        for (auto rel : relations) {
+            auto step = m.apply_and(reached, rel);
+            auto image = m.rename(m.exists(step, current_vars), next_to_cur);
+            auto next = m.apply_or(reached, image);
+            if (next != reached) {
+                reached = next;
+                grew = true;
+            }
+        }
+    }
+
+    // Count over the place variables only: each marking fixes all current
+    // bits and leaves the next bits free, so divide by 2^nplaces.
+    out.reachable_markings = m.sat_count(reached) / std::pow(2.0, nplaces);
+    out.bdd_nodes = m.node_count();
+    return out;
+}
+
+}  // namespace asynth

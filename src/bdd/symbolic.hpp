@@ -1,0 +1,24 @@
+// Symbolic reachability of safe Petri nets: an independent engine used to
+// cross-check the explicit token game (ablation_engines bench, tests).
+// Variables are interleaved current/next place bits; each transition
+// contributes a relation conjunct and the reachable set is the standard
+// image-computation fixpoint.
+#pragma once
+
+#include "bdd/bdd.hpp"
+#include "petri/stg.hpp"
+
+namespace asynth {
+
+struct symbolic_result {
+    double reachable_markings = 0.0;
+    std::size_t bdd_nodes = 0;
+    std::size_t iterations = 0;
+};
+
+/// Counts the markings reachable from the initial marking of @p net.
+/// Throws asynth::error if the net is unsafe (diverges from the explicit
+/// engine's safety check, which this function does not replicate).
+[[nodiscard]] symbolic_result symbolic_reachable_markings(const stg& net);
+
+}  // namespace asynth

@@ -1,0 +1,279 @@
+#include "benchmarks/corpus.hpp"
+
+#include "petri/astg_io.hpp"
+#include "util/hash.hpp"
+
+namespace asynth::benchmarks {
+
+stg fig1_controller() {
+    // Signal order matches the paper's code vectors: (Ack, Req).
+    return parse_astg(R"(.model fig1
+.outputs Ack
+.inputs Req
+.graph
+Ack+ pack
+pa Req-
+pack Req-
+Req- Req+ Ack-
+Req+ pa pe
+pb Req+
+Req- pb
+Ack- pd
+pd Ack+
+pe Ack+
+.marking { pa pd pe }
+.end
+)");
+}
+
+stg lr_process() {
+    return parse_astg(R"(.model lr
+.channels l r
+.graph
+l? r!
+r! r?
+r? l!
+l! l?
+.marking { <l!,l?> }
+.end
+)");
+}
+
+stg qmodule_lr() {
+    return parse_astg(R"(.model qmodule
+.inputs li ri
+.outputs lo ro
+.graph
+li+ ro+
+ro+ ri+
+ri+ ro-
+ro- ri-
+ri- lo+
+lo+ li-
+li- lo-
+lo- li+
+.marking { <lo-,li+> }
+.end
+)");
+}
+
+stg lr_full_reduction() {
+    return parse_astg(R"(.model lr_wires
+.inputs li ri
+.outputs lo ro
+.graph
+li+ ro+
+ro+ ri+
+ri+ lo+
+lo+ li-
+li- ro-
+ro- ri-
+ri- lo-
+lo- li+
+.marking { <lo-,li+> }
+.end
+)");
+}
+
+stg fig6_mixed() {
+    return parse_astg(R"(.model fig6
+.channels a
+.outputs b c
+.partial b
+.graph
+a! b+
+b+ c+
+c+ a?
+a? c-
+c- a!
+.marking { <c-,a!> }
+.end
+)");
+}
+
+stg par_component() {
+    return parse_astg(R"(.model par
+.channels a b c
+.graph
+a? b! c!
+b! b?
+c! c?
+b? a!
+c? a!
+a! a?
+.marking { <a!,a?> }
+.end
+)");
+}
+
+stg par_manual() {
+    return parse_astg(R"(.model par_manual
+.inputs ai bi ci
+.outputs ao bo co
+.graph
+ai+ bo+ co+
+bo+ bi+
+co+ ci+
+bi+ ao+
+ci+ ao+
+ao+ ai-
+ai- bo- co-
+bo- bi-
+co- ci-
+bi- ao-
+ci- ao-
+ao- ai+
+.marking { <ao-,ai+> }
+.end
+)");
+}
+
+stg mmu_controller() {
+    return parse_astg(R"(.model mmu
+.channels r l m b
+.graph
+r? l!
+l! l?
+l? m!
+m! m?
+m? b!
+b! b?
+b? r!
+r! r?
+.marking { <r!,r?> }
+.end
+)");
+}
+
+state_graph fig8_fragment() {
+    enum : int32_t { A, B, C, D, E };
+    std::vector<signal_decl> sigs = {
+        {"a", signal_kind::output, false, false}, {"b", signal_kind::output, false, false},
+        {"c", signal_kind::input, false, false},  {"d", signal_kind::input, false, false},
+        {"e", signal_kind::input, false, false},
+    };
+    std::vector<sg_event> events;
+    for (int32_t s = 0; s < 5; ++s) events.push_back(sg_event{s, edge::plus});
+    auto code = [](std::initializer_list<int> set) {
+        dyn_bitset c(5);
+        for (int s : set) c.set(static_cast<std::size_t>(s));
+        return c;
+    };
+    std::vector<sg_state> states = {
+        {marking{}, code({})},           {marking{}, code({C})},
+        {marking{}, code({C, B})},       {marking{}, code({C, B, D})},
+        {marking{}, code({C, B, E})},    {marking{}, code({C, B, D, A})},
+        {marking{}, code({C, A})},       {marking{}, code({C, A, B})},
+        {marking{}, code({C, B, E, A})},
+    };
+    std::vector<sg_arc> arcs = {
+        {0, 1, C}, {1, 6, A}, {1, 2, B}, {6, 7, B}, {2, 7, A}, {2, 3, D},
+        {2, 4, E}, {7, 5, D}, {7, 8, E}, {3, 5, A}, {4, 8, A},
+    };
+    return state_graph::build(std::move(sigs), std::move(events), std::move(states),
+                              std::move(arcs), 0);
+}
+
+namespace {
+
+/// Series-parallel body builder over channel "calls" (c! ; c?).
+struct fragment {
+    std::vector<uint32_t> entries;  // transitions that consume from the join
+    std::vector<uint32_t> exits;    // transitions that feed the next stage
+};
+
+struct sp_builder {
+    stg net;
+    int next_channel = 0;
+
+    uint32_t new_channel() {
+        return net.add_signal("c" + std::to_string(next_channel++), signal_kind::channel);
+    }
+
+    fragment leaf() {
+        auto c = static_cast<int32_t>(new_channel());
+        uint32_t send = net.add_transition({c, edge::send, 0});
+        uint32_t recv = net.add_transition({c, edge::recv, 0});
+        net.connect(send, recv);
+        return fragment{{send}, {recv}};
+    }
+
+    fragment seq(fragment a, fragment b) {
+        for (uint32_t e : a.exits)
+            for (uint32_t s : b.entries) net.connect(e, s);
+        return fragment{std::move(a.entries), std::move(b.exits)};
+    }
+
+    fragment par(fragment a, fragment b) {
+        fragment out;
+        out.entries = std::move(a.entries);
+        out.entries.insert(out.entries.end(), b.entries.begin(), b.entries.end());
+        out.exits = std::move(a.exits);
+        out.exits.insert(out.exits.end(), b.exits.begin(), b.exits.end());
+        return out;
+    }
+
+    fragment random_tree(xorshift64& rng, int leaves) {
+        if (leaves <= 1) return leaf();
+        const int left = 1 + static_cast<int>(rng.next_below(static_cast<uint64_t>(leaves - 1)));
+        auto a = random_tree(rng, left);
+        auto b = random_tree(rng, leaves - left);
+        return rng.next_bool() ? seq(std::move(a), std::move(b)) : par(std::move(a), std::move(b));
+    }
+
+    /// Wraps the body in a passive trigger channel t: t? ; body ; t! ; loop.
+    stg finish(fragment body, std::string name) {
+        auto t = static_cast<int32_t>(net.add_signal("t", signal_kind::channel));
+        uint32_t trig = net.add_transition({t, edge::recv, 0});
+        uint32_t done = net.add_transition({t, edge::send, 0});
+        for (uint32_t s : body.entries) net.connect(trig, s);
+        for (uint32_t e : body.exits) net.connect(e, done);
+        net.connect(done, trig, 1);
+        net.model_name = std::move(name);
+        return std::move(net);
+    }
+};
+
+}  // namespace
+
+stg random_handshake_spec(uint64_t seed, int n_leaves) {
+    xorshift64 rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    sp_builder b;
+    auto body = b.random_tree(rng, n_leaves);
+    return b.finish(std::move(body), "rand_" + std::to_string(seed));
+}
+
+std::vector<named_spec> spec_suite() {
+    std::vector<named_spec> out;
+    out.push_back({"lr", lr_process()});
+    out.push_back({"par", par_component()});
+    out.push_back({"mmu", mmu_controller()});
+    out.push_back({"fig6", fig6_mixed()});
+    {
+        // seq3: three sequential calls.
+        sp_builder b;
+        auto f = b.seq(b.leaf(), b.seq(b.leaf(), b.leaf()));
+        out.push_back({"seq3", b.finish(std::move(f), "seq3")});
+    }
+    {
+        // fork3: three parallel calls.
+        sp_builder b;
+        auto f = b.par(b.leaf(), b.par(b.leaf(), b.leaf()));
+        out.push_back({"fork3", b.finish(std::move(f), "fork3")});
+    }
+    {
+        // diamond: a ; (b || c) ; d.
+        sp_builder b;
+        auto f = b.seq(b.leaf(), b.seq(b.par(b.leaf(), b.leaf()), b.leaf()));
+        out.push_back({"diamond", b.finish(std::move(f), "diamond")});
+    }
+    {
+        // wide2x2: (a ; b) || (c ; d).
+        sp_builder b;
+        auto f = b.par(b.seq(b.leaf(), b.leaf()), b.seq(b.leaf(), b.leaf()));
+        out.push_back({"wide2x2", b.finish(std::move(f), "wide2x2")});
+    }
+    return out;
+}
+
+}  // namespace asynth::benchmarks

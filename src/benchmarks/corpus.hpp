@@ -1,0 +1,74 @@
+// Embedded benchmark corpus.
+//
+// Contains every specification used by the paper's examples and experiments
+// (Fig. 1 controller, LR process + the hand-made Q-module, Fig. 6 mixed
+// example, Fig. 8 fragment, PAR component + manual Tangram-style solution,
+// MMU-like controller for Table 2) plus a deterministic random generator of
+// Tangram-style series-parallel handshake specifications used by property
+// tests and throughput benchmarks.
+//
+// The MMU controller is a documented substitution: the exact Myers-Meng STG
+// is not recoverable from the paper, so we use a controller with the same
+// four channels (b, l, m, r) exercised by Table 2's reshuffling rows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "petri/stg.hpp"
+#include "sg/state_graph.hpp"
+
+namespace asynth::benchmarks {
+
+/// Fig. 1: simple controller between an asynchronous memory and a processor
+/// (Req input, Ack output; 5 states; one CSC conflict).
+[[nodiscard]] stg fig1_controller();
+
+/// Fig. 2.c: the LR process -- passive port l, active port r, control passes
+/// left to right.  Channel-level spec; expand before synthesis.
+[[nodiscard]] stg lr_process();
+
+/// Table 1 row "Q-module (hand)": the classic S-element reshuffling of the
+/// LR process, fully specified at the signal level.
+[[nodiscard]] stg qmodule_lr();
+
+/// The fully reduced LR process (Fig. 3.b): both ports sequential, which
+/// synthesises into two wires (area 0).
+[[nodiscard]] stg lr_full_reduction();
+
+/// Fig. 6.a: mixed example with a channel (a), a partially specified signal
+/// (b) and a completely specified signal (c).
+[[nodiscard]] stg fig6_mixed();
+
+/// Fig. 10.a: the PAR component from Tangram -- passive a, active b and c
+/// run in parallel.
+[[nodiscard]] stg par_component();
+
+/// A manual PAR solution in the spirit of Fig. 10.c (standard reshuffling
+/// with symmetric broad handshakes), used as the hand-design baseline.
+[[nodiscard]] stg par_manual();
+
+/// Table 2 substitute: MMU-like controller with passive channel r and active
+/// channels l (lookup), m (memory), b (bus) in sequence.
+[[nodiscard]] stg mmu_controller();
+
+/// Fig. 8 SG fragment (choice d|e concurrent with a) as a ready-made state
+/// graph; used by reduction tests and benches.
+[[nodiscard]] state_graph fig8_fragment();
+
+struct named_spec {
+    std::string name;
+    stg net;
+};
+
+/// A fixed suite of channel-level specifications of varying shape (sequence,
+/// fork/join, nested parallelism) exercised by property tests and ablations.
+[[nodiscard]] std::vector<named_spec> spec_suite();
+
+/// Deterministic random series-parallel handshake specification with
+/// @p n_leaves active channels triggered by one passive channel; always
+/// expandable, consistent and speed-independent.
+[[nodiscard]] stg random_handshake_spec(uint64_t seed, int n_leaves);
+
+}  // namespace asynth::benchmarks

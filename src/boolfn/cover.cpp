@@ -1,0 +1,346 @@
+#include "boolfn/cover.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace asynth {
+
+cube cube::minterm(const dyn_bitset& point) {
+    cube c(point.size());
+    for (std::size_t v = 0; v < point.size(); ++v) c.set_literal(v, point.test(v));
+    return c;
+}
+
+std::size_t cube::literal_count() const {
+    std::size_t n = 0;
+    for (std::size_t v = 0; v < nvars(); ++v)
+        if (!is_dc(v)) ++n;
+    return n;
+}
+
+bool cube::covers(const dyn_bitset& point) const {
+    for (std::size_t v = 0; v < nvars(); ++v) {
+        if (point.test(v) ? !pos_.test(v) : !neg_.test(v)) return false;
+    }
+    return true;
+}
+
+bool cube::contains(const cube& o) const {
+    return o.pos_.is_subset_of(pos_) && o.neg_.is_subset_of(neg_);
+}
+
+bool cube::intersects(const cube& o) const {
+    for (std::size_t v = 0; v < nvars(); ++v) {
+        const bool p = pos_.test(v) && o.pos_.test(v);
+        const bool n = neg_.test(v) && o.neg_.test(v);
+        if (!p && !n) return false;
+    }
+    return true;
+}
+
+std::size_t cube::hash() const noexcept {
+    std::size_t h = pos_.hash();
+    hash_combine(h, neg_.hash());
+    return h;
+}
+
+std::string cube::to_string(const std::vector<std::string>& names) const {
+    std::string out;
+    for (std::size_t v = 0; v < nvars(); ++v) {
+        const int l = literal(v);
+        if (l == 0) continue;
+        if (!out.empty()) out += " ";
+        out += names.at(v);
+        if (l < 0) out += "'";
+    }
+    return out.empty() ? "1" : out;
+}
+
+bool cover::covers(const dyn_bitset& point) const {
+    for (const auto& c : cubes)
+        if (c.covers(point)) return true;
+    return false;
+}
+
+std::size_t cover::literal_count() const {
+    std::size_t n = 0;
+    for (const auto& c : cubes) n += c.literal_count();
+    return n;
+}
+
+std::string cover::to_string(const std::vector<std::string>& names) const {
+    if (cubes.empty()) return "0";
+    std::string out;
+    for (const auto& c : cubes) {
+        if (!out.empty()) out += " + ";
+        out += c.to_string(names);
+    }
+    return out;
+}
+
+namespace {
+
+/// Expands @p c by dropping literals (in @p order) while it stays disjoint
+/// from every OFF minterm.
+cube expand_against_off(cube c, const std::vector<dyn_bitset>& off,
+                        const std::vector<std::size_t>& order) {
+    for (std::size_t v : order) {
+        if (c.is_dc(v)) continue;
+        const int saved = c.literal(v);
+        c.set_dc(v);
+        bool hits_off = false;
+        for (const auto& m : off) {
+            if (c.covers(m)) {
+                hits_off = true;
+                break;
+            }
+        }
+        if (hits_off) c.set_literal(v, saved > 0);
+    }
+    return c;
+}
+
+/// Greedy irredundant cover of the ON minterms by the candidate cubes:
+/// essentials first, then maximum uncovered gain.
+std::vector<cube> greedy_cover(const std::vector<cube>& candidates,
+                               const std::vector<dyn_bitset>& on) {
+    std::vector<std::vector<std::size_t>> covers_of(on.size());
+    for (std::size_t m = 0; m < on.size(); ++m)
+        for (std::size_t c = 0; c < candidates.size(); ++c)
+            if (candidates[c].covers(on[m])) covers_of[m].push_back(c);
+
+    std::vector<bool> selected(candidates.size(), false), covered(on.size(), false);
+    // Essential candidates: sole cover of some minterm.
+    for (std::size_t m = 0; m < on.size(); ++m)
+        if (covers_of[m].size() == 1) selected[covers_of[m][0]] = true;
+    for (std::size_t m = 0; m < on.size(); ++m)
+        for (std::size_t c : covers_of[m])
+            if (selected[c]) covered[m] = true;
+
+    while (true) {
+        // Pick the candidate covering the most uncovered minterms; break
+        // ties toward fewer literals.
+        std::size_t best = candidates.size(), best_gain = 0, best_lits = SIZE_MAX;
+        for (std::size_t c = 0; c < candidates.size(); ++c) {
+            if (selected[c]) continue;
+            std::size_t gain = 0;
+            for (std::size_t m = 0; m < on.size(); ++m)
+                if (!covered[m] && candidates[c].covers(on[m])) ++gain;
+            if (gain == 0) continue;
+            const std::size_t lits = candidates[c].literal_count();
+            if (gain > best_gain || (gain == best_gain && lits < best_lits)) {
+                best = c;
+                best_gain = gain;
+                best_lits = lits;
+            }
+        }
+        if (best == candidates.size()) break;
+        selected[best] = true;
+        for (std::size_t m = 0; m < on.size(); ++m)
+            if (candidates[best].covers(on[m])) covered[m] = true;
+    }
+
+    std::vector<cube> out;
+    for (std::size_t c = 0; c < candidates.size(); ++c)
+        if (selected[c]) out.push_back(candidates[c]);
+    return out;
+}
+
+}  // namespace
+
+cover minimize_heuristic(const sop_spec& spec, unsigned passes) {
+    cover best;
+    best.nvars = spec.nvars;
+    if (spec.on.empty()) return best;
+
+    std::size_t best_cost = SIZE_MAX;
+    for (unsigned pass = 0; pass < std::max(1u, passes); ++pass) {
+        // Literal drop order: pass 0 = ascending, pass 1 = descending, then
+        // pseudo-random shuffles.
+        std::vector<std::size_t> order(spec.nvars);
+        for (std::size_t v = 0; v < spec.nvars; ++v) order[v] = v;
+        if (pass == 1) std::reverse(order.begin(), order.end());
+        if (pass >= 2) {
+            xorshift64 rng(pass * 0x9e3779b97f4a7c15ULL);
+            for (std::size_t i = order.size(); i > 1; --i)
+                std::swap(order[i - 1], order[rng.next_below(i)]);
+        }
+        std::vector<cube> expanded;
+        std::unordered_set<std::size_t> seen;
+        for (const auto& m : spec.on) {
+            cube c = expand_against_off(cube::minterm(m), spec.off, order);
+            if (seen.insert(c.hash()).second) expanded.push_back(std::move(c));
+        }
+        cover candidate;
+        candidate.nvars = spec.nvars;
+        candidate.cubes = greedy_cover(expanded, spec.on);
+        const std::size_t cost = candidate.cubes.size() * 1000 + candidate.literal_count();
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = std::move(candidate);
+        }
+    }
+    return best;
+}
+
+namespace {
+
+/// Enumerates all maximal cubes (primes of ON u DC) reachable by expanding
+/// the given minterm, capped at @p max_primes overall.
+void enumerate_primes_from(const cube& start, const std::vector<dyn_bitset>& off,
+                           std::vector<cube>& primes, std::unordered_set<std::size_t>& seen,
+                           std::size_t max_primes) {
+    if (primes.size() >= max_primes) return;
+    bool maximal = true;
+    for (std::size_t v = 0; v < start.nvars(); ++v) {
+        if (start.is_dc(v)) continue;
+        cube wider = start;
+        wider.set_dc(v);
+        bool hits_off = false;
+        for (const auto& m : off)
+            if (wider.covers(m)) {
+                hits_off = true;
+                break;
+            }
+        if (hits_off) continue;
+        maximal = false;
+        if (seen.insert(wider.hash()).second)
+            enumerate_primes_from(wider, off, primes, seen, max_primes);
+        if (primes.size() >= max_primes) return;
+    }
+    if (maximal) primes.push_back(start);
+}
+
+struct bnb_state {
+    const std::vector<cube>* primes;
+    const std::vector<dyn_bitset>* on;
+    std::vector<std::vector<std::size_t>> covers_of;  // minterm -> prime ids
+    std::vector<std::size_t> best;
+    std::size_t best_cost = SIZE_MAX;
+    std::size_t nodes = 0, max_nodes = 0;
+    bool aborted = false;
+
+    static std::size_t cost_of(const std::vector<cube>& primes,
+                               const std::vector<std::size_t>& sel) {
+        std::size_t lits = 0;
+        for (std::size_t p : sel) lits += primes[p].literal_count();
+        return sel.size() * 1000 + lits;
+    }
+
+    void search(std::vector<std::size_t>& chosen, std::vector<int>& covered_count,
+                std::size_t uncovered) {
+        if (++nodes > max_nodes) {
+            aborted = true;
+            return;
+        }
+        if (cost_of(*primes, chosen) >= best_cost) return;
+        if (uncovered == 0) {
+            best = chosen;
+            best_cost = cost_of(*primes, chosen);
+            return;
+        }
+        // Branch on the uncovered minterm with the fewest covering primes.
+        std::size_t pick = on->size(), fewest = SIZE_MAX;
+        for (std::size_t m = 0; m < on->size(); ++m) {
+            if (covered_count[m] > 0) continue;
+            if (covers_of[m].size() < fewest) {
+                fewest = covers_of[m].size();
+                pick = m;
+            }
+        }
+        if (pick == on->size() || fewest == 0) return;  // uncoverable
+        for (std::size_t p : covers_of[pick]) {
+            if (aborted) return;
+            chosen.push_back(p);
+            std::size_t newly = 0;
+            for (std::size_t m = 0; m < on->size(); ++m) {
+                if ((*primes)[p].covers((*on)[m])) {
+                    if (covered_count[m]++ == 0) ++newly;
+                }
+            }
+            search(chosen, covered_count, uncovered - newly);
+            for (std::size_t m = 0; m < on->size(); ++m) {
+                if ((*primes)[p].covers((*on)[m])) {
+                    if (--covered_count[m] == 0) {
+                        // became uncovered again
+                    }
+                }
+            }
+            chosen.pop_back();
+        }
+    }
+};
+
+}  // namespace
+
+cover minimize_exact(const sop_spec& spec, const exact_limits& lim, bool* was_exact) {
+    if (was_exact) *was_exact = true;
+    cover out;
+    out.nvars = spec.nvars;
+    if (spec.on.empty()) return out;
+
+    std::vector<cube> primes;
+    std::unordered_set<std::size_t> seen;
+    for (const auto& m : spec.on) {
+        cube c = cube::minterm(m);
+        if (seen.insert(c.hash()).second)
+            enumerate_primes_from(c, spec.off, primes, seen, lim.max_primes);
+        if (primes.size() >= lim.max_primes) break;
+    }
+    if (primes.size() >= lim.max_primes) {
+        if (was_exact) *was_exact = false;
+        return minimize_heuristic(spec);
+    }
+    // Deduplicate and drop contained primes.
+    std::vector<cube> unique;
+    for (const auto& p : primes) {
+        bool dominated = false;
+        for (const auto& q : primes)
+            if (!(q == p) && q.contains(p)) {
+                dominated = true;
+                break;
+            }
+        if (!dominated && std::find(unique.begin(), unique.end(), p) == unique.end())
+            unique.push_back(p);
+    }
+
+    bnb_state bnb;
+    bnb.primes = &unique;
+    bnb.on = &spec.on;
+    bnb.max_nodes = lim.max_branch_nodes;
+    bnb.covers_of.resize(spec.on.size());
+    for (std::size_t m = 0; m < spec.on.size(); ++m)
+        for (std::size_t p = 0; p < unique.size(); ++p)
+            if (unique[p].covers(spec.on[m])) bnb.covers_of[m].push_back(p);
+
+    // Seed the bound with the heuristic solution.
+    cover heur = minimize_heuristic(spec);
+    bnb.best_cost = heur.cubes.size() * 1000 + heur.literal_count() + 1;
+
+    std::vector<std::size_t> chosen;
+    std::vector<int> covered(spec.on.size(), 0);
+    bnb.search(chosen, covered, spec.on.size());
+    if (bnb.aborted && bnb.best.empty()) {
+        if (was_exact) *was_exact = false;
+        return heur;
+    }
+    if (bnb.best.empty()) return heur;  // heuristic was already optimal
+    if (was_exact) *was_exact = !bnb.aborted;
+    for (std::size_t p : bnb.best) out.cubes.push_back(unique[p]);
+    const std::size_t exact_cost = out.cubes.size() * 1000 + out.literal_count();
+    const std::size_t heur_cost = heur.cubes.size() * 1000 + heur.literal_count();
+    return exact_cost <= heur_cost ? out : heur;
+}
+
+bool verify_cover(const cover& c, const sop_spec& spec) {
+    for (const auto& m : spec.on)
+        if (!c.covers(m)) return false;
+    for (const auto& m : spec.off)
+        if (c.covers(m)) return false;
+    return true;
+}
+
+}  // namespace asynth

@@ -1,0 +1,37 @@
+#include "core/cost.hpp"
+
+#include "logic/synthesis.hpp"
+#include "sg/analysis.hpp"
+
+namespace asynth {
+
+cost_breakdown estimate_cost(const subgraph& g, const cost_params& p) {
+    cost_breakdown out;
+    out.states = g.live_state_count();
+    out.csc_pairs = check_csc(g, 0).conflict_pairs;
+
+    const auto& b = g.base();
+    for (uint32_t sig = 0; sig < b.signals().size(); ++sig) {
+        if (b.signals()[sig].kind == signal_kind::input) continue;
+        if (!b.find_event(static_cast<int32_t>(sig), edge::plus) &&
+            !b.find_event(static_cast<int32_t>(sig), edge::minus))
+            continue;
+        auto ns = derive_nextstate(g, sig);
+        auto c = minimize_heuristic(ns.spec, p.minimize_passes);
+        out.literals += c.literal_count();
+    }
+    out.value = p.w * static_cast<double>(out.literals) +
+                (1.0 - p.w) * p.csc_weight * static_cast<double>(out.csc_pairs);
+    return out;
+}
+
+std::size_t count_concurrent_pairs(const subgraph& g) {
+    auto comps = excitation_regions(g);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < comps.size(); ++i)
+        for (std::size_t j = i + 1; j < comps.size(); ++j)
+            if (comps[i].event != comps[j].event && concurrent(comps[i], comps[j])) ++n;
+    return n;
+}
+
+}  // namespace asynth

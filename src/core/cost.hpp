@@ -1,0 +1,33 @@
+// The reshuffling cost function (paper section 7): a weighted combination of
+// the number of CSC conflicts and the estimated logic complexity.  W -> 0
+// biases the search towards resolving state coding; W -> 1 towards smaller
+// logic.  Literals are estimated per non-input signal by a single-pass
+// heuristic minimisation of the next-state function with the conflicting
+// codes excluded (exact equations are impossible under CSC conflicts, which
+// is the paper's motivation for combining both terms).
+#pragma once
+
+#include "sg/state_graph.hpp"
+
+namespace asynth {
+
+struct cost_params {
+    double w = 0.5;           ///< the paper's W, in [0, 1]
+    double csc_weight = 16.0; ///< scale of one CSC conflict pair vs one literal
+    unsigned minimize_passes = 1;
+};
+
+struct cost_breakdown {
+    std::size_t csc_pairs = 0;
+    std::size_t literals = 0;
+    std::size_t states = 0;
+    double value = 0.0;
+};
+
+[[nodiscard]] cost_breakdown estimate_cost(const subgraph& g, const cost_params& p);
+
+/// Number of unordered pairs of event instances whose excitation regions
+/// intersect (the SG concurrency measure used in reports).
+[[nodiscard]] std::size_t count_concurrent_pairs(const subgraph& g);
+
+}  // namespace asynth

@@ -1,0 +1,223 @@
+#include "core/expand.hpp"
+
+#include <map>
+#include <vector>
+
+#include "sg/state_graph.hpp"
+
+namespace asynth {
+namespace {
+
+struct channel_places {
+    uint32_t req = 0, ack = 0, p_rtz = 0, a_rtz = 0, p_mid = 0, a_mid = 0;
+};
+
+/// Inserts the Fig. 5.a return-to-zero loop for a partially specified
+/// signal: every functional edge feeds a rtz place enabling the reset
+/// transition, whose firing re-arms the rdy place consumed by the
+/// functional edges.
+void add_partial_rtz(stg& net, uint32_t sig, const std::vector<uint32_t>& functional) {
+    require(!functional.empty(),
+            "partial signal '" + net.signals()[sig].name + "' has no functional events");
+    edge func_dir = net.transitions()[functional.front()].label.dir;
+    for (uint32_t t : functional)
+        require(net.transitions()[t].label.dir == func_dir,
+                "partial signal '" + net.signals()[sig].name +
+                    "' mixes polarities; declare it completely instead");
+    require(func_dir == edge::plus || func_dir == edge::minus,
+            "partial signal '" + net.signals()[sig].name + "' must use +/- events");
+    const edge reset_dir = (func_dir == edge::plus) ? edge::minus : edge::plus;
+
+    const std::string& name = net.signals()[sig].name;
+    uint32_t rtz = net.add_place("rtz_" + name, 0);
+    uint32_t rdy = net.add_place("rdy_" + name, 1);
+    uint32_t reset = net.add_transition({static_cast<int32_t>(sig), reset_dir, 0});
+    net.add_arc_pt(rtz, reset);
+    net.add_arc_tp(reset, rdy);
+    for (uint32_t t : functional) {
+        net.add_arc_pt(rdy, t);
+        net.add_arc_tp(t, rtz);
+    }
+}
+
+}  // namespace
+
+stg expand_handshakes(const stg& spec) { return expand_handshakes(spec, expand_options{}); }
+
+stg expand_handshakes(const stg& spec, const expand_options& opt) {
+    require(opt.phases == 2 || opt.phases == 4, "expand_options::phases must be 2 or 4");
+    const bool four_phase = (opt.phases == 4);
+
+    stg out;
+    out.model_name = spec.model_name + (four_phase ? "_4ph" : "_2ph");
+
+    // ---- signal mapping ----------------------------------------------------
+    const auto nsig = static_cast<uint32_t>(spec.signal_count());
+    std::vector<int32_t> plain(nsig, -1), wire_in(nsig, -1), wire_out(nsig, -1);
+    for (uint32_t s = 0; s < nsig; ++s) {
+        const auto& decl = spec.signals()[s];
+        if (decl.kind == signal_kind::channel) {
+            wire_in[s] = static_cast<int32_t>(out.add_signal(decl.name + "i", signal_kind::input));
+            wire_out[s] = static_cast<int32_t>(out.add_signal(decl.name + "o", signal_kind::output));
+        } else {
+            plain[s] = static_cast<int32_t>(out.add_signal(decl.name, decl.kind));
+            out.signal_at(static_cast<uint32_t>(plain[s])).initial_value = decl.initial_value;
+        }
+    }
+
+    // ---- places --------------------------------------------------------------
+    std::vector<uint32_t> place_map(spec.places().size());
+    for (uint32_t p = 0; p < spec.places().size(); ++p)
+        place_map[p] = out.add_place(spec.places()[p].name, spec.places()[p].tokens,
+                                     spec.places()[p].implicit);
+
+    // Channel protocol structure (4-phase with interface constraints).
+    std::map<uint32_t, channel_places> chan;
+    if (four_phase && opt.channel_interface) {
+        for (uint32_t s = 0; s < nsig; ++s) {
+            if (spec.signals()[s].kind != signal_kind::channel) continue;
+            const std::string& n = spec.signals()[s].name;
+            channel_places cp;
+            cp.req = out.add_place("req_" + n, 1);
+            cp.ack = out.add_place("ack_" + n, 0);
+            cp.p_rtz = out.add_place("prtz_" + n, 0);
+            cp.a_rtz = out.add_place("artz_" + n, 0);
+            cp.p_mid = out.add_place("pmid_" + n, 0);
+            cp.a_mid = out.add_place("amid_" + n, 0);
+            // Passive reset: p_rtz -> ai- -> p_mid -> ao- -> req
+            uint32_t aim_p = out.add_transition({wire_in[s], edge::minus, 0});
+            uint32_t aom_p = out.add_transition({wire_out[s], edge::minus, 0});
+            out.add_arc_pt(cp.p_rtz, aim_p);
+            out.add_arc_tp(aim_p, cp.p_mid);
+            out.add_arc_pt(cp.p_mid, aom_p);
+            out.add_arc_tp(aom_p, cp.req);
+            // Active reset: a_rtz -> ao- -> a_mid -> ai- -> req
+            uint32_t aom_a = out.add_transition({wire_out[s], edge::minus, 0});
+            uint32_t aim_a = out.add_transition({wire_in[s], edge::minus, 0});
+            out.add_arc_pt(cp.a_rtz, aom_a);
+            out.add_arc_tp(aom_a, cp.a_mid);
+            out.add_arc_pt(cp.a_mid, aim_a);
+            out.add_arc_tp(aim_a, cp.req);
+            chan.emplace(s, cp);
+        }
+    }
+
+    // ---- transitions -----------------------------------------------------------
+    // spec_copies[t] lists the out-transitions standing in for spec transition t.
+    std::vector<std::vector<uint32_t>> spec_copies(spec.transitions().size());
+    std::vector<std::vector<uint32_t>> functional_of_signal(out.signal_count());
+
+    auto copy_arcs = [&](uint32_t spec_t, uint32_t new_t) {
+        for (uint32_t p : spec.transitions()[spec_t].pre) out.add_arc_pt(place_map[p], new_t);
+        for (uint32_t p : spec.transitions()[spec_t].post) out.add_arc_tp(new_t, place_map[p]);
+    };
+
+    for (uint32_t t = 0; t < spec.transitions().size(); ++t) {
+        const auto& l = spec.transitions()[t].label;
+        const auto sig = static_cast<uint32_t>(l.signal);
+        const auto& decl = spec.signals()[sig];
+        if (decl.kind != signal_kind::channel) {
+            require(l.dir != edge::recv && l.dir != edge::send,
+                    "channel action on non-channel signal '" + decl.name + "'");
+            edge dir = l.dir;
+            if (!four_phase && decl.partial) dir = edge::toggle;
+            uint32_t nt = out.add_transition({plain[sig], dir, 0});
+            copy_arcs(t, nt);
+            spec_copies[t].push_back(nt);
+            if (four_phase && decl.partial)
+                functional_of_signal[static_cast<uint32_t>(plain[sig])].push_back(nt);
+            continue;
+        }
+        require(l.dir == edge::recv || l.dir == edge::send,
+                "signal edge on channel '" + decl.name + "'");
+        const int32_t wire = (l.dir == edge::recv) ? wire_in[sig] : wire_out[sig];
+        if (!four_phase) {
+            uint32_t nt = out.add_transition({wire, edge::toggle, 0});
+            copy_arcs(t, nt);
+            spec_copies[t].push_back(nt);
+        } else if (!opt.channel_interface) {
+            uint32_t nt = out.add_transition({wire, edge::plus, 0});
+            copy_arcs(t, nt);
+            spec_copies[t].push_back(nt);
+            functional_of_signal[static_cast<uint32_t>(wire)].push_back(nt);
+        } else {
+            const auto& cp = chan.at(sig);
+            // Passive copy: a? consumes req, produces ack; a! consumes ack,
+            // produces p_rtz.  Active copy: a! consumes req, produces ack;
+            // a? consumes ack, produces a_rtz (Fig. 5.d/e).
+            uint32_t passive = out.add_transition({wire, edge::plus, 0});
+            copy_arcs(t, passive);
+            uint32_t active = out.add_transition({wire, edge::plus, 0});
+            copy_arcs(t, active);
+            if (l.dir == edge::recv) {
+                out.add_arc_pt(cp.req, passive);
+                out.add_arc_tp(passive, cp.ack);
+                out.add_arc_pt(cp.ack, active);
+                out.add_arc_tp(active, cp.a_rtz);
+            } else {
+                out.add_arc_pt(cp.ack, passive);
+                out.add_arc_tp(passive, cp.p_rtz);
+                out.add_arc_pt(cp.req, active);
+                out.add_arc_tp(active, cp.ack);
+            }
+            spec_copies[t].push_back(passive);
+            spec_copies[t].push_back(active);
+        }
+    }
+
+    // Return-to-zero loops for partially specified signals (and, in the
+    // unconstrained mode, for every channel wire).
+    if (four_phase) {
+        for (uint32_t s = 0; s < out.signal_count(); ++s)
+            if (!functional_of_signal[s].empty()) add_partial_rtz(out, s, functional_of_signal[s]);
+    }
+
+    // ---- prune dead role copies by playing the token game ---------------------
+    state_graph::generation_options gen_opt;
+    gen_opt.max_states = opt.max_states;
+    auto gen = state_graph::generate(out, gen_opt);
+
+    for (uint32_t t = 0; t < spec.transitions().size(); ++t) {
+        bool alive = false;
+        for (uint32_t c : spec_copies[t]) alive = alive || gen.transition_fired[c];
+        require(alive, "event '" + spec.label_name(spec.transitions()[t].label) +
+                           "' can never fire after expansion; check the channel interleaving");
+    }
+
+    dyn_bitset keep_t(out.transitions().size());
+    for (uint32_t t = 0; t < out.transitions().size(); ++t)
+        if (gen.transition_fired[t]) keep_t.set(t);
+    dyn_bitset keep_p(out.places().size());
+    for (uint32_t p = 0; p < out.places().size(); ++p)
+        if (gen.place_marked[p]) keep_p.set(p);
+    // Drop places whose every neighbour transition is dead.
+    for (uint32_t p = 0; p < out.places().size(); ++p) {
+        if (!keep_p.test(p)) continue;
+        bool used = false;
+        for (uint32_t t : out.place_pre(p)) used = used || keep_t.test(t);
+        for (uint32_t t : out.place_post(p)) used = used || keep_t.test(t);
+        if (!used && out.places()[p].tokens == 0) keep_p.reset(p);
+    }
+    stg pruned = out.filtered(keep_p, keep_t);
+
+    // ---- translate Keep_Conc pairs -------------------------------------------
+    auto translate = [&](const event_label& l) {
+        event_label r = l;
+        const auto sig = static_cast<uint32_t>(l.signal);
+        if (spec.signals()[sig].kind == signal_kind::channel) {
+            const std::string wire_name =
+                spec.signals()[sig].name + ((l.dir == edge::recv) ? "i" : "o");
+            r.signal = static_cast<int32_t>(*pruned.find_signal(wire_name));
+            r.dir = four_phase ? edge::plus : edge::toggle;
+        } else {
+            r.signal = *pruned.find_signal(spec.signals()[sig].name);
+            if (!four_phase && spec.signals()[sig].partial) r.dir = edge::toggle;
+        }
+        return r;
+    };
+    for (const auto& [a, b] : spec.keep_concurrent)
+        pruned.keep_concurrent.emplace_back(translate(a), translate(b));
+    return pruned;
+}
+
+}  // namespace asynth

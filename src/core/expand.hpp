@@ -1,0 +1,39 @@
+// Handshake expansion (paper section 4): completes a partial specification
+// into a full STG by refining channels into wire pairs and inserting
+// return-to-zero events with maximum concurrency.
+//
+// * Channels (events "a?" / "a!") become wires ai (input) and ao (output).
+//   - 2-phase: the events are relabelled to toggle transitions ai~ / ao~.
+//   - 4-phase: the Fig. 5.c/d/e structure is instantiated -- places req,
+//     ack, p_rtz, a_rtz plus reset transitions; every channel event gets a
+//     passive and an active copy, and the token game selects the live ones
+//     (dead copies are pruned by reachability).  The structure guarantees
+//     the interface constraint "never reset the requesting signal before
+//     the acknowledgment" with maximal reset concurrency (Fig. 2.f).
+// * Partially specified signals get the rdy/rtz loop of Fig. 5.a/b: the
+//   reset transition is enabled as soon as the functional edge fires and
+//   must fire before the next functional edge.
+//
+// Setting channel_interface = false reproduces the *unconstrained* maximal
+// concurrency of Fig. 2.e (each wire treated as an independent partially
+// specified signal) -- useful to show why interface constraints matter.
+#pragma once
+
+#include "petri/stg.hpp"
+
+namespace asynth {
+
+struct expand_options {
+    int phases = 4;                  ///< 2 or 4
+    bool channel_interface = true;   ///< honour the 4-phase channel protocol
+    std::size_t max_states = 1u << 20;
+};
+
+/// Expands channels and partially specified signals; returns a complete STG
+/// over wire/plain signals only.  Throws asynth::error when the spec cannot
+/// be expanded (improper channel interleaving, mixed-polarity partial
+/// signals, unsafe composition).
+[[nodiscard]] stg expand_handshakes(const stg& spec, const expand_options& opt);
+[[nodiscard]] stg expand_handshakes(const stg& spec);
+
+}  // namespace asynth

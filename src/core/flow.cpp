@@ -1,0 +1,66 @@
+#include "core/flow.hpp"
+
+namespace asynth {
+
+namespace {
+
+flow_report continue_flow(flow_report rep, const flow_options& opt) {
+    auto initial = subgraph::full(*rep.base_sg);
+    rep.initial_cost = estimate_cost(initial, opt.search.cost);
+
+    switch (opt.strategy) {
+        case reduction_strategy::none:
+            rep.reduced = initial;
+            rep.reduced_cost = rep.initial_cost;
+            break;
+        case reduction_strategy::beam:
+            rep.search = reduce_concurrency(initial, opt.search);
+            rep.reduced = rep.search.best;
+            rep.reduced_cost = rep.search.best_cost;
+            break;
+        case reduction_strategy::full:
+            rep.search = reduce_fully(initial, opt.search);
+            rep.reduced = rep.search.best;
+            rep.reduced_cost = rep.search.best_cost;
+            break;
+    }
+
+    rep.csc = resolve_csc(rep.reduced, opt.csc);
+    auto encoded = subgraph::full(rep.csc.graph);
+    rep.synth = synthesize(encoded, opt.synth);
+
+    delay_model delays = opt.delays;
+    if (opt.zero_delay_wires && rep.synth.ok) {
+        for (const auto& impl : rep.synth.ckt.impls)
+            if (impl.kind == impl_kind::wire || impl.kind == impl_kind::constant)
+                delays.overrides.emplace_back(
+                    rep.csc.graph.signals()[impl.signal].name, 0.0);
+    }
+    rep.perf = analyze_performance(encoded, delays);
+
+    if (opt.recover) rep.recovered = recover_stg(rep.reduced);
+    return rep;
+}
+
+}  // namespace
+
+flow_report run_flow(const stg& spec, const flow_options& opt) {
+    flow_report rep;
+    rep.expanded = expand_handshakes(spec, opt.expand);
+    rep.base_sg =
+        std::make_shared<const state_graph>(state_graph::generate(rep.expanded).graph);
+
+    flow_options patched = opt;
+    auto kc = keepconc_events(rep.expanded);
+    patched.search.keep_concurrent.insert(patched.search.keep_concurrent.end(), kc.begin(),
+                                          kc.end());
+    return continue_flow(std::move(rep), patched);
+}
+
+flow_report run_flow_from_sg(state_graph sg, const flow_options& opt) {
+    flow_report rep;
+    rep.base_sg = std::make_shared<const state_graph>(std::move(sg));
+    return continue_flow(std::move(rep), opt);
+}
+
+}  // namespace asynth

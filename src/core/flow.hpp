@@ -1,0 +1,73 @@
+// The end-to-end design flow of the paper's Fig. 4:
+//
+//   1. handshake expansion with maximal reset concurrency (core/expand)
+//   2. state graph generation (sg)
+//   3. concurrency reduction while the cost improves (core/search)
+//   4. CSC resolution by state-signal insertion (csc)
+//   5. logic synthesis + area (logic), timed analysis (perf)
+//   6. STG recovery from the reduced SG (regions)
+//
+// run_flow() drives a channel-level specification through all six steps;
+// run_flow_from_sg() starts from an already complete STG/SG (hand designs
+// such as the Q-module).  Wire-implemented outputs get zero delay in the
+// timing model -- a wire has no gate -- which is what makes the fully
+// reduced LR process cost 4 input events * 2 = 8 time units, as in Table 1.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/cost.hpp"
+#include "core/expand.hpp"
+#include "core/search.hpp"
+#include "csc/csc.hpp"
+#include "logic/synthesis.hpp"
+#include "perf/timing.hpp"
+#include "regions/regions.hpp"
+
+namespace asynth {
+
+enum class reduction_strategy : uint8_t {
+    none,  ///< keep maximal concurrency
+    beam,  ///< Fig. 9 exploration
+    full,  ///< greedy reduction to minimal concurrency
+};
+
+struct flow_options {
+    expand_options expand;
+    reduction_strategy strategy = reduction_strategy::beam;
+    search_options search;
+    csc_options csc;
+    synthesis_options synth;
+    delay_model delays;
+    bool zero_delay_wires = true;
+    bool recover = false;  ///< also run region-based STG recovery
+};
+
+struct flow_report {
+    stg expanded;
+    /// Owned behind a shared_ptr so that `reduced` (a view holding a pointer
+    /// to the base) stays valid when the report struct is moved around.
+    std::shared_ptr<const state_graph> base_sg;
+    subgraph reduced;
+    cost_breakdown initial_cost, reduced_cost;
+    search_result search;
+    csc_result csc;
+    synthesis_result synth;
+    perf_report perf;
+    recovery_result recovered;
+
+    // Table row accessors.
+    [[nodiscard]] double area() const { return synth.ok ? synth.ckt.total_area : -1.0; }
+    [[nodiscard]] std::size_t csc_signals() const { return csc.signals_inserted; }
+    [[nodiscard]] double cycle() const { return perf.cycle_time; }
+    [[nodiscard]] std::size_t input_events() const { return perf.input_events_on_cycle; }
+};
+
+/// Full flow from a channel-level / partial specification.
+[[nodiscard]] flow_report run_flow(const stg& spec, const flow_options& opt);
+
+/// Flow from an already generated state graph (skips expansion).
+[[nodiscard]] flow_report run_flow_from_sg(state_graph sg, const flow_options& opt);
+
+}  // namespace asynth

@@ -1,0 +1,85 @@
+#include "core/protocol.hpp"
+
+#include <deque>
+
+#include "util/error.hpp"
+
+namespace asynth {
+
+std::vector<protocol_violation> check_four_phase_protocol(const subgraph& g, uint32_t in_sig,
+                                                          uint32_t out_sig, bool passive) {
+    std::vector<protocol_violation> out;
+    const auto& b = g.base();
+    for (auto av : g.live_arcs().ones()) {
+        const auto arc = b.arcs()[av];
+        if (!g.state_live(arc.src)) continue;
+        const auto& ev = b.events()[arc.event];
+        const auto sig = static_cast<uint32_t>(ev.signal);
+        if (sig != in_sig && sig != out_sig) continue;
+        const bool vi = b.states()[arc.src].code.test(in_sig);
+        const bool vo = b.states()[arc.src].code.test(out_sig);
+        // Required value of the *other* wire at the moment of firing:
+        //   passive: i+ needs o=0; o+ needs i=1; i- needs o=1; o- needs i=0
+        //   active:  o+ needs i=0; i+ needs o=1; o- needs i=1; i- needs o=0
+        bool ok = true;
+        if (passive) {
+            if (sig == in_sig) ok = (ev.dir == edge::plus) ? !vo : vo;
+            else ok = (ev.dir == edge::plus) ? vi : !vi;
+        } else {
+            if (sig == out_sig) ok = (ev.dir == edge::plus) ? !vi : vi;
+            else ok = (ev.dir == edge::plus) ? vo : !vo;
+        }
+        if (!ok)
+            out.push_back(protocol_violation{
+                arc.src, arc.event,
+                b.event_name(arc.event) + " fires from state " + b.state_code_string(arc.src) +
+                    " violating the 4-phase order"});
+    }
+    return out;
+}
+
+std::vector<protocol_violation> check_channel_protocol(const subgraph& g,
+                                                       const std::string& channel) {
+    const auto& b = g.base();
+    int32_t in_sig = -1, out_sig = -1;
+    for (uint32_t s = 0; s < b.signals().size(); ++s) {
+        if (b.signals()[s].name == channel + "i") in_sig = static_cast<int32_t>(s);
+        if (b.signals()[s].name == channel + "o") out_sig = static_cast<int32_t>(s);
+    }
+    require(in_sig >= 0 && out_sig >= 0, "channel wires for '" + channel + "' not found");
+    // Role: in the all-zero idle phase the passive port waits for the input
+    // wire.  Walk from the initial state until one of the two wires rises.
+    std::deque<uint32_t> work{b.initial()};
+    dyn_bitset seen(b.state_count());
+    seen.set(b.initial());
+    bool passive = true, decided = false;
+    while (!work.empty() && !decided) {
+        uint32_t s = work.front();
+        work.pop_front();
+        for (uint32_t a : b.out_arcs(s)) {
+            if (!g.arc_live(a)) continue;
+            const auto& arc = b.arcs()[a];
+            const auto& ev = b.events()[arc.event];
+            if (ev.dir == edge::plus && ev.signal == in_sig &&
+                !b.states()[s].code.test(static_cast<uint32_t>(out_sig))) {
+                passive = true;
+                decided = true;
+                break;
+            }
+            if (ev.dir == edge::plus && ev.signal == out_sig &&
+                !b.states()[s].code.test(static_cast<uint32_t>(in_sig))) {
+                passive = false;
+                decided = true;
+                break;
+            }
+            if (!seen.test(arc.dst)) {
+                seen.set(arc.dst);
+                work.push_back(arc.dst);
+            }
+        }
+    }
+    return check_four_phase_protocol(g, static_cast<uint32_t>(in_sig),
+                                     static_cast<uint32_t>(out_sig), passive);
+}
+
+}  // namespace asynth

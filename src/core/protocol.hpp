@@ -1,0 +1,37 @@
+// Four-phase channel-protocol checking.  After handshake expansion, every
+// channel's wires must interleave as [req+; ack+; req-; ack-]:
+//   passive port l:  li+ ; lo+ ; li- ; lo-
+//   active  port r:  ro+ ; ri+ ; ro- ; ri-
+// Because the wire values identify the phase, the check is arc-local: each
+// wire event must fire from the right value of the *other* wire.  The
+// unconstrained expansion of Fig. 2.e violates this; the constrained one of
+// Fig. 2.f satisfies it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sg/state_graph.hpp"
+
+namespace asynth {
+
+struct protocol_violation {
+    uint32_t state = 0;
+    uint16_t event = 0;
+    std::string description;
+};
+
+/// Checks the 4-phase protocol for the channel with input wire @p in_sig and
+/// output wire @p out_sig.  @p passive selects the port role.
+[[nodiscard]] std::vector<protocol_violation> check_four_phase_protocol(const subgraph& g,
+                                                                        uint32_t in_sig,
+                                                                        uint32_t out_sig,
+                                                                        bool passive);
+
+/// Convenience: looks the wires up by channel name ("l" -> "li"/"lo") and
+/// infers the role from the initial behaviour (which wire rises first).
+/// Returns violations; throws if the wires are missing.
+[[nodiscard]] std::vector<protocol_violation> check_channel_protocol(const subgraph& g,
+                                                                     const std::string& channel);
+
+}  // namespace asynth

@@ -1,0 +1,153 @@
+#include "core/reduce.hpp"
+
+#include <deque>
+
+namespace asynth {
+
+dyn_bitset backward_reachable(const subgraph& g, const dyn_bitset& targets,
+                              const dyn_bitset* within) {
+    const auto& b = g.base();
+    dyn_bitset seen = targets;
+    seen &= g.live_states();
+    std::deque<uint32_t> work;
+    for (auto s : seen.ones()) work.push_back(static_cast<uint32_t>(s));
+    while (!work.empty()) {
+        uint32_t s = work.front();
+        work.pop_front();
+        for (uint32_t a : b.in_arcs(s)) {
+            if (!g.arc_live(a)) continue;
+            uint32_t p = b.arcs()[a].src;
+            if (!g.state_live(p) || seen.test(p)) continue;
+            if (within && !within->test(p)) continue;
+            seen.set(p);
+            work.push_back(p);
+        }
+    }
+    return seen;
+}
+
+std::optional<subgraph> forward_reduction(const subgraph& g, const er_component& a,
+                                          const er_component& b, const fwdred_options& opt,
+                                          fwdred_stats* stats) {
+    const auto& base = g.base();
+    if (opt.require_noninput_target && base.is_input_event(a.event)) return std::nullopt;
+
+    dyn_bitset intersection = a.states;
+    intersection &= b.states;
+    if (intersection.none()) return std::nullopt;  // not concurrent: no-op
+
+    // Removal zone: ER(b) plus every state of this excitation episode from
+    // which the common states are still reachable without leaving ER(a).
+    dyn_bitset zone = backward_reachable(g, intersection, &a.states);
+    zone |= b.states;
+    zone &= a.states;
+
+    subgraph red = g;
+    std::size_t removed_arcs = 0;
+    for (auto sv : zone.ones()) {
+        const auto s = static_cast<uint32_t>(sv);
+        for (uint32_t arc : base.out_arcs(s)) {
+            if (!red.arc_live(arc)) continue;
+            if (base.arcs()[arc].event == a.event) {
+                red.kill_arc(arc);
+                ++removed_arcs;
+            }
+        }
+    }
+    if (removed_arcs == 0) return std::nullopt;
+
+    const std::size_t removed_states = red.prune_unreachable();
+
+    // Condition 3: no event disappears.
+    dyn_bitset before(base.events().size()), after(base.events().size());
+    for (auto arc : g.live_arcs().ones()) before.set(base.arcs()[arc].event);
+    for (auto arc : red.live_arcs().ones()) after.set(base.arcs()[arc].event);
+    if (!(before == after)) return std::nullopt;
+
+    // Condition 4: no new deadlock states.
+    for (auto sv : red.live_states().ones()) {
+        const auto s = static_cast<uint32_t>(sv);
+        bool has_out = false;
+        for (uint32_t arc : base.out_arcs(s))
+            if (red.arc_live(arc)) {
+                has_out = true;
+                break;
+            }
+        if (has_out) continue;
+        // Was it a deadlock before the reduction?
+        bool had_out = false;
+        for (uint32_t arc : base.out_arcs(s))
+            if (g.arc_live(arc)) {
+                had_out = true;
+                break;
+            }
+        if (had_out) return std::nullopt;
+    }
+
+    // Condition 1: speed independence.  Determinism and commutativity cannot
+    // be violated by arc removal; output persistency must be rechecked.
+    if (opt.check_output_persistency) {
+        auto si = check_speed_independence(red);
+        if (!si.output_persistent) return std::nullopt;
+    }
+
+    if (stats) *stats = fwdred_stats{removed_arcs, removed_states};
+    return red;
+}
+
+std::optional<subgraph> forward_reduction(const subgraph& g, const er_component& a,
+                                          const er_component& b) {
+    return forward_reduction(g, a, b, fwdred_options{});
+}
+
+std::optional<subgraph> single_arc_reduction(const subgraph& g, uint32_t arc,
+                                             const fwdred_options& opt, fwdred_stats* stats) {
+    const auto& base = g.base();
+    if (!g.arc_live(arc)) return std::nullopt;
+    const uint16_t event = base.arcs()[arc].event;
+    if (opt.require_noninput_target && base.is_input_event(event)) return std::nullopt;
+
+    subgraph red = g;
+    red.kill_arc(arc);
+    const std::size_t removed_states = red.prune_unreachable();
+
+    // Condition 3: no event disappears.
+    dyn_bitset before(base.events().size()), after(base.events().size());
+    for (auto a2 : g.live_arcs().ones()) before.set(base.arcs()[a2].event);
+    for (auto a2 : red.live_arcs().ones()) after.set(base.arcs()[a2].event);
+    if (!(before == after)) return std::nullopt;
+
+    // Condition 4: no new deadlocks.
+    for (auto sv : red.live_states().ones()) {
+        const auto s = static_cast<uint32_t>(sv);
+        bool has_out = false;
+        for (uint32_t a2 : base.out_arcs(s))
+            if (red.arc_live(a2)) {
+                has_out = true;
+                break;
+            }
+        if (has_out) continue;
+        bool had_out = false;
+        for (uint32_t a2 : base.out_arcs(s))
+            if (g.arc_live(a2)) {
+                had_out = true;
+                break;
+            }
+        if (had_out) return std::nullopt;
+    }
+
+    // Condition 1: determinism/commutativity survive arc removal trivially;
+    // output persistency must be rechecked (this is where most single-arc
+    // removals die -- the reading as an ordering relation is lost).
+    if (opt.check_output_persistency && !check_speed_independence(red).output_persistent)
+        return std::nullopt;
+
+    if (stats) *stats = fwdred_stats{1, removed_states};
+    return red;
+}
+
+std::optional<subgraph> single_arc_reduction(const subgraph& g, uint32_t arc) {
+    return single_arc_reduction(g, arc, fwdred_options{});
+}
+
+}  // namespace asynth

@@ -1,0 +1,68 @@
+// Forward concurrency reduction -- the elementary reshuffling operation of
+// the paper (section 6, Fig. 7).  FwdRed(a,b) truncates the excitation
+// region of event-instance `a` so that `a` may only fire once the choice
+// containing `b` has been resolved:
+//
+//   ER_red(a) = ER(a) - (ER(b)  U  back_reach(ER(a) /\ ER(b)))
+//
+// where back_reach(X) is the set of states from which X is reachable along
+// paths that stay inside ER(a) -- i.e. states of the same excitation episode
+// in which `b`'s choice is still unresolved.  (On cyclic SGs an unrestricted
+// backward closure would cover every state and erase the event; on the
+// acyclic Fig. 8 fragment both readings coincide.)  Only
+// arcs labelled `a` are removed; states that become unreachable are pruned.
+// The result is checked against the validity conditions of Definition 5.1:
+// output persistency is preserved, no event disappears, no new deadlock
+// appears, inputs are never the delayed event, and the initial state stays.
+#pragma once
+
+#include <optional>
+
+#include "sg/analysis.hpp"
+#include "sg/state_graph.hpp"
+
+namespace asynth {
+
+struct fwdred_stats {
+    std::size_t arcs_removed = 0;
+    std::size_t states_removed = 0;
+};
+
+struct fwdred_options {
+    /// Reject reductions that break output persistency (or let an output
+    /// disable an input).  Assumes the input subgraph satisfied them.
+    bool check_output_persistency = true;
+    /// Reject when the delayed event `a` is an input (condition 2a: no
+    /// transition of input signals is delayed).
+    bool require_noninput_target = true;
+};
+
+/// Applies FwdRed(a, b).  Returns std::nullopt when the reduction is invalid
+/// or a no-op (a and b not concurrent).  `a` and `b` are ER components of the
+/// same subgraph (see excitation_regions()).
+[[nodiscard]] std::optional<subgraph> forward_reduction(const subgraph& g, const er_component& a,
+                                                        const er_component& b,
+                                                        const fwdred_options& opt,
+                                                        fwdred_stats* stats = nullptr);
+
+[[nodiscard]] std::optional<subgraph> forward_reduction(const subgraph& g, const er_component& a,
+                                                        const er_component& b);
+
+/// States from which some state of @p targets is reachable via live arcs
+/// (the closure includes @p targets itself).  When @p within is non-null the
+/// closure only walks through states inside that mask.
+[[nodiscard]] dyn_bitset backward_reachable(const subgraph& g, const dyn_bitset& targets,
+                                            const dyn_bitset* within = nullptr);
+
+/// The more general *single-arc* concurrency reduction mentioned in the
+/// paper's section 6 note (their reference [3] calls it backward reduction):
+/// one arc of a non-input event is removed, unreachable states pruned, and
+/// the full Definition 5.1 validity battery re-checked.  Unlike FwdRed the
+/// result has no direct reading as an event ordering, so it is exposed for
+/// exploration/ablation rather than used by the Fig. 9 search.
+[[nodiscard]] std::optional<subgraph> single_arc_reduction(const subgraph& g, uint32_t arc,
+                                                           const fwdred_options& opt,
+                                                           fwdred_stats* stats = nullptr);
+[[nodiscard]] std::optional<subgraph> single_arc_reduction(const subgraph& g, uint32_t arc);
+
+}  // namespace asynth

@@ -1,0 +1,50 @@
+// The concurrency-reduction exploration of Fig. 9: an alpha-beta-style beam
+// search over state graphs.  Each level applies every admissible
+// FwdRed(e2, e1) to every member of the frontier; the `size_frontier` best
+// candidates (by the section-7 cost function) survive.  The search is
+// monotone -- every level has strictly fewer arcs -- so it terminates, and
+// the best configuration over *all* explored SGs is returned.
+//
+// Keep_Conc pairs are honoured two ways: candidate reductions directly
+// targeting a kept pair are skipped (the paper's rule), and reductions whose
+// side effects destroy a kept pair's concurrency are rejected as well.
+#pragma once
+
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/reduce.hpp"
+#include "petri/stg.hpp"
+#include "sg/state_graph.hpp"
+
+namespace asynth {
+
+struct search_options {
+    std::size_t size_frontier = 4;
+    std::size_t max_levels = 128;
+    cost_params cost;
+    /// Unordered pairs whose concurrency must be preserved.
+    std::vector<std::pair<sg_event, sg_event>> keep_concurrent;
+};
+
+struct search_result {
+    subgraph best;
+    cost_breakdown best_cost;
+    std::size_t explored = 0;       ///< distinct SGs evaluated
+    std::size_t levels = 0;         ///< exploration depth reached
+    std::vector<double> level_best; ///< best cost per level (trace)
+};
+
+/// Runs the Fig. 9 exploration from @p initial.
+[[nodiscard]] search_result reduce_concurrency(const subgraph& initial,
+                                               const search_options& opt);
+
+/// Greedy full reduction: repeatedly applies the best admissible FwdRed until
+/// none is left, regardless of whether the cost improves.  Produces the
+/// "full reduction" / "original reduced" rows of Tables 1 and 2.
+[[nodiscard]] search_result reduce_fully(const subgraph& initial, const search_options& opt);
+
+/// Translates the Keep_Conc label pairs recorded in an STG into SG events.
+[[nodiscard]] std::vector<std::pair<sg_event, sg_event>> keepconc_events(const stg& net);
+
+}  // namespace asynth

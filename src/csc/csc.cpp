@@ -1,0 +1,230 @@
+#include "csc/csc.hpp"
+
+#include <deque>
+#include <unordered_map>
+
+#include "sg/analysis.hpp"
+#include "util/hash.hpp"
+
+namespace asynth {
+
+namespace {
+
+enum pending : uint8_t { none = 0, plus_pending = 1, minus_pending = 2 };
+
+struct product_key {
+    uint32_t s;
+    uint8_t v;
+    uint8_t p;
+    bool operator==(const product_key&) const = default;
+};
+
+struct product_key_hash {
+    std::size_t operator()(const product_key& k) const noexcept {
+        std::size_t h = k.s;
+        hash_combine(h, (static_cast<std::size_t>(k.v) << 2) | k.p);
+        return h;
+    }
+};
+
+std::optional<state_graph> try_product(const state_graph& base, uint16_t e1, uint16_t e2,
+                                       const std::string& name, bool v0) {
+    const auto nsig = static_cast<uint32_t>(base.signals().size());
+
+    // Excitation sets of the anchors.
+    dyn_bitset es1(base.state_count()), es2(base.state_count());
+    for (const auto& arc : base.arcs()) {
+        if (arc.event == e1) es1.set(arc.src);
+        if (arc.event == e2) es2.set(arc.src);
+    }
+    if (es1.none() || es2.none()) return std::nullopt;
+    if (es1.intersects(es2)) return std::nullopt;  // both pending at once
+
+    auto signals = base.signals();
+    signals.push_back(signal_decl{name, signal_kind::internal, false, false});
+    auto events = base.events();
+    const auto xsig = static_cast<int32_t>(nsig);
+    const auto x_plus = static_cast<uint16_t>(events.size());
+    events.push_back(sg_event{xsig, edge::plus});
+    const auto x_minus = static_cast<uint16_t>(events.size());
+    events.push_back(sg_event{xsig, edge::minus});
+
+    std::vector<sg_state> states;
+    std::vector<sg_arc> arcs;
+    std::unordered_map<product_key, uint32_t, product_key_hash> index;
+    std::deque<product_key> work;
+
+    auto classify = [&](uint32_t s, bool v) -> std::optional<product_key> {
+        // Entering ER(e1) arms x+, entering ER(e2) arms x-.
+        if (es1.test(s)) {
+            if (v) return std::nullopt;  // x must be 0 before x+
+            return product_key{s, 0, plus_pending};
+        }
+        if (es2.test(s)) {
+            if (!v) return std::nullopt;
+            return product_key{s, 1, minus_pending};
+        }
+        return product_key{s, static_cast<uint8_t>(v), none};
+    };
+
+    auto intern = [&](const product_key& k) {
+        auto [it, inserted] = index.emplace(k, static_cast<uint32_t>(states.size()));
+        if (inserted) {
+            dyn_bitset code = base.states()[k.s].code;
+            code.resize(nsig + 1);
+            code.assign(nsig, k.v);
+            states.push_back(sg_state{base.states()[k.s].m, std::move(code)});
+            work.push_back(k);
+        }
+        return it->second;
+    };
+
+    auto start = classify(base.initial(), v0);
+    if (!start) return std::nullopt;
+    const uint32_t initial = intern(*start);
+
+    // Invariants: p = plus_pending implies s in ES(e1) and v = 0;
+    //             p = minus_pending implies s in ES(e2) and v = 1.
+    while (!work.empty()) {
+        const product_key k = work.front();
+        work.pop_front();
+        const uint32_t sid = index.at(k);
+
+        if (k.p == plus_pending)
+            arcs.push_back(sg_arc{sid, intern(product_key{k.s, 1, none}), x_plus});
+        else if (k.p == minus_pending)
+            arcs.push_back(sg_arc{sid, intern(product_key{k.s, 0, none}), x_minus});
+
+        for (uint32_t a : base.out_arcs(k.s)) {
+            const auto& arc = base.arcs()[a];
+            // The anchors wait for x; everything else is free to fire.
+            if (arc.event == e1 && !(k.v == 1 && k.p == none)) continue;
+            if (arc.event == e2 && !(k.v == 0 && k.p == none)) continue;
+            const bool src1 = es1.test(k.s), dst1 = es1.test(arc.dst);
+            const bool src2 = es2.test(k.s), dst2 = es2.test(arc.dst);
+            uint8_t nv = k.v, np = k.p;
+            if (k.p == plus_pending) {
+                // While x+ is pending the anchor must stay excited (it is a
+                // non-input event of a speed-independent SG).
+                if (!dst1) return std::nullopt;
+            } else if (k.p == minus_pending) {
+                if (!dst2) return std::nullopt;
+            } else if (dst1) {
+                if (k.v == 0) {
+                    np = plus_pending;  // fresh entry into ER(e1): arm x+
+                } else if (!src1 || arc.event == e1) {
+                    // ER(e1) re-excited before x- fired: e1 and e2 do not
+                    // alternate with these anchors.
+                    return std::nullopt;
+                }
+            } else if (dst2) {
+                if (k.v == 1) {
+                    np = minus_pending;
+                } else if (!src2 || arc.event == e2) {
+                    return std::nullopt;
+                }
+            }
+            arcs.push_back(sg_arc{sid, intern(product_key{arc.dst, nv, np}), arc.event});
+        }
+    }
+
+    return state_graph::build(std::move(signals), std::move(events), std::move(states),
+                              std::move(arcs), initial);
+}
+
+}  // namespace
+
+std::optional<state_graph> insert_state_signal(const state_graph& base, uint16_t e1, uint16_t e2,
+                                               const std::string& name) {
+    if (e1 == e2) return std::nullopt;
+    if (base.is_input_event(e1) || base.is_input_event(e2)) return std::nullopt;
+    for (bool v0 : {false, true}) {
+        auto product = try_product(base, e1, e2, name, v0);
+        if (!product) continue;
+        auto g = subgraph::full(*product);
+        std::string diag;
+        if (!check_consistency(g, &diag)) continue;
+        auto si = check_speed_independence(g);
+        if (!si.ok()) continue;
+        if (!deadlock_states(g).empty()) continue;
+        return product;
+    }
+    return std::nullopt;
+}
+
+csc_result resolve_csc(const subgraph& g) { return resolve_csc(g, csc_options{}); }
+
+namespace {
+
+struct csc_node {
+    state_graph graph;
+    std::size_t conflicts = 0;
+    std::vector<std::string> anchors;
+};
+
+}  // namespace
+
+csc_result resolve_csc(const subgraph& g, const csc_options& opt) {
+    csc_result res;
+    res.graph = g.materialize();
+    const std::size_t initial_conflicts = check_csc(subgraph::full(res.graph), 0).conflict_pairs;
+    if (initial_conflicts == 0) {
+        res.solved = true;
+        return res;
+    }
+
+    // Beam search over insertion sequences: a single greedy pass can plateau
+    // (the new signal may only become distinguishable after a follow-up
+    // insertion), so we keep the `beam_width` best partial solutions.
+    std::vector<csc_node> beam;
+    beam.push_back(csc_node{res.graph, initial_conflicts, {}});
+    csc_node best_overall = beam.front();
+
+    for (std::size_t round = 0; round < opt.max_signals; ++round) {
+        const std::string name = "csc" + std::to_string(round);
+        std::vector<csc_node> fresh;
+        for (const auto& node : beam) {
+            const auto n_events = static_cast<uint16_t>(node.graph.events().size());
+            for (uint16_t e1 = 0; e1 < n_events; ++e1) {
+                for (uint16_t e2 = 0; e2 < n_events; ++e2) {
+                    if (e1 == e2) continue;
+                    auto candidate = insert_state_signal(node.graph, e1, e2, name);
+                    if (!candidate) continue;
+                    auto crep = check_csc(subgraph::full(*candidate), 0);
+                    if (crep.conflict_pairs > node.conflicts) continue;
+                    csc_node next;
+                    next.conflicts = crep.conflict_pairs;
+                    next.graph = std::move(*candidate);
+                    next.anchors = node.anchors;
+                    next.anchors.push_back(name + "+ < " + node.graph.event_name(e1) + ", " +
+                                           name + "- < " + node.graph.event_name(e2));
+                    fresh.push_back(std::move(next));
+                }
+            }
+        }
+        if (fresh.empty()) break;
+        std::sort(fresh.begin(), fresh.end(), [](const csc_node& a, const csc_node& b) {
+            if (a.conflicts != b.conflicts) return a.conflicts < b.conflicts;
+            return a.graph.state_count() < b.graph.state_count();
+        });
+        if (fresh.size() > opt.beam_width) fresh.resize(opt.beam_width);
+        if (fresh.front().conflicts < best_overall.conflicts ||
+            (fresh.front().conflicts == best_overall.conflicts &&
+             fresh.front().anchors.size() < best_overall.anchors.size()))
+            best_overall = fresh.front();
+        if (fresh.front().conflicts == 0) break;
+        beam = std::move(fresh);
+    }
+
+    res.graph = best_overall.graph;
+    res.anchors = best_overall.anchors;
+    res.signals_inserted = best_overall.anchors.size();
+    res.solved = best_overall.conflicts == 0;
+    if (!res.solved)
+        res.message = "CSC unresolved: " + std::to_string(best_overall.conflicts) +
+                      " conflict pairs remain after " + std::to_string(opt.max_signals) +
+                      " insertion rounds";
+    return res;
+}
+
+}  // namespace asynth

@@ -1,0 +1,54 @@
+// Complete State Coding resolution by state-signal insertion.
+//
+// petrify resolves CSC with a region-based bipartition theory; we implement
+// a simpler *event-anchored* insertion that is re-verified after the fact
+// (documented substitution, see DESIGN.md):
+//
+//   insert_state_signal(G, e1, e2) adds an internal signal x such that x+
+//   fires immediately before every occurrence of e1 and x- immediately
+//   before every occurrence of e2 (both non-input).  x+ becomes excited on
+//   entry into ER(e1) and only delays e1 itself; all other events stay
+//   concurrent with x+, so output persistency of the rest of the circuit is
+//   untouched.  The construction is a product of the SG with a three-state
+//   tracker (value, pending+), rejected whenever it would make x
+//   inconsistent (e1/e2 do not alternate) or leave determinism.
+//
+// resolve_csc() greedily searches anchor pairs until all CSC conflicts are
+// gone (or max_signals insertions were tried), re-running the full property
+// checks on each accepted product.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sg/state_graph.hpp"
+
+namespace asynth {
+
+/// Builds the product SG with the new internal signal.  Returns nullopt when
+/// the anchors are unusable (an input among them, e1 == e2, non-alternating
+/// occurrences, pending collision).  The result is a fresh base SG whose
+/// signal table gains `name` and whose codes gain x's value bit.
+[[nodiscard]] std::optional<state_graph> insert_state_signal(const state_graph& base,
+                                                             uint16_t e1, uint16_t e2,
+                                                             const std::string& name);
+
+struct csc_options {
+    std::size_t max_signals = 4;  ///< insertion rounds (beam depth)
+    std::size_t beam_width = 4;   ///< partial solutions kept per round
+};
+
+struct csc_result {
+    bool solved = false;
+    std::size_t signals_inserted = 0;
+    state_graph graph;                  ///< encoded SG (valid also when !solved)
+    std::vector<std::string> anchors;   ///< human-readable insertion log
+    std::string message;
+};
+
+/// Resolves CSC conflicts of @p g by repeated state-signal insertion.
+[[nodiscard]] csc_result resolve_csc(const subgraph& g, const csc_options& opt);
+[[nodiscard]] csc_result resolve_csc(const subgraph& g);
+
+}  // namespace asynth

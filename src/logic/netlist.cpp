@@ -1,0 +1,110 @@
+#include "logic/netlist.hpp"
+
+#include <unordered_map>
+
+#include "util/error.hpp"
+
+namespace asynth {
+
+bool netlist::evaluate(const dyn_bitset& point) const {
+    if (output == -1) return false;
+    if (output == -2) return true;
+    std::vector<char> value(gates.size(), 0);
+    for (std::size_t i = 0; i < gates.size(); ++i) {
+        const auto& g = gates[i];
+        switch (g.kind) {
+            case gate_kind::input_pin:
+                value[i] = point.test(static_cast<std::size_t>(g.a));
+                break;
+            case gate_kind::inverter:
+                value[i] = !value[static_cast<std::size_t>(g.a)];
+                break;
+            case gate_kind::and2:
+                value[i] = value[static_cast<std::size_t>(g.a)] &&
+                           value[static_cast<std::size_t>(g.b)];
+                break;
+            case gate_kind::or2:
+                value[i] = value[static_cast<std::size_t>(g.a)] ||
+                           value[static_cast<std::size_t>(g.b)];
+                break;
+        }
+    }
+    return value[static_cast<std::size_t>(output)];
+}
+
+double netlist::area(const gate_library& lib) const {
+    double out = 0.0;
+    for (const auto& g : gates) {
+        switch (g.kind) {
+            case gate_kind::input_pin: break;
+            case gate_kind::inverter: out += lib.inverter; break;
+            case gate_kind::and2:
+            case gate_kind::or2: out += lib.gate2; break;
+        }
+    }
+    return out;
+}
+
+std::size_t netlist::gate_count() const {
+    std::size_t n = 0;
+    for (const auto& g : gates)
+        if (g.kind != gate_kind::input_pin) ++n;
+    return n;
+}
+
+netlist decompose_cover(const cover& c) {
+    netlist out;
+    out.nvars = c.nvars;
+    if (c.cubes.empty()) {
+        out.output = -1;  // constant 0
+        return out;
+    }
+    if (c.cubes.size() == 1 && c.cubes[0].literal_count() == 0) {
+        out.output = -2;  // constant 1
+        return out;
+    }
+
+    std::unordered_map<std::size_t, int32_t> pin_of, inv_of;
+    auto pin = [&](std::size_t var) {
+        auto [it, inserted] = pin_of.emplace(var, static_cast<int32_t>(out.gates.size()));
+        if (inserted)
+            out.gates.push_back(gate{gate_kind::input_pin, static_cast<int32_t>(var), -1});
+        return it->second;
+    };
+    auto inverted = [&](std::size_t var) {
+        auto [it, inserted] = inv_of.emplace(var, 0);
+        if (inserted) {
+            int32_t p = pin(var);
+            it->second = static_cast<int32_t>(out.gates.size());
+            out.gates.push_back(gate{gate_kind::inverter, p, -1});
+        }
+        return it->second;
+    };
+
+    std::vector<int32_t> products;
+    for (const auto& q : c.cubes) {
+        int32_t acc = -1;
+        for (std::size_t v = 0; v < c.nvars; ++v) {
+            const int l = q.literal(v);
+            if (l == 0) continue;
+            const int32_t leaf = (l > 0) ? pin(v) : inverted(v);
+            if (acc < 0) {
+                acc = leaf;
+            } else {
+                out.gates.push_back(gate{gate_kind::and2, acc, leaf});
+                acc = static_cast<int32_t>(out.gates.size() - 1);
+            }
+        }
+        require(acc >= 0, "decompose_cover: empty cube in a multi-cube cover");
+        products.push_back(acc);
+    }
+    int32_t acc = products[0];
+    for (std::size_t i = 1; i < products.size(); ++i) {
+        out.gates.push_back(gate{gate_kind::or2, acc, products[i]});
+        acc = static_cast<int32_t>(out.gates.size() - 1);
+    }
+    out.output = acc;
+    return out;
+}
+
+}  // namespace asynth

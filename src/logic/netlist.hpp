@@ -1,0 +1,46 @@
+// Gate-level netlists: the 2-input decomposition behind the area model made
+// explicit.  decompose_cover() turns a SOP cover into an AND/OR tree over
+// 2-input gates with shared input inverters; evaluate() simulates the
+// result, and the tests assert  evaluate(netlist, x) == cover.covers(x)
+// for every point, plus area(netlist) == decomposed_area(cover).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "boolfn/cover.hpp"
+#include "logic/synthesis.hpp"
+
+namespace asynth {
+
+enum class gate_kind : uint8_t {
+    input_pin,  ///< primary input (variable reference)
+    inverter,
+    and2,
+    or2,
+};
+
+struct gate {
+    gate_kind kind = gate_kind::input_pin;
+    int32_t a = -1;       ///< fan-in gate index (or variable index for pins)
+    int32_t b = -1;       ///< second fan-in (and2/or2 only)
+};
+
+/// A single-output combinational netlist over n variables.
+struct netlist {
+    std::size_t nvars = 0;
+    std::vector<gate> gates;
+    int32_t output = -1;  ///< gate index of the output; -1 encodes constant 0,
+                          ///< -2 encodes constant 1
+
+    [[nodiscard]] bool evaluate(const dyn_bitset& point) const;
+    /// Area under the library (pins are free; inverters/2-input gates paid).
+    [[nodiscard]] double area(const gate_library& lib) const;
+    [[nodiscard]] std::size_t gate_count() const;  ///< excluding input pins
+};
+
+/// Decomposes a cover into 2-input gates; inverters on input variables are
+/// shared across cubes, mirroring decomposed_area().
+[[nodiscard]] netlist decompose_cover(const cover& c);
+
+}  // namespace asynth

@@ -1,0 +1,137 @@
+#include "perf/timing.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+#include "util/hash.hpp"
+
+namespace asynth {
+
+double delay_model::of(const state_graph& g, uint16_t event) const {
+    const auto& ev = g.events().at(event);
+    const auto& sig = g.signals().at(static_cast<uint32_t>(ev.signal));
+    for (const auto& [name, d] : overrides)
+        if (name == sig.name) return d;
+    switch (sig.kind) {
+        case signal_kind::input: return input_delay;
+        case signal_kind::output: return output_delay;
+        default: return internal_delay;
+    }
+}
+
+namespace {
+
+struct pending_event {
+    uint16_t event;
+    double enabled_at;
+    std::size_t trigger;  ///< index into the firing log (SIZE_MAX = initial)
+};
+
+struct firing {
+    uint16_t event;
+    double end;
+    std::size_t trigger;
+};
+
+}  // namespace
+
+perf_report analyze_performance(const subgraph& g, const delay_model& dm,
+                                std::size_t max_firings) {
+    perf_report rep;
+    const auto& b = g.base();
+
+    uint32_t node = b.initial();
+    double now = 0.0;
+    std::vector<pending_event> pend;
+    for (uint32_t a : b.out_arcs(node))
+        if (g.arc_live(a)) pend.push_back(pending_event{b.arcs()[a].event, 0.0, SIZE_MAX});
+
+    std::vector<firing> log;
+    log.reserve(max_firings);
+    // Configuration signature -> (firing count, time) for period detection.
+    std::unordered_map<std::size_t, std::pair<std::size_t, double>> seen;
+
+    while (log.size() < max_firings) {
+        if (pend.empty()) {
+            rep.message = "deadlock reached during timed simulation";
+            return rep;
+        }
+        // Fire the pending event with the earliest completion time.
+        std::size_t pick = 0;
+        double best_end = pend[0].enabled_at + dm.of(b, pend[0].event);
+        for (std::size_t i = 1; i < pend.size(); ++i) {
+            const double end = pend[i].enabled_at + dm.of(b, pend[i].event);
+            if (end < best_end || (end == best_end && pend[i].event < pend[pick].event)) {
+                best_end = end;
+                pick = i;
+            }
+        }
+        const pending_event fired = pend[pick];
+        auto arc = g.arc_from(node, fired.event);
+        if (!arc) {
+            rep.message = "internal error: pending event not enabled";
+            return rep;
+        }
+        now = best_end;
+        log.push_back(firing{fired.event, now, fired.trigger});
+        node = b.arcs()[*arc].dst;
+
+        // Refresh the pending set: persistent events keep their clocks.
+        std::vector<pending_event> next;
+        for (uint32_t a : b.out_arcs(node)) {
+            if (!g.arc_live(a)) continue;
+            const uint16_t e = b.arcs()[a].event;
+            bool carried = false;
+            for (const auto& p : pend) {
+                if (p.event == e && !(p.event == fired.event && p.enabled_at == fired.enabled_at)) {
+                    next.push_back(p);
+                    carried = true;
+                    break;
+                }
+            }
+            if (!carried) next.push_back(pending_event{e, now, log.size() - 1});
+        }
+        pend = std::move(next);
+
+        // Periodicity: hash (node, sorted (event, clock offset)).
+        std::sort(pend.begin(), pend.end(), [](const pending_event& a, const pending_event& b2) {
+            return a.event < b2.event;
+        });
+        std::size_t sig = node;
+        for (const auto& p : pend) {
+            hash_combine(sig, p.event);
+            const double off = now - p.enabled_at;
+            uint64_t bits;
+            static_assert(sizeof(bits) == sizeof(off));
+            std::memcpy(&bits, &off, sizeof(bits));
+            hash_combine(sig, static_cast<std::size_t>(bits));
+        }
+        auto [it, inserted] = seen.emplace(sig, std::make_pair(log.size(), now));
+        if (!inserted) {
+            const double period = now - it->second.second;
+            rep.periodic = true;
+            rep.cycle_time = period;
+            rep.firings_simulated = log.size();
+            if (period <= 0) {
+                rep.message = "zero-length period";
+                return rep;
+            }
+            // Walk the trigger chain back through one period.
+            std::size_t idx = log.size() - 1;
+            const double horizon = now - period;
+            while (idx != SIZE_MAX && log[idx].end > horizon) {
+                ++rep.events_on_cycle;
+                if (b.is_input_event(log[idx].event)) ++rep.input_events_on_cycle;
+                idx = log[idx].trigger;
+            }
+            return rep;
+        }
+    }
+    rep.message = "no periodic regime within the firing budget";
+    rep.firings_simulated = log.size();
+    return rep;
+}
+
+}  // namespace asynth

@@ -1,0 +1,280 @@
+#include "petri/astg_io.hpp"
+
+#include <istream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace asynth {
+namespace {
+
+std::vector<std::string> tokenize(std::string_view line) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : line) {
+        if (c == '#') break;
+        if (c == ' ' || c == '\t' || c == '\r') {
+            if (!cur.empty()) out.push_back(std::move(cur)), cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty()) out.push_back(std::move(cur));
+    return out;
+}
+
+struct pending_arc {
+    std::string from, to;
+    std::size_t line;
+};
+
+class astg_parser {
+public:
+    stg run(std::string_view text) {
+        std::istringstream in{std::string(text)};
+        std::string line;
+        std::size_t lineno = 0;
+        bool in_graph = false;
+        while (std::getline(in, line)) {
+            ++lineno;
+            auto tok = tokenize(line);
+            if (tok.empty()) continue;
+            const std::string& head = tok[0];
+            if (head == ".model" || head == ".name") {
+                if (tok.size() >= 2) net_.model_name = tok[1];
+            } else if (head == ".inputs") {
+                declare(tok, signal_kind::input);
+            } else if (head == ".outputs") {
+                declare(tok, signal_kind::output);
+            } else if (head == ".internal") {
+                declare(tok, signal_kind::internal);
+            } else if (head == ".channels") {
+                declare(tok, signal_kind::channel);
+            } else if (head == ".partial") {
+                for (std::size_t i = 1; i < tok.size(); ++i) {
+                    auto s = net_.find_signal(tok[i]);
+                    if (!s) throw parse_error(lineno, ".partial of undeclared signal '" + tok[i] + "'");
+                    net_.signal_at(*s).partial = true;
+                }
+            } else if (head == ".initial") {
+                for (std::size_t i = 1; i < tok.size(); ++i) parse_initial(tok[i], lineno);
+            } else if (head == ".keepconc") {
+                if (tok.size() != 3) throw parse_error(lineno, ".keepconc needs two events");
+                keepconc_.emplace_back(tok[1], tok[2], lineno);
+            } else if (head == ".graph") {
+                in_graph = true;
+            } else if (head == ".marking") {
+                parse_marking(tok, lineno);
+            } else if (head == ".end") {
+                break;
+            } else if (head == ".capacity" || head == ".slowenv" || head == ".dummy") {
+                throw parse_error(lineno, "directive '" + head + "' is not supported");
+            } else if (head[0] == '.') {
+                throw parse_error(lineno, "unknown directive '" + head + "'");
+            } else {
+                if (!in_graph) throw parse_error(lineno, "arc line before .graph");
+                if (tok.size() < 2) throw parse_error(lineno, "arc line needs a source and targets");
+                for (std::size_t i = 1; i < tok.size(); ++i)
+                    arcs_.push_back(pending_arc{tok[0], tok[i], lineno});
+            }
+        }
+        build();
+        return std::move(net_);
+    }
+
+private:
+    void declare(const std::vector<std::string>& tok, signal_kind kind) {
+        for (std::size_t i = 1; i < tok.size(); ++i) net_.add_signal(tok[i], kind);
+    }
+
+    void parse_initial(const std::string& item, std::size_t lineno) {
+        auto eq = item.find('=');
+        if (eq == std::string::npos) throw parse_error(lineno, ".initial item needs '='");
+        auto s = net_.find_signal(item.substr(0, eq));
+        if (!s) throw parse_error(lineno, ".initial of undeclared signal");
+        const std::string val = item.substr(eq + 1);
+        if (val != "0" && val != "1") throw parse_error(lineno, ".initial value must be 0 or 1");
+        net_.signal_at(*s).initial_value = (val == "1");
+    }
+
+    void parse_marking(const std::vector<std::string>& tok, std::size_t lineno) {
+        // Tokens may look like: { p1 <a+,b-> } possibly glued to braces.
+        std::string joined;
+        for (std::size_t i = 1; i < tok.size(); ++i) joined += tok[i] + " ";
+        std::string cleaned;
+        for (char c : joined)
+            if (c != '{' && c != '}') cleaned += c;
+        std::string cur;
+        std::istringstream items{cleaned};
+        while (items >> cur) marking_items_.emplace_back(cur, lineno);
+    }
+
+    // A node name denotes a transition iff it parses as a label of a declared
+    // signal; otherwise it is a place.
+    bool is_transition_name(const std::string& name) const {
+        return net_.parse_label(name).has_value();
+    }
+
+    uint32_t get_transition(const std::string& name, std::size_t lineno) {
+        auto l = net_.parse_label(name);
+        if (!l) throw parse_error(lineno, "cannot parse transition '" + name + "'");
+        if (auto t = net_.find_transition(*l)) return *t;
+        return net_.add_transition(*l);
+    }
+
+    uint32_t get_place(const std::string& name) {
+        if (auto p = net_.find_place(name)) return *p;
+        return net_.add_place(name, 0, /*implicit=*/false);
+    }
+
+    void build() {
+        // First pass: create all transitions so implicit place names match.
+        for (const auto& a : arcs_) {
+            if (is_transition_name(a.from)) get_transition(a.from, a.line);
+            if (is_transition_name(a.to)) get_transition(a.to, a.line);
+        }
+        for (const auto& a : arcs_) {
+            const bool ft = is_transition_name(a.from);
+            const bool tt = is_transition_name(a.to);
+            if (ft && tt) {
+                net_.connect(get_transition(a.from, a.line), get_transition(a.to, a.line));
+            } else if (ft && !tt) {
+                net_.add_arc_tp(get_transition(a.from, a.line), get_place(a.to));
+            } else if (!ft && tt) {
+                net_.add_arc_pt(get_place(a.from), get_transition(a.to, a.line));
+            } else {
+                throw parse_error(a.line, "place-to-place arc '" + a.from + " -> " + a.to + "'");
+            }
+        }
+        for (const auto& [item, lineno] : marking_items_) {
+            uint32_t p;
+            if (item.front() == '<') {
+                auto found = net_.find_place(item);
+                if (!found) throw parse_error(lineno, "marking of unknown implicit place '" + item + "'");
+                p = *found;
+            } else {
+                auto found = net_.find_place(item);
+                if (!found) throw parse_error(lineno, "marking of unknown place '" + item + "'");
+                p = *found;
+            }
+            net_.place_at(p).tokens = 1;
+        }
+        for (const auto& [e1, e2, lineno] : keepconc_) {
+            auto l1 = net_.parse_label(e1);
+            auto l2 = net_.parse_label(e2);
+            if (!l1 || !l2) throw parse_error(lineno, "bad .keepconc event");
+            net_.keep_concurrent.emplace_back(*l1, *l2);
+        }
+    }
+
+    stg net_;
+    std::vector<pending_arc> arcs_;
+    std::vector<std::pair<std::string, std::size_t>> marking_items_;
+    std::vector<std::tuple<std::string, std::string, std::size_t>> keepconc_;
+};
+
+}  // namespace
+
+stg parse_astg(std::string_view text) { return astg_parser{}.run(text); }
+
+stg parse_astg_stream(std::istream& in) {
+    std::ostringstream all;
+    all << in.rdbuf();
+    return parse_astg(all.str());
+}
+
+std::string write_astg(const stg& net) {
+    std::ostringstream out;
+    out << ".model " << net.model_name << "\n";
+    auto emit_kind = [&](signal_kind k, const char* directive) {
+        std::string line;
+        for (const auto& s : net.signals())
+            if (s.kind == k) line += " " + s.name;
+        if (!line.empty()) out << directive << line << "\n";
+    };
+    emit_kind(signal_kind::input, ".inputs");
+    emit_kind(signal_kind::output, ".outputs");
+    emit_kind(signal_kind::internal, ".internal");
+    emit_kind(signal_kind::channel, ".channels");
+    {
+        std::string line;
+        for (const auto& s : net.signals())
+            if (s.partial) line += " " + s.name;
+        if (!line.empty()) out << ".partial" << line << "\n";
+    }
+    {
+        std::string line;
+        for (const auto& s : net.signals())
+            if (s.initial_value) line += " " + s.name + "=1";
+        if (!line.empty()) out << ".initial" << line << "\n";
+    }
+    out << ".graph\n";
+    // A place is written implicitly (as a direct t->t arc) iff it is flagged
+    // implicit and has exactly one producer and one consumer and no tokens
+    // (marked implicit places are named in .marking, so keep them explicit
+    // only if their name would be ambiguous -- the <t,t> form is allowed).
+    const auto& places = net.places();
+    std::vector<bool> implicit(places.size(), false);
+    for (uint32_t p = 0; p < places.size(); ++p)
+        implicit[p] = places[p].implicit && net.place_pre(p).size() == 1 &&
+                      net.place_post(p).size() == 1;
+    for (uint32_t t = 0; t < net.transitions().size(); ++t) {
+        std::string line = net.transition_name(t);
+        bool has_succ = false;
+        for (uint32_t p : net.transitions()[t].post) {
+            if (implicit[p]) {
+                line += " " + net.transition_name(net.place_post(p)[0]);
+            } else {
+                line += " " + places[p].name;
+            }
+            has_succ = true;
+        }
+        if (has_succ) out << line << "\n";
+    }
+    for (uint32_t p = 0; p < places.size(); ++p) {
+        if (implicit[p]) continue;
+        std::string line = places[p].name;
+        bool has_succ = false;
+        for (uint32_t t : net.place_post(p)) {
+            line += " " + net.transition_name(t);
+            has_succ = true;
+        }
+        if (has_succ) out << line << "\n";
+    }
+    out << ".marking {";
+    for (uint32_t p = 0; p < places.size(); ++p) {
+        if (places[p].tokens == 0) continue;
+        if (implicit[p]) {
+            out << " <" << net.transition_name(net.place_pre(p)[0]) << ","
+                << net.transition_name(net.place_post(p)[0]) << ">";
+        } else {
+            out << " " << places[p].name;
+        }
+    }
+    out << " }\n";
+    for (const auto& [a, b] : net.keep_concurrent)
+        out << ".keepconc " << net.label_name(a) << " " << net.label_name(b) << "\n";
+    out << ".end\n";
+    return out.str();
+}
+
+std::string write_dot(const stg& net) {
+    std::ostringstream out;
+    out << "digraph " << net.model_name << " {\n";
+    for (uint32_t t = 0; t < net.transitions().size(); ++t)
+        out << "  t" << t << " [shape=box,label=\"" << net.transition_name(t) << "\"];\n";
+    for (uint32_t p = 0; p < net.places().size(); ++p) {
+        const auto& pl = net.places()[p];
+        out << "  p" << p << " [shape=circle,label=\"" << (pl.tokens ? "*" : "") << "\"];\n";
+    }
+    for (uint32_t t = 0; t < net.transitions().size(); ++t) {
+        for (uint32_t p : net.transitions()[t].post) out << "  t" << t << " -> p" << p << ";\n";
+        for (uint32_t p : net.transitions()[t].pre) out << "  p" << p << " -> t" << t << ";\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+}  // namespace asynth

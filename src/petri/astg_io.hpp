@@ -1,0 +1,37 @@
+// Reader and writer for the astg (.g) text format used by petrify/SIS, with
+// the extensions needed for partial specifications:
+//
+//   .model <name>
+//   .inputs / .outputs / .internal <signal>...
+//   .channels <signal>...          # CSP-like channels; events are "a?"/"a!"
+//   .partial <signal>...           # partially specified: only functional
+//                                  # edges present, expansion inserts resets
+//   .initial <signal>=<0|1> ...    # initial values for toggle-only signals
+//   .keepconc <ev> <ev>            # Keep_Conc pair for the reshuffler
+//   .graph
+//   <node> <node>...               # arcs; nodes are transitions or places
+//   .marking { <place|<t,t>> ... }
+//   .end
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "petri/stg.hpp"
+
+namespace asynth {
+
+/// Parses an STG from astg text.  Throws asynth::parse_error on bad input.
+[[nodiscard]] stg parse_astg(std::string_view text);
+
+/// Reads from a stream (e.g. std::ifstream).
+[[nodiscard]] stg parse_astg_stream(std::istream& in);
+
+/// Serialises an STG to astg text (round-trips through parse_astg).
+[[nodiscard]] std::string write_astg(const stg& net);
+
+/// Graphviz rendering of the net.
+[[nodiscard]] std::string write_dot(const stg& net);
+
+}  // namespace asynth

@@ -1,0 +1,198 @@
+#include "petri/stg.hpp"
+
+#include <algorithm>
+#include <charconv>
+
+namespace asynth {
+
+char edge_char(edge e) noexcept {
+    switch (e) {
+        case edge::plus: return '+';
+        case edge::minus: return '-';
+        case edge::toggle: return '~';
+        case edge::recv: return '?';
+        case edge::send: return '!';
+    }
+    return '?';
+}
+
+uint32_t stg::add_signal(std::string name, signal_kind kind, bool partial) {
+    require(!find_signal(name).has_value(), "duplicate signal '" + name + "'");
+    signals_.push_back(signal_decl{std::move(name), kind, partial, false});
+    return static_cast<uint32_t>(signals_.size() - 1);
+}
+
+std::optional<uint32_t> stg::find_signal(std::string_view name) const noexcept {
+    for (uint32_t i = 0; i < signals_.size(); ++i)
+        if (signals_[i].name == name) return i;
+    return std::nullopt;
+}
+
+uint32_t stg::add_place(std::string name, uint32_t tokens, bool implicit) {
+    if (name.empty()) name = "p_" + std::to_string(places_.size());
+    require(!find_place(name).has_value(), "duplicate place '" + name + "'");
+    places_.push_back(pn_place{std::move(name), tokens, implicit});
+    place_pre_.emplace_back();
+    place_post_.emplace_back();
+    return static_cast<uint32_t>(places_.size() - 1);
+}
+
+uint32_t stg::add_transition(event_label label) {
+    require(label.signal >= 0 && static_cast<std::size_t>(label.signal) < signals_.size(),
+            "transition references unknown signal");
+    if (label.instance == 0) {
+        int32_t max_inst = 0;
+        for (const auto& t : transitions_)
+            if (t.label.same_event(label)) max_inst = std::max(max_inst, t.label.instance);
+        label.instance = max_inst + 1;
+    } else {
+        require(!find_transition(label).has_value(),
+                "duplicate transition '" + label_name(label) + "'");
+    }
+    transitions_.push_back(pn_transition{label, {}, {}});
+    return static_cast<uint32_t>(transitions_.size() - 1);
+}
+
+void stg::add_arc_pt(uint32_t place, uint32_t transition) {
+    auto& pre = transitions_.at(transition).pre;
+    if (std::find(pre.begin(), pre.end(), place) != pre.end()) return;
+    pre.push_back(place);
+    place_post_.at(place).push_back(transition);
+}
+
+void stg::add_arc_tp(uint32_t transition, uint32_t place) {
+    auto& post = transitions_.at(transition).post;
+    if (std::find(post.begin(), post.end(), place) != post.end()) return;
+    post.push_back(place);
+    place_pre_.at(place).push_back(transition);
+}
+
+uint32_t stg::connect(uint32_t t_from, uint32_t t_to, uint32_t tokens) {
+    const std::string name =
+        "<" + transition_name(t_from) + "," + transition_name(t_to) + ">";
+    auto existing = find_place(name);
+    uint32_t p = existing ? *existing : add_place(name, tokens, /*implicit=*/true);
+    if (existing && tokens > 0) places_[p].tokens = tokens;
+    add_arc_tp(t_from, p);
+    add_arc_pt(p, t_to);
+    return p;
+}
+
+std::optional<uint32_t> stg::find_place(std::string_view name) const noexcept {
+    for (uint32_t i = 0; i < places_.size(); ++i)
+        if (places_[i].name == name) return i;
+    return std::nullopt;
+}
+
+std::optional<uint32_t> stg::find_transition(const event_label& l) const noexcept {
+    for (uint32_t i = 0; i < transitions_.size(); ++i)
+        if (transitions_[i].label == l) return i;
+    return std::nullopt;
+}
+
+std::optional<uint32_t> stg::find_transition(uint32_t sig, edge dir) const {
+    std::optional<uint32_t> found;
+    for (uint32_t i = 0; i < transitions_.size(); ++i) {
+        const auto& l = transitions_[i].label;
+        if (l.signal == static_cast<int32_t>(sig) && l.dir == dir) {
+            require(!found.has_value(), "ambiguous transition lookup for signal '" +
+                                            signals_.at(sig).name + edge_char(dir) + "'");
+            found = i;
+        }
+    }
+    return found;
+}
+
+marking stg::initial_marking() const {
+    marking m(places_.size());
+    for (std::size_t i = 0; i < places_.size(); ++i) {
+        require(places_[i].tokens <= 1, "place '" + places_[i].name + "' is not safe");
+        if (places_[i].tokens) m.set(i);
+    }
+    return m;
+}
+
+bool stg::enabled(const marking& m, uint32_t transition) const {
+    for (uint32_t p : transitions_.at(transition).pre)
+        if (!m.test(p)) return false;
+    return true;
+}
+
+marking stg::fire(const marking& m, uint32_t transition) const {
+    require(enabled(m, transition),
+            "firing disabled transition '" + transition_name(transition) + "'");
+    marking out = m;
+    const auto& t = transitions_[transition];
+    for (uint32_t p : t.pre) out.reset(p);
+    for (uint32_t p : t.post) {
+        require(!out.test(p), "unsafe firing of '" + transition_name(transition) +
+                                  "': place '" + places_[p].name + "' already marked");
+        out.set(p);
+    }
+    return out;
+}
+
+stg stg::filtered(const dyn_bitset& keep_places, const dyn_bitset& keep_transitions) const {
+    stg out;
+    out.model_name = model_name;
+    out.keep_concurrent = keep_concurrent;
+    out.signals_ = signals_;
+
+    std::vector<uint32_t> place_map(places_.size(), UINT32_MAX);
+    for (uint32_t p = 0; p < places_.size(); ++p)
+        if (keep_places.test(p))
+            place_map[p] = out.add_place(places_[p].name, places_[p].tokens, places_[p].implicit);
+
+    for (uint32_t t = 0; t < transitions_.size(); ++t) {
+        if (!keep_transitions.test(t)) continue;
+        // Instance numbers are re-assigned densely per (signal, dir).
+        event_label l = transitions_[t].label;
+        l.instance = 0;
+        uint32_t nt = out.add_transition(l);
+        for (uint32_t p : transitions_[t].pre)
+            if (keep_places.test(p)) out.add_arc_pt(place_map[p], nt);
+        for (uint32_t p : transitions_[t].post)
+            if (keep_places.test(p)) out.add_arc_tp(nt, place_map[p]);
+    }
+
+    // Drop signals that lost all their transitions?  Keep them: callers decide.
+    return out;
+}
+
+std::string stg::label_name(const event_label& l) const {
+    std::string s = signals_.at(static_cast<uint32_t>(l.signal)).name;
+    s += edge_char(l.dir);
+    if (l.instance > 1) {
+        s += '/';
+        s += std::to_string(l.instance);
+    }
+    return s;
+}
+
+std::optional<event_label> stg::parse_label(std::string_view text) const {
+    // Split optional "/k" instance suffix.
+    int32_t instance = 1;
+    if (auto slash = text.rfind('/'); slash != std::string_view::npos) {
+        int v = 0;
+        auto digits = text.substr(slash + 1);
+        auto [ptr, ec] = std::from_chars(digits.data(), digits.data() + digits.size(), v);
+        if (ec != std::errc() || ptr != digits.data() + digits.size() || v < 1) return std::nullopt;
+        instance = v;
+        text = text.substr(0, slash);
+    }
+    if (text.size() < 2) return std::nullopt;
+    edge dir;
+    switch (text.back()) {
+        case '+': dir = edge::plus; break;
+        case '-': dir = edge::minus; break;
+        case '~': dir = edge::toggle; break;
+        case '?': dir = edge::recv; break;
+        case '!': dir = edge::send; break;
+        default: return std::nullopt;
+    }
+    auto sig = find_signal(text.substr(0, text.size() - 1));
+    if (!sig) return std::nullopt;
+    return event_label{static_cast<int32_t>(*sig), dir, instance};
+}
+
+}  // namespace asynth

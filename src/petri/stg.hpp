@@ -1,0 +1,148 @@
+// Signal Transition Graphs: safe Petri nets whose transitions are labelled
+// with signal edges (a+, a-, a~) or, before handshake expansion, with channel
+// actions (a?, a!).  This is the central specification model of the paper
+// (section 2): the partial specification, the expanded STG, and the STG
+// recovered from a reduced state graph are all instances of this class.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/dyn_bitset.hpp"
+#include "util/error.hpp"
+
+namespace asynth {
+
+/// Role of a signal in the interface of the controller under design.
+enum class signal_kind : uint8_t {
+    input,     ///< driven by the environment
+    output,    ///< driven by the circuit, observable
+    internal,  ///< driven by the circuit, not observable (state/CSC signals)
+    channel,   ///< abstract CSP-like channel; removed by handshake expansion
+};
+
+/// Direction of a transition on a signal or channel.
+enum class edge : uint8_t {
+    plus,    ///< rising transition "a+"
+    minus,   ///< falling transition "a-"
+    toggle,  ///< 2-phase transition "a~"
+    recv,    ///< channel input action "a?"
+    send,    ///< channel output action "a!"
+};
+
+[[nodiscard]] char edge_char(edge e) noexcept;
+
+/// A transition label: signal index, direction and instance number.  Two
+/// transitions of the same signal and direction are distinguished by their
+/// instance (printed "a+" for instance 1, "a+/2" for instance 2, ...).
+struct event_label {
+    int32_t signal = -1;
+    edge dir = edge::plus;
+    int32_t instance = 1;
+
+    [[nodiscard]] bool operator==(const event_label&) const = default;
+    /// Same signal and direction, ignoring the instance number.
+    [[nodiscard]] bool same_event(const event_label& o) const noexcept {
+        return signal == o.signal && dir == o.dir;
+    }
+};
+
+struct signal_decl {
+    std::string name;
+    signal_kind kind = signal_kind::internal;
+    /// Partially specified: only the functional edges appear in the spec and
+    /// handshake expansion must insert the return-to-zero edge (Fig. 5.a/b).
+    bool partial = false;
+    /// Initial value; only consulted for signals whose value cannot be
+    /// deduced from the token game (e.g. toggle-only signals).
+    bool initial_value = false;
+};
+
+struct pn_place {
+    std::string name;
+    uint32_t tokens = 0;
+    /// Implicit places (created from transition->transition arcs in .g files)
+    /// are rendered back as such by the writer.
+    bool implicit = false;
+};
+
+struct pn_transition {
+    event_label label;
+    std::vector<uint32_t> pre;   ///< input places
+    std::vector<uint32_t> post;  ///< output places
+};
+
+/// Marking of a safe net: one bit per place.
+using marking = dyn_bitset;
+
+class stg {
+public:
+    // ---- signals ---------------------------------------------------------
+    uint32_t add_signal(std::string name, signal_kind kind, bool partial = false);
+    [[nodiscard]] const std::vector<signal_decl>& signals() const noexcept { return signals_; }
+    [[nodiscard]] signal_decl& signal_at(uint32_t i) { return signals_.at(i); }
+    [[nodiscard]] const signal_decl& signal_at(uint32_t i) const { return signals_.at(i); }
+    [[nodiscard]] std::optional<uint32_t> find_signal(std::string_view name) const noexcept;
+    [[nodiscard]] std::size_t signal_count() const noexcept { return signals_.size(); }
+
+    // ---- structure -------------------------------------------------------
+    uint32_t add_place(std::string name, uint32_t tokens = 0, bool implicit = false);
+    /// Adds a transition; when @p label.instance is 0 the next free instance
+    /// number for (signal, dir) is assigned automatically.
+    uint32_t add_transition(event_label label);
+    void add_arc_pt(uint32_t place, uint32_t transition);
+    void add_arc_tp(uint32_t transition, uint32_t place);
+    /// Creates an implicit place between two transitions (a "t1 -> t2" arc).
+    uint32_t connect(uint32_t t_from, uint32_t t_to, uint32_t tokens = 0);
+
+    [[nodiscard]] const std::vector<pn_place>& places() const noexcept { return places_; }
+    [[nodiscard]] const std::vector<pn_transition>& transitions() const noexcept { return transitions_; }
+    [[nodiscard]] pn_place& place_at(uint32_t i) { return places_.at(i); }
+    [[nodiscard]] const pn_place& place_at(uint32_t i) const { return places_.at(i); }
+    [[nodiscard]] const pn_transition& transition_at(uint32_t i) const { return transitions_.at(i); }
+    [[nodiscard]] std::optional<uint32_t> find_place(std::string_view name) const noexcept;
+    /// Finds the transition with the exact label (signal, dir, instance).
+    [[nodiscard]] std::optional<uint32_t> find_transition(const event_label& l) const noexcept;
+    /// Finds the unique transition with the given (signal, dir), whatever the
+    /// instance; throws when ambiguous.
+    [[nodiscard]] std::optional<uint32_t> find_transition(uint32_t sig, edge dir) const;
+
+    /// Transitions consuming from place @p p.
+    [[nodiscard]] const std::vector<uint32_t>& place_post(uint32_t p) const { return place_post_.at(p); }
+    [[nodiscard]] const std::vector<uint32_t>& place_pre(uint32_t p) const { return place_pre_.at(p); }
+
+    // ---- token game ------------------------------------------------------
+    [[nodiscard]] marking initial_marking() const;
+    [[nodiscard]] bool enabled(const marking& m, uint32_t transition) const;
+    /// Fires @p transition from @p m.  Throws asynth::error when the firing
+    /// would make the net unsafe (a post place already marked).
+    [[nodiscard]] marking fire(const marking& m, uint32_t transition) const;
+
+    // ---- misc ------------------------------------------------------------
+    /// Keeps only the flagged places/transitions, dropping dangling arcs and
+    /// renumbering instances densely.  Used by expansion dead-branch pruning.
+    [[nodiscard]] stg filtered(const dyn_bitset& keep_places, const dyn_bitset& keep_transitions) const;
+
+    /// Printable transition label, e.g. "req+", "ack-/2", "ch?".
+    [[nodiscard]] std::string label_name(const event_label& l) const;
+    [[nodiscard]] std::string transition_name(uint32_t t) const { return label_name(transitions_.at(t).label); }
+    /// Parses "a+", "b-/2", "c~", "d?", "e!" against the signal table.
+    [[nodiscard]] std::optional<event_label> parse_label(std::string_view text) const;
+
+    std::string model_name = "model";
+    /// Pairs of labels whose concurrency must be preserved by reshuffling
+    /// (the paper's Keep_Conc input, Fig. 9).
+    std::vector<std::pair<event_label, event_label>> keep_concurrent;
+
+private:
+    std::vector<signal_decl> signals_;
+    std::vector<pn_place> places_;
+    std::vector<pn_transition> transitions_;
+    std::vector<std::vector<uint32_t>> place_pre_;   // transitions producing into place
+    std::vector<std::vector<uint32_t>> place_post_;  // transitions consuming from place
+};
+
+}  // namespace asynth

@@ -1,0 +1,275 @@
+#include "regions/regions.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "sg/analysis.hpp"
+
+namespace asynth {
+
+namespace {
+
+/// Crossing profile of one event w.r.t. a state set.  A region requires full
+/// uniformity per event: all arcs exit, or all arcs enter, or none cross.
+struct crossing {
+    bool inside = false;   // src in r, dst in r
+    bool outside = false;  // src out, dst out
+    bool exits = false;    // src in, dst out
+    bool enters = false;   // src out, dst in
+    [[nodiscard]] bool uniform() const noexcept {
+        if (exits) return !enters && !inside && !outside;
+        if (enters) return !exits && !inside && !outside;
+        return true;
+    }
+};
+
+struct split_event {
+    uint16_t event = 0;       // base event id
+    int32_t instance = 1;     // 1-based instance per (signal,dir)
+    dyn_bitset es;            // excitation states of this component
+    std::vector<uint32_t> arcs;  // arc ids labelled with this instance
+};
+
+struct synthesis_ctx {
+    const state_graph* g = nullptr;
+    std::vector<split_event> events;
+    std::vector<int> arc_owner;  // arc id -> split event index
+};
+
+crossing profile(const synthesis_ctx& ctx, std::size_t ev, const dyn_bitset& r) {
+    crossing c;
+    for (uint32_t a : ctx.events[ev].arcs) {
+        const auto& arc = ctx.g->arcs()[a];
+        const bool s = r.test(arc.src), d = r.test(arc.dst);
+        if (s && d) c.inside = true;
+        else if (!s && !d) c.outside = true;
+        else if (s && !d) c.exits = true;
+        else c.enters = true;
+    }
+    return c;
+}
+
+bool region_ok(const synthesis_ctx& ctx, const dyn_bitset& r) {
+    for (std::size_t ev = 0; ev < ctx.events.size(); ++ev)
+        if (!profile(ctx, ev, r).uniform()) return false;
+    return true;
+}
+
+/// Expands @p seed into all minimal legal regions (bounded search).
+std::vector<dyn_bitset> minimal_regions_from(const synthesis_ctx& ctx, const dyn_bitset& seed,
+                                             const region_options& opt, bool& exhausted) {
+    std::vector<dyn_bitset> found;
+    std::unordered_set<std::size_t> memo;
+    std::deque<dyn_bitset> work{seed};
+    std::size_t nodes = 0;
+    exhausted = false;
+
+    while (!work.empty()) {
+        if (++nodes > opt.max_expansion_nodes) {
+            exhausted = true;
+            break;
+        }
+        dyn_bitset r = std::move(work.front());
+        work.pop_front();
+        if (!memo.insert(r.hash()).second) continue;
+
+        // Find a violating event.
+        std::size_t bad = ctx.events.size();
+        crossing cbad;
+        for (std::size_t ev = 0; ev < ctx.events.size(); ++ev) {
+            crossing c = profile(ctx, ev, r);
+            if (!c.uniform()) {
+                bad = ev;
+                cbad = c;
+                break;
+            }
+        }
+        if (bad == ctx.events.size()) {
+            found.push_back(std::move(r));
+            if (found.size() >= opt.max_regions) {
+                exhausted = true;
+                break;
+            }
+            continue;
+        }
+
+        // Branch on the legalisation moves for the violating event.
+        const auto& arcs = ctx.events[bad].arcs;
+        // Move 1: make the event non-crossing (absorb both ends of every
+        // crossing arc).
+        {
+            dyn_bitset r1 = r;
+            for (uint32_t a : arcs) {
+                const auto& arc = ctx.g->arcs()[a];
+                const bool s = r.test(arc.src), d = r.test(arc.dst);
+                if (s && !d) r1.set(arc.dst);
+                if (!s && d) r1.set(arc.src);
+            }
+            work.push_back(std::move(r1));
+        }
+        // Move 2: make it always-exit (only if nothing ends inside).
+        if (!cbad.inside && !cbad.enters) {
+            dyn_bitset r2 = r;
+            bool feasible = true;
+            for (uint32_t a : arcs) {
+                const auto& arc = ctx.g->arcs()[a];
+                if (!r.test(arc.src)) r2.set(arc.src);
+                if (r.test(arc.dst)) feasible = false;
+            }
+            if (feasible) work.push_back(std::move(r2));
+        }
+        // Move 3: make it always-enter (only if nothing starts inside).
+        if (!cbad.inside && !cbad.exits) {
+            dyn_bitset r3 = r;
+            bool feasible = true;
+            for (uint32_t a : arcs) {
+                const auto& arc = ctx.g->arcs()[a];
+                if (!r.test(arc.dst)) r3.set(arc.dst);
+                if (r.test(arc.src)) feasible = false;
+            }
+            if (feasible) work.push_back(std::move(r3));
+        }
+    }
+
+    // Keep only minimal sets.
+    std::vector<dyn_bitset> minimal;
+    for (const auto& r : found) {
+        bool dominated = false;
+        for (const auto& q : found)
+            if (!(q == r) && q.is_subset_of(r)) {
+                dominated = true;
+                break;
+            }
+        if (!dominated) minimal.push_back(r);
+    }
+    return minimal;
+}
+
+}  // namespace
+
+bool is_region(const state_graph& g, const dyn_bitset& states) {
+    synthesis_ctx ctx;
+    ctx.g = &g;
+    // One split event per (event, ER component) as in recovery.
+    auto full = subgraph::full(g);
+    for (uint16_t e = 0; e < g.events().size(); ++e) {
+        auto comps = excitation_regions(full, e);
+        for (std::size_t i = 0; i < comps.size(); ++i) {
+            split_event se;
+            se.event = e;
+            se.instance = static_cast<int32_t>(i + 1);
+            se.es = comps[i].states;
+            for (uint32_t a = 0; a < g.arcs().size(); ++a)
+                if (g.arcs()[a].event == e && comps[i].states.test(g.arcs()[a].src))
+                    se.arcs.push_back(a);
+            ctx.events.push_back(std::move(se));
+        }
+    }
+    return region_ok(ctx, states);
+}
+
+recovery_result recover_stg(const subgraph& g) { return recover_stg(g, region_options{}); }
+
+recovery_result recover_stg(const subgraph& view, const region_options& opt) {
+    recovery_result res;
+    state_graph g = view.materialize();
+    auto full = subgraph::full(g);
+
+    synthesis_ctx ctx;
+    ctx.g = &g;
+    for (uint16_t e = 0; e < g.events().size(); ++e) {
+        auto comps = excitation_regions(full, e);
+        for (std::size_t i = 0; i < comps.size(); ++i) {
+            split_event se;
+            se.event = e;
+            se.instance = static_cast<int32_t>(i + 1);
+            se.es = comps[i].states;
+            for (uint32_t a = 0; a < g.arcs().size(); ++a)
+                if (g.arcs()[a].event == e && comps[i].states.test(g.arcs()[a].src))
+                    se.arcs.push_back(a);
+            ctx.events.push_back(std::move(se));
+        }
+    }
+
+    // Minimal pre-regions per split event; global cache of all regions found.
+    std::vector<std::vector<dyn_bitset>> pre_regions(ctx.events.size());
+    for (std::size_t ev = 0; ev < ctx.events.size(); ++ev) {
+        bool exhausted = false;
+        auto regions = minimal_regions_from(ctx, ctx.events[ev].es, opt, exhausted);
+        if (regions.empty()) {
+            res.message = "no region found for event " + g.event_name(ctx.events[ev].event) +
+                          (exhausted ? " (budget exceeded)" : "");
+            return res;
+        }
+        // Keep those the event actually exits.
+        for (auto& r : regions) {
+            crossing c = profile(ctx, ev, r);
+            if (c.exits && !c.enters && !c.inside) pre_regions[ev].push_back(std::move(r));
+        }
+        if (pre_regions[ev].empty()) {
+            res.message = "no pre-region for event " + g.event_name(ctx.events[ev].event);
+            return res;
+        }
+        // Excitation closure.
+        dyn_bitset inter(g.state_count(), true);
+        for (const auto& r : pre_regions[ev]) inter &= r;
+        if (!(inter == ctx.events[ev].es)) {
+            res.message = "excitation closure fails for event " +
+                          g.event_name(ctx.events[ev].event);
+            return res;
+        }
+    }
+
+    // Collect distinct regions as places.
+    std::vector<dyn_bitset> places;
+    auto intern_place = [&](const dyn_bitset& r) {
+        for (std::size_t i = 0; i < places.size(); ++i)
+            if (places[i] == r) return i;
+        places.push_back(r);
+        return places.size() - 1;
+    };
+    for (auto& prs : pre_regions)
+        for (auto& r : prs) intern_place(r);
+    res.regions_found = places.size();
+
+    // Build the net.
+    stg net;
+    net.model_name = "recovered";
+    for (const auto& s : g.signals()) {
+        net.add_signal(s.name, s.kind, s.partial);
+        net.signal_at(static_cast<uint32_t>(net.signal_count() - 1)).initial_value =
+            s.initial_value;
+    }
+    std::vector<uint32_t> place_id(places.size());
+    for (std::size_t p = 0; p < places.size(); ++p)
+        place_id[p] = net.add_place("r" + std::to_string(p),
+                                    places[p].test(g.initial()) ? 1 : 0);
+    for (std::size_t ev = 0; ev < ctx.events.size(); ++ev) {
+        const auto& base_ev = g.events()[ctx.events[ev].event];
+        uint32_t t = net.add_transition(event_label{base_ev.signal, base_ev.dir, 0});
+        for (std::size_t p = 0; p < places.size(); ++p) {
+            crossing c = profile(ctx, ev, places[p]);
+            if (c.exits) net.add_arc_pt(place_id[p], t);
+            if (c.enters) net.add_arc_tp(t, place_id[p]);
+        }
+    }
+
+    if (opt.verify_roundtrip) {
+        try {
+            auto regen = state_graph::generate(net);
+            if (!lts_equivalent(subgraph::full(regen.graph), full, &res.message)) {
+                res.message = "round-trip mismatch: " + res.message;
+                return res;
+            }
+        } catch (const error& e) {
+            res.message = std::string("round-trip generation failed: ") + e.what();
+            return res;
+        }
+    }
+    res.ok = true;
+    res.net = std::move(net);
+    return res;
+}
+
+}  // namespace asynth

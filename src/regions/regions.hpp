@@ -1,0 +1,48 @@
+// Region-based Petri-net synthesis: recovering an STG from a (reduced)
+// state graph -- step 5 of the paper's Fig. 4 algorithm ("generate a new STG
+// for the best reduced SG").  This is the classic theory of regions
+// (Cortadella, Kishinevsky, Lavagno, Yakovlev: "Deriving Petri nets from
+// finite transition systems"):
+//
+//  * a region is a set of states crossed uniformly by every event (each
+//    event always enters, always exits, or never crosses);
+//  * labels are split by excitation-region components up front (instances);
+//  * for every event instance the minimal pre-regions are computed by
+//    seed-and-expand with branching on the violating event;
+//  * excitation closure (intersection of pre-regions = excitation set) is
+//    verified, places are the minimal pre-regions, and the result is
+//    round-trip checked: the recovered STG's SG must be language-equivalent
+//    to the input.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "petri/stg.hpp"
+#include "sg/state_graph.hpp"
+
+namespace asynth {
+
+struct region_options {
+    std::size_t max_expansion_nodes = 100000;  ///< branch budget per seed
+    std::size_t max_regions = 2048;
+    bool verify_roundtrip = true;
+};
+
+struct recovery_result {
+    bool ok = false;
+    stg net;
+    std::size_t regions_found = 0;
+    std::string message;
+};
+
+/// Synthesises an STG whose reachability graph is language-equivalent to
+/// @p g.  Fails (ok = false, diagnostic in message) when the SG is not
+/// excitation-closed even after label splitting or a budget is exceeded.
+[[nodiscard]] recovery_result recover_stg(const subgraph& g, const region_options& opt);
+[[nodiscard]] recovery_result recover_stg(const subgraph& g);
+
+/// True iff @p states is a region of the (materialised, full) SG.
+[[nodiscard]] bool is_region(const state_graph& g, const dyn_bitset& states);
+
+}  // namespace asynth

@@ -1,0 +1,275 @@
+#include "sg/analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <unordered_map>
+
+#include "util/hash.hpp"
+
+namespace asynth {
+
+si_report check_speed_independence(const subgraph& g) {
+    si_report rep;
+    const auto& b = g.base();
+
+    // Determinism: at most one live arc per (state, event).
+    for (auto s : g.live_states().ones()) {
+        std::vector<uint16_t> seen;
+        for (uint32_t a : b.out_arcs(static_cast<uint32_t>(s))) {
+            if (!g.arc_live(a)) continue;
+            uint16_t e = b.arcs()[a].event;
+            if (std::find(seen.begin(), seen.end(), e) != seen.end()) {
+                rep.deterministic = false;
+                rep.violations.push_back("state " + b.state_code_string(static_cast<uint32_t>(s)) +
+                                         " has two arcs labelled " + b.event_name(e));
+            }
+            seen.push_back(e);
+        }
+    }
+
+    // Commutativity: if s -a-> s1, s -b-> s2, s1 -b-> x, s2 -a-> y then x == y.
+    for (auto sv : g.live_states().ones()) {
+        const auto s = static_cast<uint32_t>(sv);
+        for (uint32_t a1 : b.out_arcs(s)) {
+            if (!g.arc_live(a1)) continue;
+            for (uint32_t a2 : b.out_arcs(s)) {
+                if (!g.arc_live(a2) || a1 == a2) continue;
+                const auto& arc1 = b.arcs()[a1];
+                const auto& arc2 = b.arcs()[a2];
+                auto x = g.arc_from(arc1.dst, arc2.event);
+                auto y = g.arc_from(arc2.dst, arc1.event);
+                if (x && y && b.arcs()[*x].dst != b.arcs()[*y].dst) {
+                    rep.commutative = false;
+                    rep.violations.push_back("non-commutative diamond at state " +
+                                             b.state_code_string(s) + " over " +
+                                             b.event_name(arc1.event) + "," +
+                                             b.event_name(arc2.event));
+                }
+            }
+        }
+    }
+
+    // Output persistency: an enabled non-input event may only be disabled by
+    // its own firing; an enabled input event may not be disabled by a
+    // non-input event (inputs may disable each other: environment choice).
+    for (auto sv : g.live_states().ones()) {
+        const auto s = static_cast<uint32_t>(sv);
+        for (uint32_t af : b.out_arcs(s)) {
+            if (!g.arc_live(af)) continue;
+            const auto& fire = b.arcs()[af];
+            for (uint32_t ae : b.out_arcs(s)) {
+                if (!g.arc_live(ae) || ae == af) continue;
+                const uint16_t e = b.arcs()[ae].event;
+                if (e == fire.event) continue;
+                if (g.enabled(fire.dst, e)) continue;
+                const bool e_input = b.is_input_event(e);
+                const bool f_input = b.is_input_event(fire.event);
+                if (!e_input || !f_input) {
+                    rep.output_persistent = false;
+                    rep.violations.push_back("event " + b.event_name(e) + " disabled by " +
+                                             b.event_name(fire.event) + " at state " +
+                                             b.state_code_string(s));
+                }
+            }
+        }
+    }
+    return rep;
+}
+
+bool check_consistency(const subgraph& g, std::string* diagnostic) {
+    const auto& b = g.base();
+    for (auto av : g.live_arcs().ones()) {
+        const auto& arc = b.arcs()[av];
+        if (!g.state_live(arc.src) || !g.state_live(arc.dst)) continue;
+        const auto& ev = b.events()[arc.event];
+        const auto sig = static_cast<uint32_t>(ev.signal);
+        const auto& cs = b.states()[arc.src].code;
+        const auto& cd = b.states()[arc.dst].code;
+        bool ok = true;
+        for (uint32_t i = 0; ok && i < b.signals().size(); ++i) {
+            const bool vs = cs.test(i);
+            const bool vd = cd.test(i);
+            if (i == sig) {
+                switch (ev.dir) {
+                    case edge::plus: ok = !vs && vd; break;
+                    case edge::minus: ok = vs && !vd; break;
+                    default: ok = vs != vd; break;
+                }
+            } else {
+                ok = (vs == vd);
+            }
+        }
+        if (!ok) {
+            if (diagnostic)
+                *diagnostic = "arc " + b.event_name(arc.event) + " from " +
+                              b.state_code_string(arc.src) + " to " + b.state_code_string(arc.dst) +
+                              " violates consistency";
+            return false;
+        }
+    }
+    return true;
+}
+
+csc_report check_csc(const subgraph& g, std::size_t max_examples) {
+    csc_report rep;
+    const auto& b = g.base();
+    std::unordered_map<dyn_bitset, std::vector<uint32_t>> by_code;
+    for (auto s : g.live_states().ones())
+        by_code[b.states()[s].code].push_back(static_cast<uint32_t>(s));
+
+    auto noninput_enabled = [&](uint32_t s) {
+        dyn_bitset set(b.events().size());
+        for (uint32_t a : b.out_arcs(s))
+            if (g.arc_live(a) && b.is_noninput_event(b.arcs()[a].event))
+                set.set(b.arcs()[a].event);
+        return set;
+    };
+
+    for (auto& [code, group] : by_code) {
+        if (group.size() < 2) continue;
+        rep.usc_pairs += group.size() * (group.size() - 1) / 2;
+        std::vector<dyn_bitset> outs;
+        outs.reserve(group.size());
+        for (uint32_t s : group) outs.push_back(noninput_enabled(s));
+        for (std::size_t i = 0; i < group.size(); ++i)
+            for (std::size_t j = i + 1; j < group.size(); ++j)
+                if (outs[i] != outs[j]) {
+                    ++rep.conflict_pairs;
+                    if (rep.examples.size() < max_examples)
+                        rep.examples.push_back(csc_conflict{group[i], group[j]});
+                }
+    }
+    return rep;
+}
+
+std::vector<er_component> excitation_regions(const subgraph& g, uint16_t event) {
+    const auto& b = g.base();
+    dyn_bitset es(b.state_count());
+    for (auto av : g.live_arcs().ones()) {
+        const auto& arc = b.arcs()[av];
+        if (arc.event == event && g.state_live(arc.src)) es.set(arc.src);
+    }
+    // Split into connected components via live arcs whose endpoints are both
+    // in the excitation set (undirected connectivity).
+    std::vector<er_component> out;
+    dyn_bitset seen(b.state_count());
+    for (auto seedv : es.ones()) {
+        const auto seed = static_cast<uint32_t>(seedv);
+        if (seen.test(seed)) continue;
+        er_component comp{event, dyn_bitset(b.state_count())};
+        std::deque<uint32_t> work{seed};
+        seen.set(seed);
+        comp.states.set(seed);
+        while (!work.empty()) {
+            uint32_t s = work.front();
+            work.pop_front();
+            auto visit = [&](uint32_t n) {
+                if (es.test(n) && !seen.test(n)) {
+                    seen.set(n);
+                    comp.states.set(n);
+                    work.push_back(n);
+                }
+            };
+            for (uint32_t a : b.out_arcs(s))
+                if (g.arc_live(a)) visit(b.arcs()[a].dst);
+            for (uint32_t a : b.in_arcs(s))
+                if (g.arc_live(a)) visit(b.arcs()[a].src);
+        }
+        out.push_back(std::move(comp));
+    }
+    return out;
+}
+
+std::vector<er_component> excitation_regions(const subgraph& g) {
+    std::vector<er_component> out;
+    for (uint16_t e = 0; e < g.base().events().size(); ++e) {
+        auto comps = excitation_regions(g, e);
+        out.insert(out.end(), std::make_move_iterator(comps.begin()),
+                   std::make_move_iterator(comps.end()));
+    }
+    return out;
+}
+
+bool concurrent(const er_component& a, const er_component& b) {
+    return a.states.intersects(b.states);
+}
+
+bool concurrent_by_diamond(const subgraph& g, uint16_t e1, uint16_t e2) {
+    const auto& b = g.base();
+    if (e1 == e2) return false;
+    for (auto sv : g.live_states().ones()) {
+        const auto s1 = static_cast<uint32_t>(sv);
+        auto a12 = g.arc_from(s1, e1);
+        auto a13 = g.arc_from(s1, e2);
+        if (!a12 || !a13) continue;
+        const uint32_t s2 = b.arcs()[*a12].dst;
+        const uint32_t s3 = b.arcs()[*a13].dst;
+        auto a24 = g.arc_from(s2, e2);
+        auto a34 = g.arc_from(s3, e1);
+        if (a24 && a34 && b.arcs()[*a24].dst == b.arcs()[*a34].dst) return true;
+    }
+    return false;
+}
+
+std::vector<uint32_t> deadlock_states(const subgraph& g) {
+    std::vector<uint32_t> out;
+    const auto& b = g.base();
+    for (auto sv : g.live_states().ones()) {
+        const auto s = static_cast<uint32_t>(sv);
+        bool has_out = false;
+        for (uint32_t a : b.out_arcs(s))
+            if (g.arc_live(a)) {
+                has_out = true;
+                break;
+            }
+        if (!has_out) out.push_back(s);
+    }
+    return out;
+}
+
+bool lts_equivalent(const subgraph& ga, const subgraph& gb, std::string* diagnostic) {
+    const auto& a = ga.base();
+    const auto& b = gb.base();
+    // Map event labels by (signal name, dir).
+    auto label_key = [](const state_graph& g, uint16_t e) {
+        const auto& ev = g.events()[e];
+        return g.signals()[static_cast<uint32_t>(ev.signal)].name + edge_char(ev.dir);
+    };
+    std::map<std::string, uint16_t> b_events;
+    for (uint16_t e = 0; e < b.events().size(); ++e) b_events[label_key(b, e)] = e;
+
+    std::unordered_map<uint64_t, bool> visited;
+    std::deque<std::pair<uint32_t, uint32_t>> work{{a.initial(), b.initial()}};
+    auto key = [](uint32_t x, uint32_t y) { return (static_cast<uint64_t>(x) << 32) | y; };
+    visited[key(a.initial(), b.initial())] = true;
+
+    while (!work.empty()) {
+        auto [sa, sb] = work.front();
+        work.pop_front();
+        // Collect enabled labels on both sides.
+        std::map<std::string, uint32_t> ea, eb;
+        for (uint32_t arc : a.out_arcs(sa))
+            if (ga.arc_live(arc)) ea[label_key(a, a.arcs()[arc].event)] = a.arcs()[arc].dst;
+        for (uint32_t arc : b.out_arcs(sb))
+            if (gb.arc_live(arc)) eb[label_key(b, b.arcs()[arc].event)] = b.arcs()[arc].dst;
+        if (ea.size() != eb.size()) {
+            if (diagnostic)
+                *diagnostic = "enabled-label mismatch at product state (" +
+                              a.state_code_string(sa) + ", " + b.state_code_string(sb) + ")";
+            return false;
+        }
+        for (auto& [label, da] : ea) {
+            auto it = eb.find(label);
+            if (it == eb.end()) {
+                if (diagnostic) *diagnostic = "label " + label + " only enabled on one side";
+                return false;
+            }
+            if (!visited.emplace(key(da, it->second), true).second) continue;
+            work.emplace_back(da, it->second);
+        }
+    }
+    return true;
+}
+
+}  // namespace asynth

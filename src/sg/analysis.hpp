@@ -1,0 +1,79 @@
+// Implementability analyses over state-graph views (paper section 2):
+// determinism, commutativity, output persistency (speed independence),
+// Complete State Coding, excitation regions and the concurrency relation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sg/state_graph.hpp"
+
+namespace asynth {
+
+/// Result of the speed-independence checks.  `ok()` iff all constituents
+/// hold; each violation carries a readable diagnostic.
+struct si_report {
+    bool deterministic = true;
+    bool commutative = true;
+    bool output_persistent = true;
+    std::vector<std::string> violations;
+    [[nodiscard]] bool ok() const noexcept {
+        return deterministic && commutative && output_persistent;
+    }
+};
+
+[[nodiscard]] si_report check_speed_independence(const subgraph& g);
+
+/// Checks that every live arc changes exactly its event's signal, in the
+/// direction of its label.  Generated SGs satisfy this by construction; the
+/// checker guards synthetic SGs (tests, CSC insertion products).
+[[nodiscard]] bool check_consistency(const subgraph& g, std::string* diagnostic = nullptr);
+
+/// One CSC conflict: two states with equal codes but different enabled
+/// non-input event sets.
+struct csc_conflict {
+    uint32_t state_a = 0;
+    uint32_t state_b = 0;
+};
+
+struct csc_report {
+    std::size_t conflict_pairs = 0;       ///< |{(s,s') : CSC violated}|
+    std::size_t usc_pairs = 0;            ///< pairs with equal codes at all
+    std::vector<csc_conflict> examples;   ///< up to `max_examples` pairs
+    [[nodiscard]] bool has_csc() const noexcept { return conflict_pairs == 0; }
+};
+
+[[nodiscard]] csc_report check_csc(const subgraph& g, std::size_t max_examples = 16);
+
+/// An excitation-region component: a maximal connected set of states in
+/// which `event` is enabled.  Components stand in for transition instances
+/// at the SG level.
+struct er_component {
+    uint16_t event = 0;
+    dyn_bitset states;  ///< over base state ids
+};
+
+/// All ER components of all events, in a stable order.
+[[nodiscard]] std::vector<er_component> excitation_regions(const subgraph& g);
+/// ER components of one event.
+[[nodiscard]] std::vector<er_component> excitation_regions(const subgraph& g, uint16_t event);
+
+/// Concurrency by the paper's practical criterion: two event instances are
+/// concurrent iff their excitation regions intersect (holds exactly for
+/// speed-independent SGs).
+[[nodiscard]] bool concurrent(const er_component& a, const er_component& b);
+
+/// Concurrency by Definition 2.1 (diamond of states); used by tests as the
+/// ground truth for `concurrent`.
+[[nodiscard]] bool concurrent_by_diamond(const subgraph& g, uint16_t e1, uint16_t e2);
+
+/// Live states with no live outgoing arc.
+[[nodiscard]] std::vector<uint32_t> deadlock_states(const subgraph& g);
+
+/// Language equivalence of two deterministic SGs over (signal-name, dir)
+/// labels.  Requires both to be deterministic; explores the synchronous
+/// product and fails on any mismatch in enabled label sets.
+[[nodiscard]] bool lts_equivalent(const subgraph& a, const subgraph& b,
+                                  std::string* diagnostic = nullptr);
+
+}  // namespace asynth

@@ -1,0 +1,302 @@
+#include "sg/state_graph.hpp"
+
+#include <deque>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/hash.hpp"
+
+namespace asynth {
+
+namespace {
+
+// During generation each state carries the parity (mod 2 toggle count) of
+// every signal relative to the initial state; consistency requires a unique
+// parity per marking and polarity-consistent transitions (section 2).
+struct gen_state {
+    marking m;
+    dyn_bitset parity;
+};
+
+}  // namespace
+
+state_graph::generation_result state_graph::generate(const stg& net) {
+    return generate(net, generation_options{});
+}
+
+state_graph::generation_result state_graph::generate(const stg& net,
+                                                     const generation_options& opt) {
+    const std::size_t nsig = net.signal_count();
+    for (const auto& s : net.signals())
+        require(s.kind != signal_kind::channel,
+                "STG still contains channel signal '" + s.name +
+                    "'; run handshake expansion first");
+
+    state_graph g;
+    g.signals_ = net.signals();
+
+    // Event table: unique (signal, dir) pairs.
+    std::vector<int> event_of_transition(net.transitions().size());
+    for (std::size_t t = 0; t < net.transitions().size(); ++t) {
+        const auto& l = net.transitions()[t].label;
+        sg_event e{l.signal, l.dir};
+        auto found = g.find_event(l.signal, l.dir);
+        if (!found) {
+            g.events_.push_back(e);
+            found = static_cast<uint16_t>(g.events_.size() - 1);
+        }
+        event_of_transition[t] = *found;
+    }
+
+    std::vector<gen_state> gen;
+    // States are keyed on (marking, parity): with toggle events the same
+    // marking legitimately recurs with flipped codes (2-phase refinements
+    // alternate polarity every loop iteration).
+    struct key_hash {
+        std::size_t operator()(const std::pair<dyn_bitset, dyn_bitset>& k) const noexcept {
+            std::size_t h = k.first.hash();
+            hash_combine(h, k.second.hash());
+            return h;
+        }
+    };
+    std::unordered_map<std::pair<dyn_bitset, dyn_bitset>, uint32_t, key_hash> index;
+    std::deque<uint32_t> work;
+
+    gen.push_back(gen_state{net.initial_marking(), dyn_bitset(nsig)});
+    index.emplace(std::make_pair(gen[0].m, gen[0].parity), 0);
+    work.push_back(0);
+
+    // Polarity constraints: plus_parity[s] records the parity at which s+
+    // fires (must be unique); dually for minus.
+    std::vector<std::optional<bool>> plus_parity(nsig), minus_parity(nsig);
+    std::vector<bool> fired(net.transitions().size(), false);
+    std::vector<bool> marked(net.places().size(), false);
+    for (std::size_t p = 0; p < net.places().size(); ++p)
+        if (gen[0].m.test(p)) marked[p] = true;
+
+    while (!work.empty()) {
+        const uint32_t sid = work.front();
+        work.pop_front();
+        for (uint32_t t = 0; t < net.transitions().size(); ++t) {
+            if (!net.enabled(gen[sid].m, t)) continue;
+            fired[t] = true;
+            const auto& label = net.transitions()[t].label;
+            const auto sig = static_cast<uint32_t>(label.signal);
+            const bool src_parity = gen[sid].parity.test(sig);
+            if (label.dir == edge::plus) {
+                if (!plus_parity[sig])
+                    plus_parity[sig] = src_parity;
+                else
+                    require(*plus_parity[sig] == src_parity,
+                            "inconsistent STG: " + net.transition_name(t) +
+                                " fires at both polarities of " + net.signals()[sig].name);
+            } else if (label.dir == edge::minus) {
+                if (!minus_parity[sig])
+                    minus_parity[sig] = src_parity;
+                else
+                    require(*minus_parity[sig] == src_parity,
+                            "inconsistent STG: " + net.transition_name(t) +
+                                " fires at both polarities of " + net.signals()[sig].name);
+            }
+            marking next = net.fire(gen[sid].m, t);
+            dyn_bitset parity = gen[sid].parity;
+            parity.flip(sig);
+            auto [it, inserted] =
+                index.emplace(std::make_pair(next, parity), static_cast<uint32_t>(gen.size()));
+            if (inserted) {
+                require(gen.size() < opt.max_states, "state graph exceeds max_states");
+                gen.push_back(gen_state{std::move(next), std::move(parity)});
+                for (std::size_t p = 0; p < net.places().size(); ++p)
+                    if (gen.back().m.test(p)) marked[p] = true;
+                work.push_back(it->second);
+            }
+            g.arcs_.push_back(sg_arc{sid, it->second, static_cast<uint16_t>(event_of_transition[t])});
+        }
+    }
+
+    // Initial values: v0(s) = parity at which s+ fires (v = v0 xor parity and
+    // s+ needs v = 0).  Cross-check against minus transitions.
+    dyn_bitset v0(nsig);
+    for (uint32_t s = 0; s < nsig; ++s) {
+        std::optional<bool> val;
+        if (plus_parity[s]) val = *plus_parity[s];
+        if (minus_parity[s]) {
+            const bool from_minus = !*minus_parity[s];
+            if (val)
+                require(*val == from_minus, "inconsistent STG: polarity mismatch for signal " +
+                                                net.signals()[s].name);
+            else
+                val = from_minus;
+        }
+        if (!val) val = net.signals()[s].initial_value;
+        v0.assign(s, *val);
+    }
+
+    g.states_.reserve(gen.size());
+    for (auto& st : gen) {
+        dyn_bitset code = st.parity;
+        code ^= v0;
+        g.states_.push_back(sg_state{std::move(st.m), std::move(code)});
+    }
+    g.initial_ = 0;
+    g.rebuild_adjacency();
+    return generation_result{std::move(g), std::move(fired), std::move(marked)};
+}
+
+state_graph state_graph::build(std::vector<signal_decl> signals, std::vector<sg_event> events,
+                               std::vector<sg_state> states, std::vector<sg_arc> arcs,
+                               uint32_t initial) {
+    state_graph g;
+    g.signals_ = std::move(signals);
+    g.events_ = std::move(events);
+    g.states_ = std::move(states);
+    g.arcs_ = std::move(arcs);
+    g.initial_ = initial;
+    g.rebuild_adjacency();
+    return g;
+}
+
+void state_graph::rebuild_adjacency() {
+    out_.assign(states_.size(), {});
+    in_.assign(states_.size(), {});
+    for (uint32_t a = 0; a < arcs_.size(); ++a) {
+        out_.at(arcs_[a].src).push_back(a);
+        in_.at(arcs_[a].dst).push_back(a);
+    }
+}
+
+std::optional<uint16_t> state_graph::find_event(int32_t signal, edge dir) const noexcept {
+    for (uint16_t i = 0; i < events_.size(); ++i)
+        if (events_[i].signal == signal && events_[i].dir == dir) return i;
+    return std::nullopt;
+}
+
+std::string state_graph::event_name(uint16_t e) const {
+    const auto& ev = events_.at(e);
+    return signals_.at(static_cast<uint32_t>(ev.signal)).name + edge_char(ev.dir);
+}
+
+std::string state_graph::state_code_string(uint32_t s) const {
+    std::string out;
+    dyn_bitset excited(signals_.size());
+    for (uint32_t a : out_arcs(s)) excited.set(static_cast<uint32_t>(events_[arcs_[a].event].signal));
+    for (uint32_t i = 0; i < signals_.size(); ++i) {
+        out += states_[s].code.test(i) ? '1' : '0';
+        if (excited.test(i)) out += '*';
+    }
+    return out;
+}
+
+bool state_graph::is_input_event(uint16_t e) const {
+    return signals_.at(static_cast<uint32_t>(events_.at(e).signal)).kind == signal_kind::input;
+}
+
+// ---- subgraph --------------------------------------------------------------
+
+subgraph subgraph::full(const state_graph& base) {
+    subgraph g;
+    g.base_ = &base;
+    g.states_ = dyn_bitset(base.state_count(), true);
+    g.arcs_ = dyn_bitset(base.arc_count(), true);
+    return g;
+}
+
+void subgraph::kill_state(uint32_t s) noexcept {
+    states_.reset(s);
+    for (uint32_t a : base_->out_arcs(s)) arcs_.reset(a);
+    for (uint32_t a : base_->in_arcs(s)) arcs_.reset(a);
+}
+
+bool subgraph::enabled(uint32_t s, uint16_t e) const {
+    for (uint32_t a : base_->out_arcs(s))
+        if (arcs_.test(a) && base_->arcs()[a].event == e) return true;
+    return false;
+}
+
+std::optional<uint32_t> subgraph::arc_from(uint32_t s, uint16_t e) const {
+    for (uint32_t a : base_->out_arcs(s))
+        if (arcs_.test(a) && base_->arcs()[a].event == e) return a;
+    return std::nullopt;
+}
+
+dyn_bitset subgraph::reachable_from_initial() const {
+    dyn_bitset seen(base_->state_count());
+    if (!states_.test(base_->initial())) return seen;
+    std::deque<uint32_t> work{base_->initial()};
+    seen.set(base_->initial());
+    while (!work.empty()) {
+        uint32_t s = work.front();
+        work.pop_front();
+        for (uint32_t a : base_->out_arcs(s)) {
+            if (!arcs_.test(a)) continue;
+            uint32_t d = base_->arcs()[a].dst;
+            if (!states_.test(d) || seen.test(d)) continue;
+            seen.set(d);
+            work.push_back(d);
+        }
+    }
+    return seen;
+}
+
+std::size_t subgraph::prune_unreachable() {
+    dyn_bitset reach = reachable_from_initial();
+    std::size_t removed = 0;
+    for (auto s : states_.ones()) {
+        if (!reach.test(s)) {
+            ++removed;
+            // Cannot mutate while iterating ones(); collect below instead.
+        }
+    }
+    if (removed == 0) return 0;
+    std::vector<uint32_t> to_kill;
+    to_kill.reserve(removed);
+    for (auto s : states_.ones())
+        if (!reach.test(s)) to_kill.push_back(static_cast<uint32_t>(s));
+    for (uint32_t s : to_kill) kill_state(s);
+    return removed;
+}
+
+state_graph subgraph::materialize() const {
+    std::vector<uint32_t> remap(base_->state_count(), UINT32_MAX);
+    std::vector<sg_state> states;
+    for (auto s : states_.ones()) {
+        remap[s] = static_cast<uint32_t>(states.size());
+        states.push_back(base_->states()[s]);
+    }
+    std::vector<sg_arc> arcs;
+    for (auto a : arcs_.ones()) {
+        const auto& arc = base_->arcs()[a];
+        if (remap[arc.src] == UINT32_MAX || remap[arc.dst] == UINT32_MAX) continue;
+        arcs.push_back(sg_arc{remap[arc.src], remap[arc.dst], arc.event});
+    }
+    require(remap[base_->initial()] != UINT32_MAX, "materialize: initial state is dead");
+    return state_graph::build(base_->signals(), base_->events(), std::move(states),
+                              std::move(arcs), remap[base_->initial()]);
+}
+
+std::size_t subgraph::signature() const noexcept {
+    std::size_t h = states_.hash();
+    hash_combine(h, arcs_.hash());
+    return h;
+}
+
+std::string write_dot(const subgraph& g) {
+    std::ostringstream out;
+    const auto& b = g.base();
+    out << "digraph sg {\n";
+    for (auto s : g.live_states().ones()) {
+        out << "  s" << s << " [label=\"" << b.state_code_string(static_cast<uint32_t>(s))
+            << "\"";
+        if (s == b.initial()) out << ",penwidth=2";
+        out << "];\n";
+    }
+    for (auto a : g.live_arcs().ones()) {
+        const auto& arc = b.arcs()[a];
+        out << "  s" << arc.src << " -> s" << arc.dst << " [label=\""
+            << b.event_name(arc.event) << "\"];\n";
+    }
+    out << "}\n";
+    return out.str();
+}
+
+}  // namespace asynth

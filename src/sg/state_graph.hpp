@@ -1,0 +1,150 @@
+// State graphs (SG): the reachability graph of an STG where every state is
+// labelled with a binary signal vector (paper section 2).  Concurrency
+// reduction operates on *subgraphs* (live state/arc masks over an immutable
+// base SG), which makes beam-search candidates cheap to copy and hash.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "petri/stg.hpp"
+#include "util/dyn_bitset.hpp"
+
+namespace asynth {
+
+/// An SG event: a (signal, direction) pair.  Instance numbers of the source
+/// STG are intentionally dropped -- at the SG level different instances of
+/// a+ are distinguished by their excitation-region component instead.
+struct sg_event {
+    int32_t signal = -1;
+    edge dir = edge::plus;
+    [[nodiscard]] bool operator==(const sg_event&) const = default;
+};
+
+struct sg_state {
+    marking m;        ///< STG marking (empty for synthetic SGs)
+    dyn_bitset code;  ///< binary signal vector v(s)
+};
+
+struct sg_arc {
+    uint32_t src = 0;
+    uint32_t dst = 0;
+    uint16_t event = 0;  ///< index into state_graph::events()
+};
+
+class state_graph {
+public:
+    // ---- construction ----------------------------------------------------
+    struct generation_options {
+        std::size_t max_states = 1u << 20;
+    };
+    struct generation_result;
+
+    /// Generates the SG by playing the token game from the initial marking.
+    /// Checks safeness and consistent encodability; throws asynth::error on
+    /// violation.  Initial values are deduced from transition polarity
+    /// (a signal whose first transition is a+ starts at 0); toggle-only
+    /// signals use signal_decl::initial_value.
+    [[nodiscard]] static generation_result generate(const stg& net, const generation_options& opt);
+    [[nodiscard]] static generation_result generate(const stg& net);
+
+    /// Builds a synthetic SG directly (used by tests and by CSC insertion).
+    /// Arcs/states are validated lazily by the analyses.
+    static state_graph build(std::vector<signal_decl> signals, std::vector<sg_event> events,
+                             std::vector<sg_state> states, std::vector<sg_arc> arcs,
+                             uint32_t initial);
+
+    // ---- accessors ---------------------------------------------------------
+    [[nodiscard]] const std::vector<signal_decl>& signals() const noexcept { return signals_; }
+    [[nodiscard]] const std::vector<sg_event>& events() const noexcept { return events_; }
+    [[nodiscard]] const std::vector<sg_state>& states() const noexcept { return states_; }
+    [[nodiscard]] const std::vector<sg_arc>& arcs() const noexcept { return arcs_; }
+    [[nodiscard]] uint32_t initial() const noexcept { return initial_; }
+    [[nodiscard]] std::size_t state_count() const noexcept { return states_.size(); }
+    [[nodiscard]] std::size_t arc_count() const noexcept { return arcs_.size(); }
+
+    /// Arc indices leaving / entering a state.
+    [[nodiscard]] const std::vector<uint32_t>& out_arcs(uint32_t s) const { return out_.at(s); }
+    [[nodiscard]] const std::vector<uint32_t>& in_arcs(uint32_t s) const { return in_.at(s); }
+
+    [[nodiscard]] std::optional<uint16_t> find_event(int32_t signal, edge dir) const noexcept;
+    [[nodiscard]] std::string event_name(uint16_t e) const;
+    /// "10*1": value per signal, '*' appended when the signal is excited.
+    [[nodiscard]] std::string state_code_string(uint32_t s) const;
+
+    /// True when the event's signal is an input.
+    [[nodiscard]] bool is_input_event(uint16_t e) const;
+    /// True when the event's signal is an output or internal signal.
+    [[nodiscard]] bool is_noninput_event(uint16_t e) const { return !is_input_event(e); }
+
+private:
+    friend class subgraph;
+    std::vector<signal_decl> signals_;
+    std::vector<sg_event> events_;
+    std::vector<sg_state> states_;
+    std::vector<sg_arc> arcs_;
+    std::vector<std::vector<uint32_t>> out_, in_;
+    uint32_t initial_ = 0;
+
+    void rebuild_adjacency();
+};
+
+struct state_graph::generation_result {
+    state_graph graph;
+    /// Per STG transition: did it ever fire?  (Used by expansion pruning.)
+    std::vector<bool> transition_fired;
+    /// Per STG place: was it ever marked?
+    std::vector<bool> place_marked;
+};
+
+/// A live-subset view of a base SG.  All analyses and the reducer operate on
+/// subgraphs; `full()` wraps an entire SG.
+class subgraph {
+public:
+    subgraph() = default;
+    [[nodiscard]] static subgraph full(const state_graph& base);
+
+    [[nodiscard]] const state_graph& base() const noexcept { return *base_; }
+    [[nodiscard]] bool state_live(uint32_t s) const noexcept { return states_.test(s); }
+    [[nodiscard]] bool arc_live(uint32_t a) const noexcept { return arcs_.test(a); }
+    [[nodiscard]] const dyn_bitset& live_states() const noexcept { return states_; }
+    [[nodiscard]] const dyn_bitset& live_arcs() const noexcept { return arcs_; }
+    [[nodiscard]] std::size_t live_state_count() const noexcept { return states_.count(); }
+    [[nodiscard]] std::size_t live_arc_count() const noexcept { return arcs_.count(); }
+    [[nodiscard]] uint32_t initial() const noexcept { return base_->initial(); }
+
+    void kill_arc(uint32_t a) noexcept { arcs_.reset(a); }
+    void kill_state(uint32_t s) noexcept;  ///< also kills incident arcs
+
+    /// Is event e enabled at live state s (some live out-arc labelled e)?
+    [[nodiscard]] bool enabled(uint32_t s, uint16_t e) const;
+    /// The live arc (s, e) if any.
+    [[nodiscard]] std::optional<uint32_t> arc_from(uint32_t s, uint16_t e) const;
+
+    /// States reachable from the initial state through live arcs.
+    [[nodiscard]] dyn_bitset reachable_from_initial() const;
+    /// Drops unreachable states (and their arcs) in place; returns the number
+    /// of states removed.
+    std::size_t prune_unreachable();
+
+    /// Compacts the live subset into a standalone SG (unreferenced events are
+    /// kept so event indices remain stable).
+    [[nodiscard]] state_graph materialize() const;
+
+    /// Hash of the live masks; identifies a candidate during beam search.
+    [[nodiscard]] std::size_t signature() const noexcept;
+    [[nodiscard]] bool operator==(const subgraph& o) const noexcept {
+        return base_ == o.base_ && states_ == o.states_ && arcs_ == o.arcs_;
+    }
+
+private:
+    const state_graph* base_ = nullptr;
+    dyn_bitset states_, arcs_;
+};
+
+/// Graphviz rendering (live part only).
+[[nodiscard]] std::string write_dot(const subgraph& g);
+
+}  // namespace asynth

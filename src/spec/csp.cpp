@@ -1,0 +1,132 @@
+#include "spec/csp.hpp"
+
+#include <cctype>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace asynth {
+
+namespace {
+
+struct fragment {
+    std::vector<uint32_t> entries;
+    std::vector<uint32_t> exits;
+};
+
+class csp_parser {
+public:
+    explicit csp_parser(std::string_view text) : text_(text) {}
+
+    stg run() {
+        skip_ws();
+        std::string name = ident();
+        require_token("=");
+        net_.model_name = name;
+        fragment body = expr();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing input");
+        // The body repeats forever: close the loop with marked places.
+        for (uint32_t e : body.exits)
+            for (uint32_t s : body.entries) net_.connect(e, s, 1);
+        return std::move(net_);
+    }
+
+private:
+    fragment expr() { return seq(); }
+
+    fragment seq() {
+        fragment acc = par();
+        while (peek_token(";")) {
+            require_token(";");
+            fragment next = par();
+            for (uint32_t e : acc.exits)
+                for (uint32_t s : next.entries) net_.connect(e, s);
+            acc.exits = std::move(next.exits);
+        }
+        return acc;
+    }
+
+    fragment par() {
+        fragment acc = atom();
+        while (peek_token("||")) {
+            require_token("||");
+            fragment next = atom();
+            acc.entries.insert(acc.entries.end(), next.entries.begin(), next.entries.end());
+            acc.exits.insert(acc.exits.end(), next.exits.begin(), next.exits.end());
+        }
+        return acc;
+    }
+
+    fragment atom() {
+        skip_ws();
+        if (peek_token("(")) {
+            require_token("(");
+            fragment inner = expr();
+            require_token(")");
+            return inner;
+        }
+        std::string name = ident();
+        skip_ws();
+        edge dir;
+        if (pos_ < text_.size() && text_[pos_] == '?') dir = edge::recv;
+        else if (pos_ < text_.size() && text_[pos_] == '!') dir = edge::send;
+        else { fail("expected '?' or '!' after channel name '" + name + "'"); dir = edge::recv; }
+        ++pos_;
+        int32_t sig;
+        if (auto found = net_.find_signal(name)) {
+            sig = static_cast<int32_t>(*found);
+            require(net_.signals()[static_cast<uint32_t>(sig)].kind == signal_kind::channel,
+                    "'" + name + "' is not a channel");
+        } else {
+            sig = static_cast<int32_t>(net_.add_signal(name, signal_kind::channel));
+        }
+        uint32_t t = net_.add_transition(event_label{sig, dir, 0});
+        return fragment{{t}, {t}};
+    }
+
+    // ---- lexing ------------------------------------------------------------
+    void skip_ws() {
+        while (pos_ < text_.size() &&
+               (std::isspace(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '\n'))
+            ++pos_;
+    }
+
+    bool peek_token(std::string_view tok) {
+        skip_ws();
+        return text_.substr(pos_, tok.size()) == tok;
+    }
+
+    void require_token(std::string_view tok) {
+        skip_ws();
+        if (text_.substr(pos_, tok.size()) != tok) fail("expected '" + std::string(tok) + "'");
+        pos_ += tok.size();
+    }
+
+    std::string ident() {
+        skip_ws();
+        std::string out;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '_'))
+            out += text_[pos_++];
+        if (out.empty()) fail("expected an identifier");
+        return out;
+    }
+
+    [[noreturn]] void fail(const std::string& msg) const {
+        std::size_t line = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i)
+            if (text_[i] == '\n') ++line;
+        throw parse_error(line, msg + " (at offset " + std::to_string(pos_) + ")");
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    stg net_;
+};
+
+}  // namespace
+
+stg parse_csp(std::string_view text) { return csp_parser(text).run(); }
+
+}  // namespace asynth

@@ -1,0 +1,26 @@
+// A small CSP-like front end (paper section 1, design scenario 2): the
+// designer writes the behaviour in terms of abstract channel actions and the
+// tool handles refinement.  Grammar:
+//
+//   process   := name '=' expr           (the body repeats forever)
+//   expr      := par (';' par)*          sequential composition
+//   par       := atom ('||' atom)*       parallel composition (fork/join)
+//   atom      := name '?' | name '!' | '(' expr ')'
+//
+// Example -- the LR process:   lr = l? ; r! ; r? ; l!
+// Example -- the PAR component: par = a? ; (b! ; b?) || (c! ; c?) ; a!
+//
+// The result is a channel-level STG ready for expand_handshakes().
+#pragma once
+
+#include <string_view>
+
+#include "petri/stg.hpp"
+
+namespace asynth {
+
+/// Parses a process definition into a channel STG.  Channels are declared
+/// implicitly on first use.  Throws asynth::parse_error on syntax errors.
+[[nodiscard]] stg parse_csp(std::string_view text);
+
+}  // namespace asynth

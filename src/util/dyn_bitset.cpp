@@ -1,0 +1,127 @@
+#include "util/dyn_bitset.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace asynth {
+
+dyn_bitset::dyn_bitset(std::size_t nbits, bool value)
+    : nbits_(nbits), words_((nbits + 63) / 64, value ? ~uint64_t{0} : 0) {
+    if (value) clear_padding();
+}
+
+void dyn_bitset::resize(std::size_t nbits, bool value) {
+    const std::size_t old_bits = nbits_;
+    nbits_ = nbits;
+    words_.resize((nbits + 63) / 64, value ? ~uint64_t{0} : 0);
+    if (value && nbits > old_bits) {
+        // Bits in the last pre-existing word beyond old_bits must be set.
+        for (std::size_t i = old_bits; i < nbits && (i >> 6) < words_.size() && (i >> 6) == (old_bits >> 6); ++i)
+            set(i);
+    }
+    clear_padding();
+}
+
+void dyn_bitset::set_all() noexcept {
+    for (auto& w : words_) w = ~uint64_t{0};
+    clear_padding();
+}
+
+void dyn_bitset::reset_all() noexcept {
+    for (auto& w : words_) w = 0;
+}
+
+std::size_t dyn_bitset::count() const noexcept {
+    std::size_t n = 0;
+    for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+}
+
+bool dyn_bitset::none() const noexcept {
+    for (auto w : words_)
+        if (w != 0) return false;
+    return true;
+}
+
+std::size_t dyn_bitset::find_first() const noexcept {
+    for (std::size_t wi = 0; wi < words_.size(); ++wi)
+        if (words_[wi] != 0)
+            return wi * 64 + static_cast<std::size_t>(std::countr_zero(words_[wi]));
+    return npos;
+}
+
+std::size_t dyn_bitset::find_next(std::size_t i) const noexcept {
+    ++i;
+    if (i >= nbits_) return npos;
+    std::size_t wi = i >> 6;
+    uint64_t w = words_[wi] & (~uint64_t{0} << (i & 63U));
+    while (true) {
+        if (w != 0) return wi * 64 + static_cast<std::size_t>(std::countr_zero(w));
+        if (++wi >= words_.size()) return npos;
+        w = words_[wi];
+    }
+}
+
+dyn_bitset& dyn_bitset::operator|=(const dyn_bitset& o) noexcept {
+    assert(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+    return *this;
+}
+
+dyn_bitset& dyn_bitset::operator&=(const dyn_bitset& o) noexcept {
+    assert(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+}
+
+dyn_bitset& dyn_bitset::operator^=(const dyn_bitset& o) noexcept {
+    assert(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+    return *this;
+}
+
+dyn_bitset& dyn_bitset::and_not(const dyn_bitset& o) noexcept {
+    assert(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= ~o.words_[i];
+    return *this;
+}
+
+bool dyn_bitset::intersects(const dyn_bitset& o) const noexcept {
+    assert(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        if (words_[i] & o.words_[i]) return true;
+    return false;
+}
+
+bool dyn_bitset::is_subset_of(const dyn_bitset& o) const noexcept {
+    assert(nbits_ == o.nbits_);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        if (words_[i] & ~o.words_[i]) return false;
+    return true;
+}
+
+std::size_t dyn_bitset::hash() const noexcept {
+    // FNV-1a over words; good enough for hash-map keys on markings.
+    uint64_t h = 1469598103934665603ULL;
+    for (auto w : words_) {
+        h ^= w;
+        h *= 1099511628211ULL;
+    }
+    h ^= nbits_;
+    return static_cast<std::size_t>(h);
+}
+
+std::string dyn_bitset::to_string() const {
+    std::string s(nbits_, '0');
+    for (std::size_t i = 0; i < nbits_; ++i)
+        if (test(i)) s[i] = '1';
+    return s;
+}
+
+void dyn_bitset::clear_padding() noexcept {
+    if (nbits_ & 63U) {
+        if (!words_.empty()) words_.back() &= (~uint64_t{0}) >> (64 - (nbits_ & 63U));
+    }
+}
+
+}  // namespace asynth

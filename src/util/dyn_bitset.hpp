@@ -1,0 +1,104 @@
+// Dynamic bitset tuned for the small dense universes used throughout the
+// library: Petri-net markings, state-graph state/arc sets, signal codes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace asynth {
+
+/// Fixed-universe dynamic bitset.  All binary operations require operands of
+/// equal size (checked in debug builds via assertions in the .cpp helpers).
+class dyn_bitset {
+public:
+    dyn_bitset() = default;
+    explicit dyn_bitset(std::size_t nbits, bool value = false);
+
+    [[nodiscard]] std::size_t size() const noexcept { return nbits_; }
+    [[nodiscard]] bool empty_universe() const noexcept { return nbits_ == 0; }
+
+    void resize(std::size_t nbits, bool value = false);
+
+    [[nodiscard]] bool test(std::size_t i) const noexcept {
+        return (words_[i >> 6] >> (i & 63U)) & 1U;
+    }
+    void set(std::size_t i) noexcept { words_[i >> 6] |= (uint64_t{1} << (i & 63U)); }
+    void reset(std::size_t i) noexcept { words_[i >> 6] &= ~(uint64_t{1} << (i & 63U)); }
+    void assign(std::size_t i, bool v) noexcept { v ? set(i) : reset(i); }
+    void flip(std::size_t i) noexcept { words_[i >> 6] ^= (uint64_t{1} << (i & 63U)); }
+
+    void set_all() noexcept;
+    void reset_all() noexcept;
+
+    /// Number of set bits.
+    [[nodiscard]] std::size_t count() const noexcept;
+    /// True if no bit is set.
+    [[nodiscard]] bool none() const noexcept;
+    [[nodiscard]] bool any() const noexcept { return !none(); }
+
+    /// Index of first set bit, or npos when none.
+    [[nodiscard]] std::size_t find_first() const noexcept;
+    /// Index of first set bit strictly after @p i, or npos.
+    [[nodiscard]] std::size_t find_next(std::size_t i) const noexcept;
+
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+    dyn_bitset& operator|=(const dyn_bitset& o) noexcept;
+    dyn_bitset& operator&=(const dyn_bitset& o) noexcept;
+    dyn_bitset& operator^=(const dyn_bitset& o) noexcept;
+    /// this := this & ~o
+    dyn_bitset& and_not(const dyn_bitset& o) noexcept;
+
+    [[nodiscard]] friend dyn_bitset operator|(dyn_bitset a, const dyn_bitset& b) { return a |= b; }
+    [[nodiscard]] friend dyn_bitset operator&(dyn_bitset a, const dyn_bitset& b) { return a &= b; }
+    [[nodiscard]] friend dyn_bitset operator^(dyn_bitset a, const dyn_bitset& b) { return a ^= b; }
+
+    [[nodiscard]] bool operator==(const dyn_bitset& o) const noexcept = default;
+
+    /// True iff this and @p o share at least one set bit.
+    [[nodiscard]] bool intersects(const dyn_bitset& o) const noexcept;
+    /// True iff every set bit of this is also set in @p o.
+    [[nodiscard]] bool is_subset_of(const dyn_bitset& o) const noexcept;
+
+    [[nodiscard]] std::size_t hash() const noexcept;
+
+    /// "10110..." most-significant index last (index 0 printed first).
+    [[nodiscard]] std::string to_string() const;
+
+    /// Iterate set bits: for (auto i : bits.ones()) ...
+    class ones_range {
+    public:
+        explicit ones_range(const dyn_bitset& b) noexcept : b_(&b) {}
+        class iterator {
+        public:
+            iterator(const dyn_bitset* b, std::size_t pos) noexcept : b_(b), pos_(pos) {}
+            std::size_t operator*() const noexcept { return pos_; }
+            iterator& operator++() noexcept { pos_ = b_->find_next(pos_); return *this; }
+            bool operator!=(const iterator& o) const noexcept { return pos_ != o.pos_; }
+        private:
+            const dyn_bitset* b_;
+            std::size_t pos_;
+        };
+        [[nodiscard]] iterator begin() const noexcept { return {b_, b_->find_first()}; }
+        [[nodiscard]] iterator end() const noexcept { return {b_, npos}; }
+    private:
+        const dyn_bitset* b_;
+    };
+    [[nodiscard]] ones_range ones() const noexcept { return ones_range(*this); }
+
+private:
+    void clear_padding() noexcept;
+
+    std::size_t nbits_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+}  // namespace asynth
+
+template <>
+struct std::hash<asynth::dyn_bitset> {
+    std::size_t operator()(const asynth::dyn_bitset& b) const noexcept { return b.hash(); }
+};

@@ -1,0 +1,32 @@
+// Error type used across the library.  All recoverable analysis results use
+// report structs; exceptions signal malformed inputs or violated contracts.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace asynth {
+
+/// Library-wide exception.  `what()` carries a human-readable diagnostic.
+class error : public std::runtime_error {
+public:
+    explicit error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Thrown by parsers on malformed input; carries a line number.
+class parse_error : public error {
+public:
+    parse_error(std::size_t line, const std::string& msg)
+        : error("line " + std::to_string(line) + ": " + msg), line_(line) {}
+    [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+private:
+    std::size_t line_;
+};
+
+/// Require a condition on user input; throws asynth::error when violated.
+inline void require(bool cond, const std::string& msg) {
+    if (!cond) throw error(msg);
+}
+
+}  // namespace asynth

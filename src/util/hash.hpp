@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace asynth {
+
+/// Boost-style hash combiner.
+inline void hash_combine(std::size_t& seed, std::size_t v) noexcept {
+    seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+}
+
+template <typename T>
+void hash_combine_value(std::size_t& seed, const T& v) noexcept {
+    hash_combine(seed, std::hash<T>{}(v));
+}
+
+/// Deterministic xorshift PRNG used by property tests and workload
+/// generators so results are reproducible across platforms.
+class xorshift64 {
+public:
+    explicit xorshift64(uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept
+        : state_(seed ? seed : 1) {}
+
+    uint64_t next() noexcept {
+        uint64_t x = state_;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        return state_ = x;
+    }
+
+    /// Uniform in [0, n).
+    uint64_t next_below(uint64_t n) noexcept { return n ? next() % n : 0; }
+
+    /// Uniform double in [0, 1).
+    double next_unit() noexcept { return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+    bool next_bool(double p = 0.5) noexcept { return next_unit() < p; }
+
+private:
+    uint64_t state_;
+};
+
+}  // namespace asynth

@@ -1,0 +1,163 @@
+// ROBDD package: operations cross-checked against truth-table oracles on
+// random functions, plus symbolic-vs-explicit reachability agreement.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "bdd/bdd.hpp"
+#include "bdd/symbolic.hpp"
+#include "benchmarks/corpus.hpp"
+#include "core/expand.hpp"
+#include "sg/state_graph.hpp"
+#include "util/hash.hpp"
+
+using namespace asynth;
+
+namespace {
+
+dyn_bitset point(std::size_t n, uint64_t bits) {
+    dyn_bitset p(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if (bits & (1ULL << i)) p.set(i);
+    return p;
+}
+
+/// Builds a random BDD and a parallel truth-table oracle.
+struct random_function {
+    bdd_manager::ref f;
+    std::function<bool(uint64_t)> oracle;
+};
+
+random_function build_random(bdd_manager& m, std::size_t n, xorshift64& rng, int depth) {
+    if (depth == 0 || rng.next_bool(0.3)) {
+        const auto v = static_cast<uint32_t>(rng.next_below(n));
+        const bool pos = rng.next_bool();
+        return {pos ? m.var(v) : m.nvar(v),
+                [v, pos](uint64_t bits) { return ((bits >> v) & 1) == (pos ? 1u : 0u); }};
+    }
+    auto a = build_random(m, n, rng, depth - 1);
+    auto b = build_random(m, n, rng, depth - 1);
+    switch (rng.next_below(3)) {
+        case 0:
+            return {m.apply_and(a.f, b.f),
+                    [a, b](uint64_t x) { return a.oracle(x) && b.oracle(x); }};
+        case 1:
+            return {m.apply_or(a.f, b.f),
+                    [a, b](uint64_t x) { return a.oracle(x) || b.oracle(x); }};
+        default:
+            return {m.apply_xor(a.f, b.f),
+                    [a, b](uint64_t x) { return a.oracle(x) != b.oracle(x); }};
+    }
+}
+
+}  // namespace
+
+TEST(bdd, terminals_and_vars) {
+    bdd_manager m(3);
+    EXPECT_EQ(m.zero(), 0u);
+    EXPECT_EQ(m.one(), 1u);
+    auto x0 = m.var(0);
+    EXPECT_TRUE(m.eval(x0, point(3, 0b001)));
+    EXPECT_FALSE(m.eval(x0, point(3, 0b110)));
+    EXPECT_EQ(m.var(0), x0);  // unique table canonicalises
+    EXPECT_EQ(m.apply_and(x0, m.negate(x0)), m.zero());
+    EXPECT_EQ(m.apply_or(x0, m.negate(x0)), m.one());
+}
+
+TEST(bdd, sat_count) {
+    bdd_manager m(4);
+    EXPECT_DOUBLE_EQ(m.sat_count(m.one()), 16.0);
+    EXPECT_DOUBLE_EQ(m.sat_count(m.zero()), 0.0);
+    EXPECT_DOUBLE_EQ(m.sat_count(m.var(2)), 8.0);
+    auto f = m.apply_and(m.var(0), m.var(3));
+    EXPECT_DOUBLE_EQ(m.sat_count(f), 4.0);
+    auto g = m.apply_xor(m.var(1), m.var(2));
+    EXPECT_DOUBLE_EQ(m.sat_count(g), 8.0);
+}
+
+TEST(bdd, exists_quantification) {
+    bdd_manager m(3);
+    auto f = m.apply_and(m.var(0), m.var(1));
+    dyn_bitset q(3);
+    q.set(0);
+    EXPECT_EQ(m.exists(f, q), m.var(1));
+    q.set(1);
+    EXPECT_EQ(m.exists(f, q), m.one());
+    // Quantifying a variable outside the support is a no-op.
+    dyn_bitset q2(3);
+    q2.set(2);
+    EXPECT_EQ(m.exists(f, q2), f);
+}
+
+TEST(bdd, rename_shifts_support) {
+    bdd_manager m(4);
+    auto f = m.apply_and(m.var(0), m.nvar(2));
+    std::vector<uint32_t> map = {1, 1, 3, 3};  // 0->1, 2->3
+    auto g = m.rename(f, map);
+    EXPECT_TRUE(m.eval(g, point(4, 0b0010)));   // x1=1, x3=0
+    EXPECT_FALSE(m.eval(g, point(4, 0b1010)));  // x3=1 violates
+}
+
+class bdd_random : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(bdd_random, matches_truth_table_oracle) {
+    xorshift64 rng(GetParam() * 99991 + 7);
+    const std::size_t n = 3 + rng.next_below(4);  // 3..6 vars
+    bdd_manager m(static_cast<uint32_t>(n));
+    auto rf = build_random(m, n, rng, 4);
+    double expected_count = 0;
+    for (uint64_t bits = 0; bits < (1ULL << n); ++bits) {
+        EXPECT_EQ(m.eval(rf.f, point(n, bits)), rf.oracle(bits)) << "bits " << bits;
+        expected_count += rf.oracle(bits) ? 1 : 0;
+    }
+    EXPECT_DOUBLE_EQ(m.sat_count(rf.f), expected_count);
+    // not(not(f)) == f; f xor f == 0.
+    EXPECT_EQ(m.negate(m.negate(rf.f)), rf.f);
+    EXPECT_EQ(m.apply_xor(rf.f, rf.f), m.zero());
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, bdd_random, ::testing::Range<uint64_t>(0, 25));
+
+namespace {
+
+std::size_t distinct_markings(const state_graph& g) {
+    std::unordered_map<dyn_bitset, bool> seen;
+    for (const auto& s : g.states()) seen.emplace(s.m, true);
+    return seen.size();
+}
+
+}  // namespace
+
+TEST(symbolic, agrees_with_explicit_on_fig1) {
+    auto net = benchmarks::fig1_controller();
+    auto gen = state_graph::generate(net);
+    auto sym = symbolic_reachable_markings(net);
+    EXPECT_DOUBLE_EQ(sym.reachable_markings, static_cast<double>(distinct_markings(gen.graph)));
+}
+
+TEST(symbolic, agrees_with_explicit_on_expansions) {
+    for (const auto& [name, spec] : benchmarks::spec_suite()) {
+        auto expanded = expand_handshakes(spec);
+        auto gen = state_graph::generate(expanded);
+        auto sym = symbolic_reachable_markings(expanded);
+        EXPECT_DOUBLE_EQ(sym.reachable_markings,
+                         static_cast<double>(distinct_markings(gen.graph)))
+            << name;
+        EXPECT_GT(sym.iterations, 0u);
+    }
+}
+
+class symbolic_random : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(symbolic_random, reachability_cross_check) {
+    // Two leaves keep the BDDs small under the naive static variable order
+    // (the package has no reordering; larger nets can blow up on unlucky
+    // structures -- a known limitation documented in DESIGN.md).
+    auto spec = benchmarks::random_handshake_spec(GetParam(), 2);
+    auto expanded = expand_handshakes(spec);
+    auto gen = state_graph::generate(expanded);
+    auto sym = symbolic_reachable_markings(expanded);
+    EXPECT_DOUBLE_EQ(sym.reachable_markings, static_cast<double>(distinct_markings(gen.graph)));
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, symbolic_random, ::testing::Range<uint64_t>(0, 10));

@@ -1,0 +1,144 @@
+// Cube/cover algebra and the two minimisers, cross-checked against brute
+// force truth tables on random functions.
+#include <gtest/gtest.h>
+
+#include "boolfn/cover.hpp"
+#include "util/hash.hpp"
+
+using namespace asynth;
+
+namespace {
+
+dyn_bitset point(std::size_t n, uint64_t bits) {
+    dyn_bitset p(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if (bits & (1ULL << i)) p.set(i);
+    return p;
+}
+
+/// Random partial function over n vars: each minterm is ON / OFF / DC.
+sop_spec random_spec(std::size_t n, uint64_t seed, double p_on = 0.3, double p_off = 0.4) {
+    xorshift64 rng(seed);
+    sop_spec s;
+    s.nvars = n;
+    for (uint64_t m = 0; m < (1ULL << n); ++m) {
+        const double r = rng.next_unit();
+        if (r < p_on) s.on.push_back(point(n, m));
+        else if (r < p_on + p_off) s.off.push_back(point(n, m));
+    }
+    return s;
+}
+
+}  // namespace
+
+TEST(cube, literal_and_cover_basics) {
+    cube c(3);
+    EXPECT_EQ(c.literal_count(), 0u);
+    c.set_literal(0, true);
+    c.set_literal(2, false);
+    EXPECT_EQ(c.literal_count(), 2u);
+    EXPECT_EQ(c.literal(0), 1);
+    EXPECT_EQ(c.literal(1), 0);
+    EXPECT_EQ(c.literal(2), -1);
+    EXPECT_TRUE(c.covers(point(3, 0b001)));   // a=1, b=0, c=0
+    EXPECT_TRUE(c.covers(point(3, 0b011)));   // a=1, b=1, c=0
+    EXPECT_FALSE(c.covers(point(3, 0b101)));  // c=1 violates c'
+    EXPECT_FALSE(c.covers(point(3, 0b000)));  // a=0 violates a
+    EXPECT_EQ(c.to_string({"a", "b", "c"}), "a c'");
+}
+
+TEST(cube, containment_and_intersection) {
+    cube wide(3);
+    wide.set_literal(0, true);  // a
+    cube narrow(3);
+    narrow.set_literal(0, true);
+    narrow.set_literal(1, false);  // a b'
+    EXPECT_TRUE(wide.contains(narrow));
+    EXPECT_FALSE(narrow.contains(wide));
+    EXPECT_TRUE(wide.intersects(narrow));
+    cube other(3);
+    other.set_literal(0, false);  // a'
+    EXPECT_FALSE(wide.intersects(other));
+    EXPECT_TRUE(cube(3).contains(wide));  // universal cube contains all
+}
+
+TEST(minimize, single_cube_function) {
+    // f = a (on: a=1 minterms; off: a=0 minterms) over 3 vars.
+    sop_spec s;
+    s.nvars = 3;
+    for (uint64_t m = 0; m < 8; ++m)
+        (m & 1 ? s.on : s.off).push_back(point(3, m));
+    auto c = minimize_heuristic(s);
+    ASSERT_EQ(c.cubes.size(), 1u);
+    EXPECT_EQ(c.literal_count(), 1u);
+    EXPECT_EQ(c.cubes[0].literal(0), 1);
+    EXPECT_TRUE(verify_cover(c, s));
+}
+
+TEST(minimize, dont_cares_enable_merging) {
+    // ON = {000}, OFF = {111}: everything else DC -> one 1-literal cube.
+    sop_spec s;
+    s.nvars = 3;
+    s.on.push_back(point(3, 0b000));
+    s.off.push_back(point(3, 0b111));
+    auto c = minimize_heuristic(s);
+    ASSERT_EQ(c.cubes.size(), 1u);
+    EXPECT_EQ(c.literal_count(), 1u);
+    EXPECT_TRUE(verify_cover(c, s));
+}
+
+TEST(minimize, xor_needs_two_cubes) {
+    sop_spec s;
+    s.nvars = 2;
+    s.on = {point(2, 0b01), point(2, 0b10)};
+    s.off = {point(2, 0b00), point(2, 0b11)};
+    auto h = minimize_heuristic(s);
+    EXPECT_EQ(h.cubes.size(), 2u);
+    EXPECT_EQ(h.literal_count(), 4u);
+    EXPECT_TRUE(verify_cover(h, s));
+    bool exact = false;
+    auto e = minimize_exact(s, exact_limits{}, &exact);
+    EXPECT_TRUE(exact);
+    EXPECT_EQ(e.cubes.size(), 2u);
+}
+
+TEST(minimize, empty_on_set_gives_constant_zero) {
+    sop_spec s;
+    s.nvars = 4;
+    s.off.push_back(point(4, 3));
+    EXPECT_TRUE(minimize_heuristic(s).cubes.empty());
+    EXPECT_TRUE(minimize_exact(s).cubes.empty());
+}
+
+TEST(minimize, tautology_when_off_empty) {
+    sop_spec s;
+    s.nvars = 3;
+    for (uint64_t m = 0; m < 8; ++m) s.on.push_back(point(3, m));
+    auto c = minimize_heuristic(s);
+    ASSERT_EQ(c.cubes.size(), 1u);
+    EXPECT_EQ(c.literal_count(), 0u);  // the universal cube
+}
+
+class minimize_random : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(minimize_random, heuristic_and_exact_are_correct) {
+    const uint64_t seed = GetParam();
+    const std::size_t n = 3 + seed % 4;  // 3..6 variables
+    auto spec = random_spec(n, seed * 77 + 13);
+    auto h = minimize_heuristic(spec, 4);
+    EXPECT_TRUE(verify_cover(h, spec)) << "heuristic broken, seed " << seed;
+    bool exact = false;
+    auto e = minimize_exact(spec, exact_limits{}, &exact);
+    EXPECT_TRUE(verify_cover(e, spec)) << "exact broken, seed " << seed;
+    // Exact never does worse than the heuristic (cube count first).
+    if (exact) {
+        EXPECT_LE(e.cubes.size(), h.cubes.size()) << "seed " << seed;
+    }
+    if (spec.on.empty()) {
+        EXPECT_TRUE(h.cubes.empty());
+    } else {
+        EXPECT_GE(h.cubes.size(), 1u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, minimize_random, ::testing::Range<uint64_t>(0, 40));

@@ -1,0 +1,135 @@
+// The embedded corpus itself: every specification must be well-formed, and
+// the paper-specific entries must have the structural properties the
+// experiments rely on.
+#include <gtest/gtest.h>
+
+#include "benchmarks/corpus.hpp"
+#include "core/cost.hpp"
+#include "core/expand.hpp"
+#include "core/protocol.hpp"
+#include "petri/astg_io.hpp"
+#include "sg/analysis.hpp"
+
+using namespace asynth;
+
+TEST(corpus, fig1_matches_paper_numbers) {
+    auto gen = state_graph::generate(benchmarks::fig1_controller());
+    EXPECT_EQ(gen.graph.state_count(), 5u);
+    EXPECT_EQ(gen.graph.arc_count(), 6u);
+    EXPECT_EQ(gen.graph.state_code_string(gen.graph.initial()), "0*1");
+}
+
+TEST(corpus, lr_process_is_a_channel_spec) {
+    auto lr = benchmarks::lr_process();
+    std::size_t channels = 0;
+    for (const auto& s : lr.signals())
+        if (s.kind == signal_kind::channel) ++channels;
+    EXPECT_EQ(channels, 2u);
+    EXPECT_EQ(lr.transitions().size(), 4u);  // l? r! r? l!
+}
+
+TEST(corpus, qmodule_is_complete_and_si) {
+    auto gen = state_graph::generate(benchmarks::qmodule_lr());
+    auto g = subgraph::full(gen.graph);
+    EXPECT_EQ(gen.graph.state_count(), 8u);
+    EXPECT_TRUE(check_consistency(g));
+    EXPECT_TRUE(check_speed_independence(g).ok());
+    EXPECT_EQ(check_csc(g, 0).conflict_pairs, 1u);
+    EXPECT_EQ(count_concurrent_pairs(g), 0u);  // fully sequential
+}
+
+TEST(corpus, lr_full_reduction_is_sequential_and_csc_clean) {
+    auto gen = state_graph::generate(benchmarks::lr_full_reduction());
+    auto g = subgraph::full(gen.graph);
+    EXPECT_EQ(count_concurrent_pairs(g), 0u);
+    EXPECT_EQ(check_csc(g, 0).conflict_pairs, 0u);
+}
+
+TEST(corpus, par_manual_is_implementable_without_state_signals) {
+    auto gen = state_graph::generate(benchmarks::par_manual());
+    auto g = subgraph::full(gen.graph);
+    EXPECT_TRUE(check_speed_independence(g).ok());
+    EXPECT_EQ(check_csc(g, 0).conflict_pairs, 0u);
+}
+
+TEST(corpus, mmu_has_four_channels) {
+    auto mmu = benchmarks::mmu_controller();
+    std::vector<std::string> names;
+    for (const auto& s : mmu.signals())
+        if (s.kind == signal_kind::channel) names.push_back(s.name);
+    EXPECT_EQ(names.size(), 4u);  // r l m b -- the Table 2 row labels
+}
+
+TEST(corpus, fig8_fragment_matches_figure) {
+    auto sg = benchmarks::fig8_fragment();
+    EXPECT_EQ(sg.state_count(), 9u);
+    EXPECT_EQ(sg.arc_count(), 11u);
+    EXPECT_TRUE(check_consistency(subgraph::full(sg)));
+}
+
+TEST(corpus, spec_suite_entries_all_expand) {
+    for (const auto& [name, spec] : benchmarks::spec_suite()) {
+        auto expanded = expand_handshakes(spec);
+        auto gen = state_graph::generate(expanded);
+        auto g = subgraph::full(gen.graph);
+        EXPECT_TRUE(check_speed_independence(g).ok()) << name;
+        EXPECT_TRUE(deadlock_states(g).empty()) << name;
+    }
+}
+
+namespace {
+
+/// Order-independent canonical form: sorted signal declarations, sorted
+/// arc set (by names), sorted marked-place set.
+std::string canonical_astg(const stg& net) {
+    std::vector<std::string> lines;
+    for (const auto& s : net.signals())
+        lines.push_back("sig " + s.name + " " + std::to_string(static_cast<int>(s.kind)) +
+                        (s.partial ? " partial" : ""));
+    auto place_key = [&](uint32_t p) {
+        const auto& pl = net.places()[p];
+        if (!pl.implicit) return pl.name;
+        // Implicit places are identified by their unique pre/post pair.
+        return "<" + net.transition_name(net.place_pre(p)[0]) + "," +
+               net.transition_name(net.place_post(p)[0]) + ">";
+    };
+    for (uint32_t t = 0; t < net.transitions().size(); ++t) {
+        for (uint32_t p : net.transitions()[t].pre)
+            lines.push_back("arc " + place_key(p) + " -> " + net.transition_name(t));
+        for (uint32_t p : net.transitions()[t].post)
+            lines.push_back("arc " + net.transition_name(t) + " -> " + place_key(p));
+    }
+    for (uint32_t p = 0; p < net.places().size(); ++p)
+        if (net.places()[p].tokens) lines.push_back("marked " + place_key(p));
+    std::sort(lines.begin(), lines.end());
+    std::string out;
+    for (const auto& l : lines) out += l + "\n";
+    return out;
+}
+
+}  // namespace
+
+TEST(corpus, specs_roundtrip_through_astg_text) {
+    for (const auto& [name, spec] : benchmarks::spec_suite()) {
+        auto back = parse_astg(write_astg(spec));
+        EXPECT_EQ(canonical_astg(spec), canonical_astg(back)) << name;
+    }
+}
+
+class corpus_random : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(corpus_random, generator_is_deterministic_and_valid) {
+    const uint64_t seed = GetParam();
+    auto a = benchmarks::random_handshake_spec(seed, 4);
+    auto b = benchmarks::random_handshake_spec(seed, 4);
+    EXPECT_EQ(write_astg(a), write_astg(b));
+    auto gen = state_graph::generate(expand_handshakes(a));
+    EXPECT_TRUE(deadlock_states(subgraph::full(gen.graph)).empty());
+    for (const auto& sig : a.signals()) {
+        if (sig.kind != signal_kind::channel) continue;
+        auto g = subgraph::full(gen.graph);
+        EXPECT_TRUE(check_channel_protocol(g, sig.name).empty()) << "seed " << seed;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, corpus_random, ::testing::Range<uint64_t>(0, 12));

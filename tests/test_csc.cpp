@@ -1,0 +1,152 @@
+// CSC resolution by state-signal insertion: correctness of the product
+// construction and of the solver's validity guarantees.
+#include <gtest/gtest.h>
+
+#include "benchmarks/corpus.hpp"
+#include "core/expand.hpp"
+#include "csc/csc.hpp"
+#include "sg/analysis.hpp"
+
+using namespace asynth;
+
+namespace {
+
+state_graph sg_of(const stg& net) { return state_graph::generate(net).graph; }
+
+uint16_t event_of(const state_graph& g, const char* sig, edge d) {
+    for (uint32_t s = 0; s < g.signals().size(); ++s)
+        if (g.signals()[s].name == sig) return *g.find_event(static_cast<int32_t>(s), d);
+    ADD_FAILURE() << "no signal " << sig;
+    return 0;
+}
+
+}  // namespace
+
+TEST(csc, qmodule_solved_with_one_signal) {
+    auto sg = sg_of(benchmarks::qmodule_lr());
+    auto res = resolve_csc(subgraph::full(sg));
+    EXPECT_TRUE(res.solved);
+    EXPECT_EQ(res.signals_inserted, 1u);  // Table 1: "# CSC sign." = 1
+    EXPECT_EQ(check_csc(subgraph::full(res.graph), 0).conflict_pairs, 0u);
+}
+
+TEST(csc, lr_max_concurrency_needs_two_signals) {
+    auto sg = sg_of(expand_handshakes(benchmarks::lr_process()));
+    auto res = resolve_csc(subgraph::full(sg));
+    EXPECT_TRUE(res.solved);
+    EXPECT_EQ(res.signals_inserted, 2u);  // Table 1: max concurrency row
+}
+
+TEST(csc, inserted_graph_keeps_all_properties) {
+    auto sg = sg_of(benchmarks::qmodule_lr());
+    auto res = resolve_csc(subgraph::full(sg));
+    ASSERT_TRUE(res.solved);
+    auto g = subgraph::full(res.graph);
+    std::string diag;
+    EXPECT_TRUE(check_consistency(g, &diag)) << diag;
+    auto si = check_speed_independence(g);
+    EXPECT_TRUE(si.ok()) << (si.violations.empty() ? "" : si.violations[0]);
+    EXPECT_TRUE(deadlock_states(g).empty());
+    // The inserted signal is internal.
+    EXPECT_EQ(res.graph.signals().back().kind, signal_kind::internal);
+}
+
+TEST(csc, insertion_preserves_projected_language) {
+    // Hiding the new signal, the product must still run the original cycle:
+    // check by simulating the original event sequence through the product.
+    auto sg = sg_of(benchmarks::qmodule_lr());
+    auto res = resolve_csc(subgraph::full(sg));
+    ASSERT_TRUE(res.solved);
+    const auto& pg = res.graph;
+    // Walk the deterministic 8-event Q-module cycle, skipping x transitions.
+    std::vector<std::pair<const char*, edge>> cycle = {
+        {"li", edge::plus},  {"ro", edge::plus},  {"ri", edge::plus},  {"ro", edge::minus},
+        {"ri", edge::minus}, {"lo", edge::plus},  {"li", edge::minus}, {"lo", edge::minus}};
+    auto g = subgraph::full(pg);
+    uint32_t s = pg.initial();
+    for (int lap = 0; lap < 2; ++lap) {
+        for (auto [name, d] : cycle) {
+            uint16_t want = event_of(pg, name, d);
+            // Fire internal (csc) transitions until `want` becomes enabled.
+            for (int guard = 0; guard < 4 && !g.enabled(s, want); ++guard) {
+                bool advanced = false;
+                for (uint32_t a : pg.out_arcs(s)) {
+                    const auto& ev = pg.events()[pg.arcs()[a].event];
+                    if (pg.signals()[static_cast<uint32_t>(ev.signal)].kind ==
+                        signal_kind::internal) {
+                        s = pg.arcs()[a].dst;
+                        advanced = true;
+                        break;
+                    }
+                }
+                if (!advanced) break;
+            }
+            auto arc = g.arc_from(s, want);
+            ASSERT_TRUE(arc.has_value()) << "event " << name << " blocked";
+            s = pg.arcs()[*arc].dst;
+        }
+    }
+}
+
+TEST(csc, input_anchors_rejected) {
+    auto sg = sg_of(benchmarks::qmodule_lr());
+    auto li_plus = event_of(sg, "li", edge::plus);
+    auto lo_plus = event_of(sg, "lo", edge::plus);
+    EXPECT_FALSE(insert_state_signal(sg, li_plus, lo_plus, "x").has_value());
+    EXPECT_FALSE(insert_state_signal(sg, lo_plus, li_plus, "x").has_value());
+    EXPECT_FALSE(insert_state_signal(sg, lo_plus, lo_plus, "x").has_value());
+}
+
+TEST(csc, concurrent_anchors_rejected) {
+    // In the max-concurrency LR, ro- and lo- are concurrent: their ERs
+    // intersect, so x+ and x- could be pending at once -> unusable anchors.
+    auto sg = sg_of(expand_handshakes(benchmarks::lr_process()));
+    auto rom = event_of(sg, "ro", edge::minus);
+    auto lom = event_of(sg, "lo", edge::minus);
+    auto g = subgraph::full(sg);
+    if (concurrent_by_diamond(g, rom, lom)) {
+        EXPECT_FALSE(insert_state_signal(sg, rom, lom, "x").has_value());
+    }
+}
+
+TEST(csc, already_solved_graph_passes_through) {
+    auto sg = sg_of(benchmarks::lr_full_reduction());
+    auto res = resolve_csc(subgraph::full(sg));
+    EXPECT_TRUE(res.solved);
+    EXPECT_EQ(res.signals_inserted, 0u);
+    EXPECT_EQ(res.graph.state_count(), sg.state_count());
+}
+
+TEST(csc, fig1_insertion_alone_cannot_help) {
+    // The Fig. 1 conflict states are separated only by input events; no
+    // non-input anchored insertion can distinguish them.
+    auto sg = sg_of(benchmarks::fig1_controller());
+    auto res = resolve_csc(subgraph::full(sg));
+    EXPECT_FALSE(res.solved);
+    EXPECT_FALSE(res.message.empty());
+}
+
+TEST(csc, product_code_extends_base_code) {
+    auto sg = sg_of(benchmarks::qmodule_lr());
+    auto rom = event_of(sg, "ro", edge::minus);
+    auto lom = event_of(sg, "lo", edge::minus);
+    auto p = insert_state_signal(sg, rom, lom, "x");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_EQ(p->signals().size(), sg.signals().size() + 1);
+    EXPECT_EQ(p->signals().back().name, "x");
+    for (const auto& st : p->states())
+        EXPECT_EQ(st.code.size(), sg.signals().size() + 1);
+    // Projection: the product has at least as many states.
+    EXPECT_GE(p->state_count(), sg.state_count());
+}
+
+TEST(csc, mmu_expansion_eventually_solved) {
+    auto sg = sg_of(expand_handshakes(benchmarks::mmu_controller()));
+    csc_options opt;
+    opt.max_signals = 6;
+    opt.beam_width = 3;
+    auto res = resolve_csc(subgraph::full(sg), opt);
+    EXPECT_TRUE(res.solved) << res.message;
+    EXPECT_GE(res.signals_inserted, 2u);
+    EXPECT_EQ(check_csc(subgraph::full(res.graph), 0).conflict_pairs, 0u);
+}

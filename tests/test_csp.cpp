@@ -1,0 +1,62 @@
+// The CSP-like front end: parsed processes must match the hand-written
+// channel STGs of the corpus.
+#include <gtest/gtest.h>
+
+#include "benchmarks/corpus.hpp"
+#include "core/expand.hpp"
+#include "core/flow.hpp"
+#include "sg/analysis.hpp"
+#include "spec/csp.hpp"
+
+using namespace asynth;
+
+TEST(csp, lr_process_matches_corpus_spec) {
+    auto spec = parse_csp("lr = l? ; r! ; r? ; l!");
+    EXPECT_EQ(spec.model_name, "lr");
+    EXPECT_EQ(spec.transitions().size(), 4u);
+    auto a = state_graph::generate(expand_handshakes(spec)).graph;
+    auto b = state_graph::generate(expand_handshakes(benchmarks::lr_process())).graph;
+    EXPECT_TRUE(lts_equivalent(subgraph::full(a), subgraph::full(b)));
+}
+
+TEST(csp, par_component_matches_corpus_spec) {
+    auto spec = parse_csp("par = a? ; (b! ; b?) || (c! ; c?) ; a!");
+    auto a = state_graph::generate(expand_handshakes(spec)).graph;
+    auto b = state_graph::generate(expand_handshakes(benchmarks::par_component())).graph;
+    EXPECT_TRUE(lts_equivalent(subgraph::full(a), subgraph::full(b)));
+}
+
+TEST(csp, nested_parallelism) {
+    auto spec = parse_csp("x = t? ; a! ; a? || (b! ; b? ; (c! ; c?) || (d! ; d?)) ; t!");
+    auto gen = state_graph::generate(expand_handshakes(spec));
+    auto g = subgraph::full(gen.graph);
+    EXPECT_TRUE(check_speed_independence(g).ok());
+    EXPECT_TRUE(deadlock_states(g).empty());
+}
+
+TEST(csp, channels_declared_implicitly_once) {
+    auto spec = parse_csp("p = a? ; a!");
+    std::size_t channels = 0;
+    for (const auto& s : spec.signals())
+        if (s.kind == signal_kind::channel) ++channels;
+    EXPECT_EQ(channels, 1u);
+}
+
+TEST(csp, syntax_errors_are_reported) {
+    EXPECT_THROW((void)parse_csp("nodefinition"), parse_error);
+    EXPECT_THROW((void)parse_csp("p = a"), parse_error);        // missing ?/!
+    EXPECT_THROW((void)parse_csp("p = (a? ; b!"), parse_error);  // unbalanced
+    EXPECT_THROW((void)parse_csp("p = a? ; ; b!"), parse_error);
+    EXPECT_THROW((void)parse_csp("p = a? extra!"), parse_error);  // trailing
+}
+
+TEST(csp, parsed_process_runs_through_the_flow) {
+    auto spec = parse_csp("lr = l? ; r! ; r? ; l!");
+    flow_options o;
+    o.strategy = reduction_strategy::beam;
+    o.search.cost.w = 0.2;
+    o.search.size_frontier = 6;
+    auto rep = run_flow(spec, o);
+    ASSERT_TRUE(rep.synth.ok);
+    EXPECT_EQ(rep.area(), 0.0);  // the two-wire LR solution, from CSP text
+}

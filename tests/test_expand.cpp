@@ -1,0 +1,203 @@
+// Handshake expansion (paper section 4) on the LR process, the Fig. 6 mixed
+// example and the random series-parallel corpus.
+#include <gtest/gtest.h>
+
+#include "benchmarks/corpus.hpp"
+#include "core/expand.hpp"
+#include "core/protocol.hpp"
+#include "sg/analysis.hpp"
+#include "sg/state_graph.hpp"
+
+using namespace asynth;
+
+namespace {
+
+subgraph make_sg(const stg& net, state_graph& storage) {
+    storage = state_graph::generate(net).graph;
+    return subgraph::full(storage);
+}
+
+}  // namespace
+
+TEST(expand, lr_four_phase_produces_all_eight_events) {
+    auto expanded = expand_handshakes(benchmarks::lr_process());
+    for (const char* name : {"li", "lo", "ri", "ro"}) {
+        auto s = expanded.find_signal(name);
+        ASSERT_TRUE(s.has_value()) << name;
+    }
+    state_graph base;
+    auto g = make_sg(expanded, base);
+    EXPECT_EQ(base.events().size(), 8u);  // li+- lo+- ri+- ro+-
+    EXPECT_TRUE(check_consistency(g));
+    auto si = check_speed_independence(g);
+    EXPECT_TRUE(si.ok()) << (si.violations.empty() ? "" : si.violations[0]);
+    EXPECT_TRUE(deadlock_states(g).empty());
+}
+
+TEST(expand, lr_four_phase_satisfies_channel_protocol) {
+    auto expanded = expand_handshakes(benchmarks::lr_process());
+    state_graph base;
+    auto g = make_sg(expanded, base);
+    EXPECT_TRUE(check_channel_protocol(g, "l").empty());
+    EXPECT_TRUE(check_channel_protocol(g, "r").empty());
+}
+
+TEST(expand, lr_four_phase_has_maximum_reset_concurrency) {
+    // Fig. 2.f: the reset phases of both ports run concurrently with the
+    // functional chain of the other port.
+    auto expanded = expand_handshakes(benchmarks::lr_process());
+    state_graph base;
+    auto g = make_sg(expanded, base);
+    auto ev = [&](const char* sig, edge d) {
+        auto s = base.signals();
+        auto id = expanded.find_signal(sig);
+        EXPECT_TRUE(id.has_value());
+        auto e = base.find_event(static_cast<int32_t>(*id), d);
+        EXPECT_TRUE(e.has_value());
+        return *e;
+    };
+    EXPECT_TRUE(concurrent_by_diamond(g, ev("ro", edge::minus), ev("lo", edge::plus)));
+    EXPECT_TRUE(concurrent_by_diamond(g, ev("li", edge::minus), ev("ro", edge::minus)));
+    EXPECT_TRUE(concurrent_by_diamond(g, ev("lo", edge::minus), ev("ri", edge::minus)));
+    // But the functional chain stays ordered.
+    EXPECT_FALSE(concurrent_by_diamond(g, ev("li", edge::plus), ev("ro", edge::plus)));
+    EXPECT_FALSE(concurrent_by_diamond(g, ev("ro", edge::plus), ev("ri", edge::plus)));
+}
+
+TEST(expand, lr_unconstrained_violates_channel_protocol) {
+    // Fig. 2.e: without interface constraints the reset of li is independent
+    // of lo, so the 4-phase order is violated somewhere.
+    expand_options opt;
+    opt.channel_interface = false;
+    auto expanded = expand_handshakes(benchmarks::lr_process(), opt);
+    state_graph base;
+    auto g = make_sg(expanded, base);
+    EXPECT_TRUE(check_consistency(g));
+    const auto violations = check_four_phase_protocol(
+        g, *expanded.find_signal("li"), *expanded.find_signal("lo"), /*passive=*/true);
+    EXPECT_FALSE(violations.empty());
+}
+
+TEST(expand, lr_two_phase_uses_toggles) {
+    expand_options opt;
+    opt.phases = 2;
+    auto expanded = expand_handshakes(benchmarks::lr_process(), opt);
+    state_graph base;
+    auto g = make_sg(expanded, base);
+    EXPECT_EQ(base.events().size(), 4u);  // li~ lo~ ri~ ro~
+    for (const auto& e : base.events()) EXPECT_EQ(e.dir, edge::toggle);
+    EXPECT_TRUE(check_consistency(g));
+    EXPECT_TRUE(check_speed_independence(g).ok());
+}
+
+TEST(expand, fig6_mixed_example_four_phase) {
+    auto expanded = expand_handshakes(benchmarks::fig6_mixed());
+    // Channel a becomes wires ai/ao; partial b gains its reset transition.
+    ASSERT_TRUE(expanded.find_signal("ai").has_value());
+    ASSERT_TRUE(expanded.find_signal("ao").has_value());
+    auto b_sig = expanded.find_signal("b");
+    ASSERT_TRUE(b_sig.has_value());
+    std::size_t b_plus = 0, b_minus = 0;
+    for (const auto& t : expanded.transitions()) {
+        if (t.label.signal != static_cast<int32_t>(*b_sig)) continue;
+        (t.label.dir == edge::plus ? b_plus : b_minus)++;
+    }
+    EXPECT_EQ(b_plus, 1u);
+    EXPECT_EQ(b_minus, 1u);
+    state_graph base;
+    auto g = make_sg(expanded, base);
+    EXPECT_TRUE(check_consistency(g));
+    EXPECT_TRUE(check_speed_independence(g).ok());
+    // Channel a is used in the active role: ao+ precedes ai+.
+    EXPECT_TRUE(check_channel_protocol(g, "a").empty());
+}
+
+TEST(expand, fig6_two_phase_has_no_reset_events) {
+    expand_options opt;
+    opt.phases = 2;
+    auto expanded = expand_handshakes(benchmarks::fig6_mixed(), opt);
+    // b is partial: in 2-phase it is toggled, no extra transition inserted.
+    auto b_sig = expanded.find_signal("b");
+    ASSERT_TRUE(b_sig.has_value());
+    std::size_t b_trans = 0;
+    for (const auto& t : expanded.transitions()) {
+        if (t.label.signal == static_cast<int32_t>(*b_sig)) {
+            EXPECT_EQ(t.label.dir, edge::toggle);
+            ++b_trans;
+        }
+    }
+    EXPECT_EQ(b_trans, 1u);
+    // c stays a completely specified +/- signal.
+    auto c_sig = expanded.find_signal("c");
+    for (const auto& t : expanded.transitions()) {
+        if (t.label.signal == static_cast<int32_t>(*c_sig)) {
+            EXPECT_NE(t.label.dir, edge::toggle);
+        }
+    }
+    state_graph base;
+    auto g = make_sg(expanded, base);
+    EXPECT_TRUE(check_consistency(g));
+}
+
+TEST(expand, par_keeps_branch_inputs_concurrent) {
+    auto spec = benchmarks::par_component();
+    auto expanded = expand_handshakes(spec);
+    state_graph base;
+    auto g = make_sg(expanded, base);
+    auto bi = base.find_event(static_cast<int32_t>(*expanded.find_signal("bi")), edge::plus);
+    auto ci = base.find_event(static_cast<int32_t>(*expanded.find_signal("ci")), edge::plus);
+    ASSERT_TRUE(bi && ci);
+    EXPECT_TRUE(concurrent_by_diamond(g, *bi, *ci));
+    EXPECT_TRUE(check_channel_protocol(g, "a").empty());
+    EXPECT_TRUE(check_channel_protocol(g, "b").empty());
+    EXPECT_TRUE(check_channel_protocol(g, "c").empty());
+}
+
+TEST(expand, mmu_controller_expands_cleanly) {
+    auto expanded = expand_handshakes(benchmarks::mmu_controller());
+    state_graph base;
+    auto g = make_sg(expanded, base);
+    EXPECT_TRUE(check_consistency(g));
+    EXPECT_TRUE(check_speed_independence(g).ok());
+    for (const char* c : {"r", "l", "m", "b"})
+        EXPECT_TRUE(check_channel_protocol(g, c).empty()) << c;
+}
+
+TEST(expand, keepconc_pairs_are_translated_to_wires) {
+    auto spec = benchmarks::par_component();
+    spec.keep_concurrent.push_back({*spec.parse_label("b?"), *spec.parse_label("c?")});
+    auto expanded = expand_handshakes(spec);
+    ASSERT_EQ(expanded.keep_concurrent.size(), 1u);
+    const auto& [a, b] = expanded.keep_concurrent[0];
+    EXPECT_EQ(expanded.label_name(a), "bi+");
+    EXPECT_EQ(expanded.label_name(b), "ci+");
+}
+
+class expand_random : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(expand_random, series_parallel_specs_expand_validly) {
+    const uint64_t seed = GetParam();
+    auto spec = benchmarks::random_handshake_spec(seed, 3 + static_cast<int>(seed % 4));
+    for (int phases : {2, 4}) {
+        expand_options opt;
+        opt.phases = phases;
+        auto expanded = expand_handshakes(spec, opt);
+        state_graph base;
+        auto g = make_sg(expanded, base);
+        EXPECT_TRUE(check_consistency(g)) << "seed " << seed << " phases " << phases;
+        auto si = check_speed_independence(g);
+        EXPECT_TRUE(si.ok()) << "seed " << seed << " phases " << phases << ": "
+                             << (si.violations.empty() ? "" : si.violations[0]);
+        EXPECT_TRUE(deadlock_states(g).empty());
+        if (phases == 4) {
+            for (const auto& sig : spec.signals()) {
+                if (sig.kind == signal_kind::channel) {
+                    EXPECT_TRUE(check_channel_protocol(g, sig.name).empty())
+                        << "seed " << seed << " channel " << sig.name;
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, expand_random, ::testing::Range<uint64_t>(0, 24));

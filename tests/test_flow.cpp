@@ -1,0 +1,169 @@
+// End-to-end integration of the Fig. 4 flow, with the paper's headline
+// shape assertions on the LR process, the PAR component and the MMU.
+#include <gtest/gtest.h>
+
+#include "benchmarks/corpus.hpp"
+#include "core/flow.hpp"
+#include "petri/astg_io.hpp"
+#include "sg/analysis.hpp"
+
+using namespace asynth;
+
+TEST(flow, lr_beam_flow_reaches_the_wire_solution) {
+    flow_options o;
+    o.strategy = reduction_strategy::beam;
+    o.search.cost.w = 0.2;
+    o.search.size_frontier = 6;
+    o.recover = true;
+    auto rep = run_flow(benchmarks::lr_process(), o);
+    ASSERT_TRUE(rep.synth.ok) << rep.synth.message;
+    EXPECT_EQ(rep.area(), 0.0);             // Table 1: full reduction, area 0
+    EXPECT_EQ(rep.csc_signals(), 0u);       // no state signals
+    EXPECT_DOUBLE_EQ(rep.cycle(), 8.0);     // Table 1: cr. cycle 8
+    EXPECT_EQ(rep.input_events(), 4u);      // Table 1: 4 input events
+    EXPECT_TRUE(rep.recovered.ok);
+}
+
+TEST(flow, lr_max_concurrency_costs_two_state_signals) {
+    flow_options o;
+    o.strategy = reduction_strategy::none;
+    auto rep = run_flow(benchmarks::lr_process(), o);
+    ASSERT_TRUE(rep.synth.ok) << rep.synth.message;
+    EXPECT_EQ(rep.csc_signals(), 2u);  // Table 1: max concurrency, 2 CSC signals
+    EXPECT_GT(rep.area(), 0.0);
+    EXPECT_EQ(rep.input_events(), 3u);
+}
+
+TEST(flow, reduction_shrinks_area_on_every_spec) {
+    for (const auto& [name, spec] : benchmarks::spec_suite()) {
+        // Encoding the *unreduced* graph of the largest specs is the most
+        // expensive CSC instance in the repo; cap this comparison to the
+        // small/medium entries (the large ones are covered by the reduced
+        // flows below and by the dedicated MMU test).
+        auto expanded = expand_handshakes(spec);
+        if (state_graph::generate(expanded).graph.state_count() > 120) continue;
+
+        flow_options max_opts;
+        max_opts.strategy = reduction_strategy::none;
+        max_opts.csc.max_signals = 6;
+        max_opts.csc.beam_width = 2;
+        auto maxc = run_flow(spec, max_opts);
+
+        flow_options red_opts = max_opts;
+        red_opts.strategy = reduction_strategy::beam;
+        red_opts.search.cost.w = 0.2;
+        auto red = run_flow(spec, red_opts);
+
+        if (maxc.synth.ok && red.synth.ok) {
+            EXPECT_LE(red.area(), maxc.area()) << name;
+        }
+        EXPECT_TRUE(red.synth.ok) << name << ": " << red.synth.message;
+    }
+}
+
+TEST(flow, reduced_graphs_always_stay_valid) {
+    for (const auto& [name, spec] : benchmarks::spec_suite()) {
+        flow_options o;
+        o.strategy = reduction_strategy::full;
+        o.search.cost.w = 0.2;
+        auto rep = run_flow(spec, o);
+        auto si = check_speed_independence(rep.reduced);
+        EXPECT_TRUE(si.ok()) << name;
+        EXPECT_TRUE(deadlock_states(rep.reduced).empty()) << name;
+        EXPECT_TRUE(check_consistency(rep.reduced)) << name;
+    }
+}
+
+TEST(flow, mmu_reduction_cuts_area_to_under_half) {
+    // Table 2 headline: "reshuffling can yield an area reduction to less
+    // than one half" of the original.
+    flow_options orig;
+    orig.strategy = reduction_strategy::none;
+    orig.csc.max_signals = 6;
+    orig.csc.beam_width = 3;
+    auto rep_orig = run_flow(benchmarks::mmu_controller(), orig);
+    ASSERT_TRUE(rep_orig.synth.ok) << rep_orig.synth.message;
+
+    flow_options red;
+    red.strategy = reduction_strategy::full;
+    red.search.cost.w = 0.2;
+    auto rep_red = run_flow(benchmarks::mmu_controller(), red);
+    ASSERT_TRUE(rep_red.synth.ok) << rep_red.synth.message;
+
+    EXPECT_LT(rep_red.area(), 0.5 * rep_orig.area());
+}
+
+TEST(flow, par_direct_implementation_at_least_twice_the_reduced) {
+    // Fig. 10: direct implementation of the maximally concurrent behaviour
+    // is about twice as complex as the reduced one.
+    auto sg = state_graph::generate(expand_handshakes(benchmarks::par_component())).graph;
+    flow_options direct;
+    direct.strategy = reduction_strategy::none;
+    direct.csc.max_signals = 6;
+    auto maxc = run_flow_from_sg(sg, direct);
+    ASSERT_TRUE(maxc.synth.ok) << maxc.synth.message;
+
+    flow_options red;
+    red.strategy = reduction_strategy::beam;
+    red.search.cost.w = 0.5;
+    red.search.size_frontier = 4;
+    auto reduced = run_flow_from_sg(sg, red);
+    ASSERT_TRUE(reduced.synth.ok) << reduced.synth.message;
+
+    EXPECT_GE(maxc.area(), 2.0 * reduced.area());
+}
+
+TEST(flow, wire_outputs_get_zero_delay) {
+    flow_options o;
+    o.strategy = reduction_strategy::none;
+    auto rep = run_flow_from_sg(state_graph::generate(benchmarks::lr_full_reduction()).graph, o);
+    ASSERT_TRUE(rep.synth.ok);
+    // 4 input edges x 2 units; the two wires contribute nothing.
+    EXPECT_DOUBLE_EQ(rep.cycle(), 8.0);
+}
+
+TEST(flow, report_survives_moves) {
+    // The reduced view must stay valid after the report is moved around
+    // (regression test for the shared_ptr base).
+    std::vector<flow_report> reports;
+    for (int i = 0; i < 3; ++i) {
+        flow_options o;
+        o.strategy = reduction_strategy::beam;
+        o.search.cost.w = 0.2;
+        reports.push_back(run_flow(benchmarks::lr_process(), o));
+    }
+    for (auto& rep : reports) {
+        EXPECT_EQ(count_concurrent_pairs(rep.reduced), 0u);
+        EXPECT_EQ(rep.reduced.live_state_count(), 8u);
+    }
+}
+
+TEST(flow, recovered_stg_roundtrips_through_text) {
+    flow_options o;
+    o.strategy = reduction_strategy::beam;
+    o.search.cost.w = 0.2;
+    o.recover = true;
+    auto rep = run_flow(benchmarks::lr_process(), o);
+    ASSERT_TRUE(rep.recovered.ok) << rep.recovered.message;
+    auto text = write_astg(rep.recovered.net);
+    auto parsed = parse_astg(text);
+    auto regen = state_graph::generate(parsed);
+    EXPECT_TRUE(lts_equivalent(subgraph::full(regen.graph), rep.reduced));
+}
+
+class flow_random : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(flow_random, random_specs_run_end_to_end) {
+    auto spec = benchmarks::random_handshake_spec(GetParam(), 3);
+    flow_options o;
+    o.strategy = reduction_strategy::beam;
+    o.search.cost.w = 0.3;
+    o.search.size_frontier = 2;
+    o.csc.max_signals = 6;
+    auto rep = run_flow(spec, o);
+    EXPECT_TRUE(rep.synth.ok) << rep.synth.message;
+    EXPECT_TRUE(rep.perf.periodic) << rep.perf.message;
+    EXPECT_GE(rep.area(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, flow_random, ::testing::Range<uint64_t>(0, 8));

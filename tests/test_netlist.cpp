@@ -1,0 +1,117 @@
+// Gate-level decomposition: simulation equivalence with the source cover
+// and consistency with the closed-form area model.
+#include <gtest/gtest.h>
+
+#include "benchmarks/corpus.hpp"
+#include "core/expand.hpp"
+#include "csc/csc.hpp"
+#include "logic/netlist.hpp"
+#include "util/hash.hpp"
+
+using namespace asynth;
+
+namespace {
+
+dyn_bitset point(std::size_t n, uint64_t bits) {
+    dyn_bitset p(n);
+    for (std::size_t i = 0; i < n; ++i)
+        if (bits & (1ULL << i)) p.set(i);
+    return p;
+}
+
+}  // namespace
+
+TEST(netlist, constants) {
+    cover zero;
+    zero.nvars = 3;
+    auto n0 = decompose_cover(zero);
+    EXPECT_FALSE(n0.evaluate(point(3, 5)));
+    EXPECT_EQ(n0.area(gate_library{}), 0.0);
+
+    cover one;
+    one.nvars = 3;
+    one.cubes.push_back(cube(3));
+    auto n1 = decompose_cover(one);
+    EXPECT_TRUE(n1.evaluate(point(3, 0)));
+    EXPECT_EQ(n1.gate_count(), 0u);
+}
+
+TEST(netlist, single_literal_and_inverter) {
+    cover c;
+    c.nvars = 2;
+    cube q(2);
+    q.set_literal(1, false);
+    c.cubes.push_back(q);
+    auto n = decompose_cover(c);
+    EXPECT_TRUE(n.evaluate(point(2, 0b00)));
+    EXPECT_FALSE(n.evaluate(point(2, 0b10)));
+    EXPECT_EQ(n.area(gate_library{}), gate_library{}.inverter);
+}
+
+TEST(netlist, shared_inverters) {
+    // a' b + a' c: the a' inverter is built once.
+    cover c;
+    c.nvars = 3;
+    cube q1(3), q2(3);
+    q1.set_literal(0, false);
+    q1.set_literal(1, true);
+    q2.set_literal(0, false);
+    q2.set_literal(2, true);
+    c.cubes = {q1, q2};
+    auto n = decompose_cover(c);
+    std::size_t inverters = 0;
+    for (const auto& g : n.gates)
+        if (g.kind == gate_kind::inverter) ++inverters;
+    EXPECT_EQ(inverters, 1u);
+    EXPECT_DOUBLE_EQ(n.area(gate_library{}), decomposed_area(c, gate_library{}));
+}
+
+class netlist_random : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(netlist_random, simulation_matches_cover_and_area_model) {
+    xorshift64 rng(GetParam() * 31337 + 5);
+    const std::size_t n = 2 + rng.next_below(5);  // 2..6 vars
+    cover c;
+    c.nvars = n;
+    const std::size_t ncubes = 1 + rng.next_below(5);
+    for (std::size_t i = 0; i < ncubes; ++i) {
+        cube q(n);
+        bool nonempty = false;
+        for (std::size_t v = 0; v < n; ++v) {
+            const auto r = rng.next_below(3);
+            if (r == 0) q.set_literal(v, true), nonempty = true;
+            else if (r == 1) q.set_literal(v, false), nonempty = true;
+        }
+        if (!nonempty) q.set_literal(rng.next_below(n), true);
+        c.cubes.push_back(q);
+    }
+    auto net = decompose_cover(c);
+    for (uint64_t bits = 0; bits < (1ULL << n); ++bits) {
+        auto p = point(n, bits);
+        EXPECT_EQ(net.evaluate(p), c.covers(p)) << "bits " << bits;
+    }
+    EXPECT_DOUBLE_EQ(net.area(gate_library{}), decomposed_area(c, gate_library{}));
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, netlist_random, ::testing::Range<uint64_t>(0, 30));
+
+TEST(netlist, synthesised_equations_simulate_correctly) {
+    // For every synthesised complex gate of the encoded Q-module, the
+    // decomposed netlist must agree with the next-state function on every
+    // reachable code.
+    auto sg = state_graph::generate(benchmarks::qmodule_lr()).graph;
+    auto csc = resolve_csc(subgraph::full(sg));
+    ASSERT_TRUE(csc.solved);
+    auto enc = subgraph::full(csc.graph);
+    auto res = synthesize(enc);
+    ASSERT_TRUE(res.ok);
+    for (const auto& impl : res.ckt.impls) {
+        if (impl.kind != impl_kind::complex_gate && impl.kind != impl_kind::wire &&
+            impl.kind != impl_kind::inverter)
+            continue;
+        auto net = decompose_cover(impl.function);
+        auto ns = derive_nextstate(enc, impl.signal);
+        for (const auto& code : ns.spec.on) EXPECT_TRUE(net.evaluate(code));
+        for (const auto& code : ns.spec.off) EXPECT_FALSE(net.evaluate(code));
+    }
+}

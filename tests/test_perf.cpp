@@ -1,0 +1,191 @@
+// Timed simulation: hand-computed cycle times on small systems, overlap of
+// concurrent chains, delay overrides, and the Table 1 headline timings.
+#include <gtest/gtest.h>
+
+#include "benchmarks/corpus.hpp"
+#include "core/expand.hpp"
+#include "csc/csc.hpp"
+#include "perf/timing.hpp"
+#include "petri/astg_io.hpp"
+
+using namespace asynth;
+
+namespace {
+
+state_graph sg_of(const stg& net) { return state_graph::generate(net).graph; }
+
+}  // namespace
+
+TEST(perf, two_signal_ring) {
+    // a+ -> b+ -> a- -> b- -> a+ ... with unit delays: period 4.
+    auto net = parse_astg(R"(.model ring
+.outputs a b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+)");
+    auto sg = sg_of(net);
+    delay_model dm;
+    auto rep = analyze_performance(subgraph::full(sg), dm);
+    ASSERT_TRUE(rep.periodic) << rep.message;
+    EXPECT_DOUBLE_EQ(rep.cycle_time, 4.0);
+    EXPECT_EQ(rep.events_on_cycle, 4u);
+    EXPECT_EQ(rep.input_events_on_cycle, 0u);
+}
+
+TEST(perf, input_delays_are_heavier) {
+    // Same ring but with a as an input: 2 + 2 + 1 + 1 = 6.
+    auto net = parse_astg(R"(.model ring2
+.inputs a
+.outputs b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+)");
+    auto rep = analyze_performance(subgraph::full(sg_of(net)), delay_model{});
+    ASSERT_TRUE(rep.periodic);
+    EXPECT_DOUBLE_EQ(rep.cycle_time, 6.0);
+    EXPECT_EQ(rep.input_events_on_cycle, 2u);
+}
+
+TEST(perf, concurrent_chains_overlap) {
+    // fork into two parallel chains of different lengths, join:
+    //   t+ -> (a+ ; a-) || (b+)  -> t-   all outputs, unit delays.
+    // Critical path runs through the longer chain: t+ a+ a- t- = 4 per lap.
+    auto net = parse_astg(R"(.model forkjoin
+.outputs t a b
+.graph
+t+ a+ b+
+a+ a-
+a- t-
+b+ t-
+t- b-
+b- t+
+.marking { <b-,t+> }
+.end
+)");
+    auto rep = analyze_performance(subgraph::full(sg_of(net)), delay_model{});
+    ASSERT_TRUE(rep.periodic) << rep.message;
+    // Critical path per lap: t+ a+ a- t- b- = 5 unit delays; the short
+    // branch (b+) overlaps with the long one and does not serialise.
+    EXPECT_DOUBLE_EQ(rep.cycle_time, 5.0);
+    // Serialised, the lap would cost 6: concurrency is visible in the model.
+    EXPECT_LT(rep.cycle_time, 6.0);
+}
+
+TEST(perf, overrides_take_precedence) {
+    auto net = parse_astg(R"(.model ring
+.outputs a b
+.graph
+a+ b+
+b+ a-
+a- b-
+b- a+
+.marking { <b-,a+> }
+.end
+)");
+    delay_model dm;
+    dm.overrides.emplace_back("a", 5.0);
+    auto rep = analyze_performance(subgraph::full(sg_of(net)), dm);
+    ASSERT_TRUE(rep.periodic);
+    EXPECT_DOUBLE_EQ(rep.cycle_time, 5.0 + 1.0 + 5.0 + 1.0);
+}
+
+TEST(perf, deadlock_is_reported) {
+    auto net = parse_astg(R"(.model dead
+.outputs a b
+.graph
+pa a+
+a+ b+
+.marking { pa }
+.end
+)");
+    // a+ then b+ fire once and the net is stuck: the simulation must stop
+    // and report the deadlock instead of spinning.
+    auto sg = sg_of(net);
+    auto rep = analyze_performance(subgraph::full(sg), delay_model{});
+    EXPECT_FALSE(rep.periodic);
+    EXPECT_NE(rep.message.find("deadlock"), std::string::npos);
+}
+
+TEST(perf, lr_full_reduction_matches_table1) {
+    // Table 1: full reduction has critical cycle 8 with 4 input events
+    // (the two outputs are wires -> zero delay).
+    auto sg = sg_of(benchmarks::lr_full_reduction());
+    delay_model dm;
+    dm.overrides.emplace_back("lo", 0.0);
+    dm.overrides.emplace_back("ro", 0.0);
+    auto rep = analyze_performance(subgraph::full(sg), dm);
+    ASSERT_TRUE(rep.periodic);
+    EXPECT_DOUBLE_EQ(rep.cycle_time, 8.0);
+    EXPECT_EQ(rep.input_events_on_cycle, 4u);
+}
+
+TEST(perf, qmodule_matches_table1) {
+    // Table 1: Q-module critical cycle 14 with 4 input events (8 for the
+    // four input edges + 6 for the four output edges and two CSC edges).
+    auto sg = sg_of(benchmarks::qmodule_lr());
+    auto csc = resolve_csc(subgraph::full(sg));
+    ASSERT_TRUE(csc.solved);
+    auto rep = analyze_performance(subgraph::full(csc.graph), delay_model{});
+    ASSERT_TRUE(rep.periodic);
+    EXPECT_DOUBLE_EQ(rep.cycle_time, 14.0);
+    EXPECT_EQ(rep.input_events_on_cycle, 4u);
+}
+
+TEST(perf, max_concurrency_is_faster_than_full_reduction_pre_encoding) {
+    // More concurrency -> shorter cycle before CSC signals are added.
+    auto maxc = sg_of(expand_handshakes(benchmarks::lr_process()));
+    auto full = sg_of(benchmarks::lr_full_reduction());
+    auto r1 = analyze_performance(subgraph::full(maxc), delay_model{});
+    auto r2 = analyze_performance(subgraph::full(full), delay_model{});
+    ASSERT_TRUE(r1.periodic && r2.periodic);
+    EXPECT_LT(r1.cycle_time, r2.cycle_time);
+}
+
+TEST(perf, per_kind_defaults) {
+    auto net = parse_astg(R"(.model kinds
+.inputs i
+.outputs o
+.internal x
+.graph
+i+ o+
+o+ x+
+x+ i-
+i- o-
+o- x-
+x- i+
+.marking { <x-,i+> }
+.end
+)");
+    auto sg = sg_of(net);
+    delay_model dm;
+    dm.input_delay = 3.0;
+    dm.output_delay = 2.0;
+    dm.internal_delay = 1.0;
+    auto rep = analyze_performance(subgraph::full(sg), dm);
+    ASSERT_TRUE(rep.periodic);
+    EXPECT_DOUBLE_EQ(rep.cycle_time, 2 * (3.0 + 2.0 + 1.0));
+}
+
+class perf_corpus : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(perf_corpus, all_expansions_reach_a_periodic_regime) {
+    auto suite = benchmarks::spec_suite();
+    const auto& [name, spec] = suite.at(GetParam());
+    auto sg = sg_of(expand_handshakes(spec));
+    auto rep = analyze_performance(subgraph::full(sg), delay_model{});
+    EXPECT_TRUE(rep.periodic) << name << ": " << rep.message;
+    EXPECT_GT(rep.cycle_time, 0.0) << name;
+    EXPECT_GT(rep.input_events_on_cycle, 0u) << name;
+}
+
+INSTANTIATE_TEST_SUITE_P(corpus, perf_corpus, ::testing::Range<std::size_t>(0, 7));

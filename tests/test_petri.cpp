@@ -1,0 +1,239 @@
+// Petri-net/STG structure, token game, the astg parser/writer and their
+// round-trip property.
+#include <gtest/gtest.h>
+
+#include "benchmarks/corpus.hpp"
+#include "petri/astg_io.hpp"
+#include "petri/stg.hpp"
+#include "sg/state_graph.hpp"
+
+using namespace asynth;
+
+TEST(petri, token_game_basics) {
+    stg n;
+    auto a = static_cast<int32_t>(n.add_signal("a", signal_kind::input));
+    auto b = static_cast<int32_t>(n.add_signal("b", signal_kind::output));
+    auto ta = n.add_transition({a, edge::plus, 0});
+    auto tb = n.add_transition({b, edge::plus, 0});
+    n.connect(ta, tb);
+    n.connect(tb, ta, 1);
+    auto m = n.initial_marking();
+    EXPECT_TRUE(n.enabled(m, ta));
+    EXPECT_FALSE(n.enabled(m, tb));
+    auto m2 = n.fire(m, ta);
+    EXPECT_TRUE(n.enabled(m2, tb));
+    EXPECT_FALSE(n.enabled(m2, ta));
+    EXPECT_THROW((void)n.fire(m, tb), error);  // disabled
+}
+
+TEST(petri, unsafe_firing_detected) {
+    stg n;
+    auto a = static_cast<int32_t>(n.add_signal("a", signal_kind::output));
+    auto t = n.add_transition({a, edge::plus, 0});
+    auto p = n.add_place("p", 1);
+    auto q = n.add_place("q", 1);
+    n.add_arc_pt(p, t);
+    n.add_arc_tp(t, q);
+    EXPECT_THROW((void)n.fire(n.initial_marking(), t), error);
+}
+
+TEST(petri, instances_auto_numbered) {
+    stg n;
+    auto a = static_cast<int32_t>(n.add_signal("a", signal_kind::output));
+    auto t1 = n.add_transition({a, edge::plus, 0});
+    auto t2 = n.add_transition({a, edge::plus, 0});
+    EXPECT_EQ(n.transitions()[t1].label.instance, 1);
+    EXPECT_EQ(n.transitions()[t2].label.instance, 2);
+    EXPECT_EQ(n.transition_name(t1), "a+");
+    EXPECT_EQ(n.transition_name(t2), "a+/2");
+    EXPECT_THROW((void)n.add_transition({a, edge::plus, 1}), error);  // duplicate
+}
+
+TEST(petri, duplicate_names_rejected) {
+    stg n;
+    (void)n.add_signal("a", signal_kind::input);
+    EXPECT_THROW((void)n.add_signal("a", signal_kind::output), error);
+    (void)n.add_place("p");
+    EXPECT_THROW((void)n.add_place("p"), error);
+}
+
+TEST(petri, label_parsing) {
+    stg n;
+    (void)n.add_signal("req", signal_kind::input);
+    (void)n.add_signal("ch", signal_kind::channel);
+    auto l1 = n.parse_label("req+");
+    ASSERT_TRUE(l1.has_value());
+    EXPECT_EQ(l1->dir, edge::plus);
+    auto l2 = n.parse_label("req-/3");
+    ASSERT_TRUE(l2.has_value());
+    EXPECT_EQ(l2->instance, 3);
+    auto l3 = n.parse_label("ch?");
+    ASSERT_TRUE(l3.has_value());
+    EXPECT_EQ(l3->dir, edge::recv);
+    EXPECT_TRUE(n.parse_label("ch!").has_value());
+    EXPECT_TRUE(n.parse_label("req~").has_value());
+    EXPECT_FALSE(n.parse_label("unknown+").has_value());
+    EXPECT_FALSE(n.parse_label("req").has_value());
+    EXPECT_FALSE(n.parse_label("req+/0").has_value());
+}
+
+TEST(petri, filtered_renumbers_instances) {
+    stg n;
+    auto a = static_cast<int32_t>(n.add_signal("a", signal_kind::output));
+    auto t1 = n.add_transition({a, edge::plus, 0});
+    auto t2 = n.add_transition({a, edge::plus, 0});
+    auto p = n.add_place("p", 1);
+    n.add_arc_pt(p, t1);
+    n.add_arc_pt(p, t2);
+    dyn_bitset keep_p(n.places().size(), true);
+    dyn_bitset keep_t(n.transitions().size());
+    keep_t.set(t2);  // drop the first instance
+    auto f = n.filtered(keep_p, keep_t);
+    ASSERT_EQ(f.transitions().size(), 1u);
+    EXPECT_EQ(f.transitions()[0].label.instance, 1);  // renumbered densely
+    EXPECT_EQ(f.places().size(), 1u);
+}
+
+TEST(petri, place_adjacency_is_consistent) {
+    auto lr = benchmarks::qmodule_lr();
+    for (uint32_t p = 0; p < lr.places().size(); ++p) {
+        for (uint32_t t : lr.place_post(p)) {
+            const auto& pre = lr.transitions()[t].pre;
+            EXPECT_NE(std::find(pre.begin(), pre.end(), p), pre.end());
+        }
+        for (uint32_t t : lr.place_pre(p)) {
+            const auto& post = lr.transitions()[t].post;
+            EXPECT_NE(std::find(post.begin(), post.end(), p), post.end());
+        }
+    }
+}
+
+TEST(astg, parses_the_lr_spec) {
+    auto lr = benchmarks::lr_process();
+    EXPECT_EQ(lr.model_name, "lr");
+    EXPECT_EQ(lr.signal_count(), 2u);
+    EXPECT_EQ(lr.transitions().size(), 4u);
+    // One marked implicit place between l! and l?.
+    std::size_t marked = 0;
+    for (const auto& p : lr.places()) marked += p.tokens;
+    EXPECT_EQ(marked, 1u);
+}
+
+TEST(astg, roundtrip_preserves_line_multiset) {
+    // write(parse(.)) may permute lines (creation order is not part of the
+    // format) but must keep exactly the same set of declarations and arcs.
+    auto sorted_lines = [](const std::string& text) {
+        std::vector<std::string> lines;
+        std::string cur;
+        for (char c : text) {
+            if (c == '\n') {
+                lines.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        std::sort(lines.begin(), lines.end());
+        return lines;
+    };
+    for (const stg& net : {benchmarks::fig1_controller(), benchmarks::lr_process(),
+                           benchmarks::par_component(), benchmarks::mmu_controller(),
+                           benchmarks::qmodule_lr(), benchmarks::fig6_mixed()}) {
+        auto text1 = write_astg(net);
+        auto text2 = write_astg(parse_astg(text1));
+        EXPECT_EQ(sorted_lines(text1), sorted_lines(text2));
+    }
+}
+
+TEST(astg, roundtrip_preserves_semantics) {
+    for (const stg& net : {benchmarks::fig1_controller(), benchmarks::qmodule_lr(),
+                           benchmarks::par_manual(), benchmarks::lr_full_reduction()}) {
+        auto back = parse_astg(write_astg(net));
+        auto a = state_graph::generate(net);
+        auto b = state_graph::generate(back);
+        EXPECT_EQ(a.graph.state_count(), b.graph.state_count());
+        EXPECT_EQ(a.graph.arc_count(), b.graph.arc_count());
+    }
+}
+
+TEST(astg, parse_errors_carry_line_numbers) {
+    // Arc line before .graph.
+    try {
+        (void)parse_astg(".model x\n.outputs a\na+ a-\n.graph\n.end\n");
+        FAIL();
+    } catch (const parse_error& e) {
+        EXPECT_EQ(e.line(), 3u);
+    }
+    // Unknown directive.
+    EXPECT_THROW((void)parse_astg(".model x\n.bogus\n.end\n"), parse_error);
+    // Place-to-place arcs are rejected.
+    EXPECT_THROW((void)parse_astg(".model x\n.graph\np q\n.end\n"), parse_error);
+    // Unsupported directive.
+    EXPECT_THROW((void)parse_astg(".model x\n.dummy d\n.end\n"), parse_error);
+    // Marking of an unknown place.
+    EXPECT_THROW((void)parse_astg(".model x\n.outputs a\n.graph\npa a+\na+ pa\n"
+                                  ".marking { nosuch }\n.end\n"),
+                 parse_error);
+}
+
+TEST(astg, partial_and_initial_directives) {
+    auto net = parse_astg(R"(.model m
+.outputs a b
+.partial b
+.initial a=1
+.graph
+a- b+
+b+ a-
+.marking { <b+,a-> }
+.end
+)");
+    EXPECT_TRUE(net.signal_at(*net.find_signal("b")).partial);
+    EXPECT_TRUE(net.signal_at(*net.find_signal("a")).initial_value);
+    EXPECT_FALSE(net.signal_at(*net.find_signal("b")).initial_value);
+}
+
+TEST(astg, keepconc_directive) {
+    auto net = parse_astg(R"(.model m
+.channels x y
+.graph
+x? y!
+y! x?
+.marking { <y!,x?> }
+.keepconc x? y!
+.end
+)");
+    ASSERT_EQ(net.keep_concurrent.size(), 1u);
+    EXPECT_EQ(net.label_name(net.keep_concurrent[0].first), "x?");
+    EXPECT_EQ(net.label_name(net.keep_concurrent[0].second), "y!");
+}
+
+TEST(astg, explicit_places_with_fork_and_join) {
+    auto net = parse_astg(R"(.model m
+.outputs a b c
+.graph
+pa a+
+a+ b+ c+
+b+ pj
+c+ pj
+pj a-
+a- b- c-
+b- pa
+c- pa
+.marking { pa }
+.end
+)");
+    // pj is a join place with two producers and one consumer; pa has two
+    // producers (b-, c-) -- note this net is intentionally unsafe-ish but
+    // structurally parseable.
+    auto pj = net.find_place("pj");
+    ASSERT_TRUE(pj.has_value());
+    EXPECT_EQ(net.place_pre(*pj).size(), 2u);
+    EXPECT_EQ(net.place_post(*pj).size(), 1u);
+}
+
+TEST(astg, dot_output_mentions_all_transitions) {
+    auto lr = benchmarks::lr_process();
+    auto dot = write_dot(lr);
+    for (uint32_t t = 0; t < lr.transitions().size(); ++t)
+        EXPECT_NE(dot.find(lr.transition_name(t)), std::string::npos);
+}

@@ -1,0 +1,57 @@
+// The 4-phase channel protocol checker used to validate expansions.
+#include <gtest/gtest.h>
+
+#include "benchmarks/corpus.hpp"
+#include "core/expand.hpp"
+#include "core/protocol.hpp"
+#include "sg/state_graph.hpp"
+
+using namespace asynth;
+
+TEST(protocol, passive_and_active_roles_detected) {
+    auto exp = expand_handshakes(benchmarks::lr_process());
+    auto sg = state_graph::generate(exp).graph;
+    auto g = subgraph::full(sg);
+    // l is the passive port, r the active one; both conform.
+    EXPECT_TRUE(check_channel_protocol(g, "l").empty());
+    EXPECT_TRUE(check_channel_protocol(g, "r").empty());
+}
+
+TEST(protocol, violation_descriptions_are_actionable) {
+    expand_options o;
+    o.channel_interface = false;
+    auto exp = expand_handshakes(benchmarks::lr_process(), o);
+    auto sg = state_graph::generate(exp).graph;
+    auto g = subgraph::full(sg);
+    auto v = check_four_phase_protocol(g, *exp.find_signal("li"), *exp.find_signal("lo"), true);
+    ASSERT_FALSE(v.empty());
+    for (const auto& violation : v) {
+        EXPECT_FALSE(violation.description.empty());
+        EXPECT_LT(violation.state, sg.state_count());
+    }
+}
+
+TEST(protocol, wrong_role_reports_violations) {
+    auto exp = expand_handshakes(benchmarks::lr_process());
+    auto sg = state_graph::generate(exp).graph;
+    auto g = subgraph::full(sg);
+    // Checking the passive port with the active rule must flag something.
+    auto v = check_four_phase_protocol(g, *exp.find_signal("li"), *exp.find_signal("lo"),
+                                       /*passive=*/false);
+    EXPECT_FALSE(v.empty());
+}
+
+TEST(protocol, missing_channel_throws) {
+    auto exp = expand_handshakes(benchmarks::lr_process());
+    auto sg = state_graph::generate(exp).graph;
+    auto g = subgraph::full(sg);
+    EXPECT_THROW((void)check_channel_protocol(g, "zz"), error);
+}
+
+TEST(protocol, all_mmu_channels_conform) {
+    auto exp = expand_handshakes(benchmarks::mmu_controller());
+    auto sg = state_graph::generate(exp).graph;
+    auto g = subgraph::full(sg);
+    for (const char* c : {"r", "l", "m", "b"})
+        EXPECT_TRUE(check_channel_protocol(g, c).empty()) << c;
+}

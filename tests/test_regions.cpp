@@ -1,0 +1,136 @@
+// Region-based STG recovery: region legality, minimal pre-regions,
+// excitation closure and the round-trip property SG == SG(recovered STG)
+// across the whole corpus including reduced graphs.
+#include <gtest/gtest.h>
+
+#include "benchmarks/corpus.hpp"
+#include "core/expand.hpp"
+#include "core/search.hpp"
+#include "regions/regions.hpp"
+#include "sg/analysis.hpp"
+
+using namespace asynth;
+
+namespace {
+
+state_graph sg_of(const stg& net) { return state_graph::generate(net).graph; }
+
+}  // namespace
+
+TEST(regions, is_region_on_the_fig1_controller) {
+    auto sg = sg_of(benchmarks::fig1_controller());
+    // The set of states with Ack = 1 is a region: Ack+ always enters it,
+    // Ack- always exits it, Req+/Req- never cross it.
+    dyn_bitset ack_high(sg.state_count());
+    for (uint32_t s = 0; s < sg.state_count(); ++s)
+        if (sg.states()[s].code.test(0)) ack_high.set(s);
+    EXPECT_TRUE(is_region(sg, ack_high));
+    // {initial} alone is not: Req+ both enters it (from 00*) and fires
+    // entirely outside it (1*0* -> 1*1).
+    dyn_bitset just_initial(sg.state_count());
+    just_initial.set(sg.initial());
+    EXPECT_FALSE(is_region(sg, just_initial));
+    // Classical duality: r is a region iff its complement is.
+    for (uint32_t s = 0; s < sg.state_count(); ++s) {
+        dyn_bitset single(sg.state_count());
+        single.set(s);
+        dyn_bitset complement(sg.state_count(), true);
+        complement.reset(s);
+        EXPECT_EQ(is_region(sg, single), is_region(sg, complement)) << "state " << s;
+    }
+}
+
+TEST(regions, roundtrip_qmodule) {
+    auto sg = sg_of(benchmarks::qmodule_lr());
+    auto res = recover_stg(subgraph::full(sg));
+    ASSERT_TRUE(res.ok) << res.message;
+    auto regen = state_graph::generate(res.net);
+    EXPECT_TRUE(lts_equivalent(subgraph::full(regen.graph), subgraph::full(sg)));
+    EXPECT_EQ(regen.graph.state_count(), sg.state_count());
+}
+
+TEST(regions, roundtrip_after_reduction) {
+    // Step 5 of Fig. 4: generate a new STG for the best reduced SG.
+    auto base = sg_of(expand_handshakes(benchmarks::lr_process()));
+    search_options so;
+    so.cost.w = 0.2;
+    so.size_frontier = 6;
+    auto red = reduce_concurrency(subgraph::full(base), so);
+    auto res = recover_stg(red.best);
+    ASSERT_TRUE(res.ok) << res.message;
+    auto regen = state_graph::generate(res.net);
+    EXPECT_TRUE(lts_equivalent(subgraph::full(regen.graph), red.best));
+}
+
+TEST(regions, recovered_net_is_safe_and_live) {
+    auto sg = sg_of(expand_handshakes(benchmarks::par_component()));
+    auto res = recover_stg(subgraph::full(sg));
+    ASSERT_TRUE(res.ok) << res.message;
+    // generate() enforces safety; liveness: every transition fired.
+    auto regen = state_graph::generate(res.net);
+    for (std::size_t t = 0; t < res.net.transitions().size(); ++t)
+        EXPECT_TRUE(regen.transition_fired[t]) << res.net.transition_name(static_cast<uint32_t>(t));
+}
+
+TEST(regions, initial_marking_matches_initial_state) {
+    auto sg = sg_of(benchmarks::lr_full_reduction());
+    auto res = recover_stg(subgraph::full(sg));
+    ASSERT_TRUE(res.ok);
+    // Marked places are exactly the regions containing the initial state.
+    std::size_t marked = 0;
+    for (const auto& p : res.net.places()) marked += p.tokens;
+    EXPECT_GT(marked, 0u);
+}
+
+TEST(regions, label_splitting_handles_multiple_er_components) {
+    // After FwdRed(a,d) on the Fig. 8 fragment, event a has two single-state
+    // ER components; recovery must split the label into two instances.
+    auto base = benchmarks::fig8_fragment();
+    auto g = subgraph::full(base);
+    auto comps_a = excitation_regions(g, *base.find_event(0, edge::plus));
+    ASSERT_EQ(comps_a.size(), 1u);
+    // Build the reduced fragment directly (s1/s2 a-arcs removed).
+    auto red = g;
+    for (uint32_t a = 0; a < base.arc_count(); ++a) {
+        const auto& arc = base.arcs()[a];
+        if (arc.event == 0 && (arc.src == 1 || arc.src == 2)) red.kill_arc(a);
+    }
+    red.prune_unreachable();
+    auto res = recover_stg(red);
+    ASSERT_TRUE(res.ok) << res.message;
+    std::size_t a_instances = 0;
+    for (const auto& t : res.net.transitions())
+        if (t.label.signal == 0) ++a_instances;
+    EXPECT_EQ(a_instances, 2u);
+    auto regen = state_graph::generate(res.net);
+    EXPECT_TRUE(lts_equivalent(subgraph::full(regen.graph), red));
+}
+
+class regions_corpus : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(regions_corpus, roundtrip_across_spec_suite) {
+    auto suite = benchmarks::spec_suite();
+    const auto& [name, spec] = suite.at(GetParam());
+    auto sg = sg_of(expand_handshakes(spec));
+    auto res = recover_stg(subgraph::full(sg));
+    ASSERT_TRUE(res.ok) << name << ": " << res.message;
+    auto regen = state_graph::generate(res.net);
+    std::string diag;
+    EXPECT_TRUE(lts_equivalent(subgraph::full(regen.graph), subgraph::full(sg), &diag))
+        << name << ": " << diag;
+}
+
+INSTANTIATE_TEST_SUITE_P(corpus, regions_corpus, ::testing::Range<std::size_t>(0, 7));
+
+class regions_random : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(regions_random, roundtrip_on_random_specs) {
+    auto spec = benchmarks::random_handshake_spec(GetParam(), 3);
+    auto sg = sg_of(expand_handshakes(spec));
+    auto res = recover_stg(subgraph::full(sg));
+    ASSERT_TRUE(res.ok) << res.message;
+    auto regen = state_graph::generate(res.net);
+    EXPECT_TRUE(lts_equivalent(subgraph::full(regen.graph), subgraph::full(sg)));
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, regions_random, ::testing::Range<uint64_t>(0, 10));

@@ -1,0 +1,182 @@
+// State-graph generation and analyses, validated on the paper's Fig. 1
+// controller (memory/processor example, section 2).
+#include <gtest/gtest.h>
+
+#include "petri/astg_io.hpp"
+#include "petri/stg.hpp"
+#include "sg/analysis.hpp"
+#include "sg/state_graph.hpp"
+
+using namespace asynth;
+
+namespace {
+
+// Fig. 1: Req input, Ack output.  Initial state 0*1 (Ack=0 excited, Req=1).
+stg fig1_controller() {
+    stg n;
+    n.model_name = "fig1";
+    auto ack = static_cast<int32_t>(n.add_signal("Ack", signal_kind::output));
+    auto req = static_cast<int32_t>(n.add_signal("Req", signal_kind::input));
+    auto ackp = n.add_transition({ack, edge::plus, 0});
+    auto ackm = n.add_transition({ack, edge::minus, 0});
+    auto reqp = n.add_transition({req, edge::plus, 0});
+    auto reqm = n.add_transition({req, edge::minus, 0});
+    auto pa = n.add_place("pa", 1);
+    auto pb = n.add_place("pb");
+    auto pc = n.add_place("pc");
+    auto pd = n.add_place("pd", 1);
+    auto pe = n.add_place("pe", 1);
+    auto pack = n.add_place("pack");
+    // Ack+: {pd,pe} -> {pack};  Req-: {pa,pack} -> {pb,pc}
+    // Req+: {pb} -> {pa,pe};    Ack-: {pc} -> {pd}
+    n.add_arc_pt(pd, ackp);
+    n.add_arc_pt(pe, ackp);
+    n.add_arc_tp(ackp, pack);
+    n.add_arc_pt(pa, reqm);
+    n.add_arc_pt(pack, reqm);
+    n.add_arc_tp(reqm, pb);
+    n.add_arc_tp(reqm, pc);
+    n.add_arc_pt(pb, reqp);
+    n.add_arc_tp(reqp, pa);
+    n.add_arc_tp(reqp, pe);
+    n.add_arc_pt(pc, ackm);
+    n.add_arc_tp(ackm, pd);
+    // Req starts high; Ack starts low.  Req's first transition is Req- so
+    // polarity deduction yields Req=1 automatically.
+    return n;
+}
+
+}  // namespace
+
+TEST(sg, fig1_has_five_states_six_arcs) {
+    auto res = state_graph::generate(fig1_controller());
+    EXPECT_EQ(res.graph.state_count(), 5u);
+    EXPECT_EQ(res.graph.arc_count(), 6u);
+    for (bool f : res.transition_fired) EXPECT_TRUE(f);
+}
+
+TEST(sg, fig1_initial_code_is_ack0_req1) {
+    auto res = state_graph::generate(fig1_controller());
+    const auto& g = res.graph;
+    EXPECT_FALSE(g.states()[g.initial()].code.test(0));  // Ack = 0
+    EXPECT_TRUE(g.states()[g.initial()].code.test(1));   // Req = 1
+    EXPECT_EQ(g.state_code_string(g.initial()), "0*1");
+}
+
+TEST(sg, fig1_is_consistent_and_speed_independent) {
+    auto res = state_graph::generate(fig1_controller());
+    auto g = subgraph::full(res.graph);
+    EXPECT_TRUE(check_consistency(g));
+    auto si = check_speed_independence(g);
+    EXPECT_TRUE(si.ok()) << (si.violations.empty() ? "" : si.violations[0]);
+}
+
+TEST(sg, fig1_has_exactly_one_csc_conflict) {
+    // Paper: binary codes 11* and 1*1 correspond to different states.
+    auto res = state_graph::generate(fig1_controller());
+    auto rep = check_csc(subgraph::full(res.graph));
+    EXPECT_EQ(rep.usc_pairs, 1u);
+    EXPECT_EQ(rep.conflict_pairs, 1u);
+    ASSERT_EQ(rep.examples.size(), 1u);
+    auto code_str = [&](uint32_t s) { return res.graph.state_code_string(s); };
+    std::string a = code_str(rep.examples[0].state_a);
+    std::string b = code_str(rep.examples[0].state_b);
+    EXPECT_TRUE((a == "11*" && b == "1*1") || (a == "1*1" && b == "11*")) << a << " vs " << b;
+}
+
+TEST(sg, fig1_req_plus_concurrent_with_ack_minus) {
+    auto res = state_graph::generate(fig1_controller());
+    auto g = subgraph::full(res.graph);
+    const auto& b = res.graph;
+    auto reqp = b.find_event(1, edge::plus);
+    auto ackm = b.find_event(0, edge::minus);
+    ASSERT_TRUE(reqp && ackm);
+    auto er_reqp = excitation_regions(g, *reqp);
+    auto er_ackm = excitation_regions(g, *ackm);
+    ASSERT_EQ(er_reqp.size(), 1u);
+    ASSERT_EQ(er_ackm.size(), 1u);
+    EXPECT_EQ(er_reqp[0].states.count(), 2u);  // {1*0*, 00*}
+    EXPECT_EQ(er_ackm[0].states.count(), 2u);  // {1*0*, 1*1}
+    EXPECT_TRUE(concurrent(er_reqp[0], er_ackm[0]));
+    EXPECT_TRUE(concurrent_by_diamond(g, *reqp, *ackm));
+    // Req+ is NOT concurrent with Ack+.
+    auto ackp = b.find_event(0, edge::plus);
+    EXPECT_FALSE(concurrent_by_diamond(g, *reqp, *ackp));
+}
+
+TEST(sg, subgraph_kill_and_prune) {
+    auto res = state_graph::generate(fig1_controller());
+    auto g = subgraph::full(res.graph);
+    // Kill the arc into one state; pruning should drop it.
+    const auto& b = res.graph;
+    // Find state with code 1*1 (Ack=1, Req=1, only Ack- enabled).
+    uint32_t victim = UINT32_MAX;
+    for (uint32_t s = 0; s < b.state_count(); ++s)
+        if (b.state_code_string(s) == "1*1") victim = s;
+    ASSERT_NE(victim, UINT32_MAX);
+    for (uint32_t a : b.in_arcs(victim)) g.kill_arc(a);
+    EXPECT_EQ(g.prune_unreachable(), 1u);
+    EXPECT_FALSE(g.state_live(victim));
+    EXPECT_EQ(g.live_state_count(), 4u);
+    auto mat = g.materialize();
+    EXPECT_EQ(mat.state_count(), 4u);
+    EXPECT_TRUE(lts_equivalent(subgraph::full(mat), g));
+}
+
+TEST(sg, lts_equivalence_detects_differences) {
+    auto res = state_graph::generate(fig1_controller());
+    auto full = subgraph::full(res.graph);
+    auto reduced = full;
+    // Remove the Req+ arc from state 1*0* (keeping the one from 00*).
+    const auto& b = res.graph;
+    for (uint32_t s = 0; s < b.state_count(); ++s) {
+        if (b.state_code_string(s) == "1*0*") {
+            auto a = reduced.arc_from(s, *b.find_event(1, edge::plus));
+            ASSERT_TRUE(a.has_value());
+            reduced.kill_arc(*a);
+        }
+    }
+    reduced.prune_unreachable();
+    std::string diag;
+    EXPECT_FALSE(lts_equivalent(full, reduced, &diag));
+    EXPECT_FALSE(diag.empty());
+    EXPECT_TRUE(lts_equivalent(full, full));
+}
+
+TEST(sg, inconsistent_stg_rejected) {
+    stg n;
+    auto a = static_cast<int32_t>(n.add_signal("a", signal_kind::output));
+    auto t1 = n.add_transition({a, edge::plus, 0});
+    auto t2 = n.add_transition({a, edge::plus, 0});  // a+ twice in a row
+    n.connect(t1, t2);
+    n.connect(t2, t1, 1);
+    EXPECT_THROW((void)state_graph::generate(n), error);
+}
+
+TEST(sg, toggle_signals_use_declared_initial_value) {
+    stg n;
+    auto a = static_cast<int32_t>(n.add_signal("a", signal_kind::output));
+    n.signal_at(0).initial_value = true;
+    auto t1 = n.add_transition({a, edge::toggle, 0});
+    auto t2 = n.add_transition({a, edge::toggle, 0});
+    n.connect(t1, t2);
+    n.connect(t2, t1, 1);
+    auto res = state_graph::generate(n);
+    EXPECT_EQ(res.graph.state_count(), 2u);
+    EXPECT_TRUE(res.graph.states()[res.graph.initial()].code.test(0));
+    EXPECT_TRUE(check_consistency(subgraph::full(res.graph)));
+}
+
+TEST(sg, unsafe_net_rejected) {
+    stg n;
+    auto a = static_cast<int32_t>(n.add_signal("a", signal_kind::output));
+    auto b = static_cast<int32_t>(n.add_signal("b", signal_kind::output));
+    auto ta = n.add_transition({a, edge::plus, 0});
+    auto tb = n.add_transition({b, edge::plus, 0});
+    auto p = n.add_place("p", 1);
+    auto q = n.add_place("q", 1);
+    n.add_arc_pt(p, ta);
+    n.add_arc_tp(ta, q);  // q already marked -> unsafe
+    n.add_arc_pt(q, tb);
+    EXPECT_THROW((void)state_graph::generate(n), error);
+}

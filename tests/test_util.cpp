@@ -1,0 +1,198 @@
+// dyn_bitset and PRNG substrate tests, including brute-force cross-checks
+// against std::vector<bool> reference implementations.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/dyn_bitset.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+using namespace asynth;
+
+TEST(dyn_bitset, construction_and_size) {
+    dyn_bitset empty;
+    EXPECT_EQ(empty.size(), 0u);
+    EXPECT_TRUE(empty.none());
+    dyn_bitset zeros(100);
+    EXPECT_EQ(zeros.size(), 100u);
+    EXPECT_TRUE(zeros.none());
+    EXPECT_EQ(zeros.count(), 0u);
+    dyn_bitset ones(100, true);
+    EXPECT_EQ(ones.count(), 100u);
+}
+
+TEST(dyn_bitset, set_reset_flip) {
+    dyn_bitset b(130);
+    b.set(0);
+    b.set(64);
+    b.set(129);
+    EXPECT_TRUE(b.test(0));
+    EXPECT_TRUE(b.test(64));
+    EXPECT_TRUE(b.test(129));
+    EXPECT_EQ(b.count(), 3u);
+    b.reset(64);
+    EXPECT_FALSE(b.test(64));
+    b.flip(64);
+    EXPECT_TRUE(b.test(64));
+    b.assign(0, false);
+    EXPECT_FALSE(b.test(0));
+}
+
+TEST(dyn_bitset, padding_bits_stay_clear) {
+    dyn_bitset b(65, true);
+    EXPECT_EQ(b.count(), 65u);
+    b.set_all();
+    EXPECT_EQ(b.count(), 65u);
+    dyn_bitset c(65);
+    c.set(64);
+    EXPECT_EQ((b & c).count(), 1u);
+}
+
+TEST(dyn_bitset, find_first_and_next) {
+    dyn_bitset b(200);
+    EXPECT_EQ(b.find_first(), dyn_bitset::npos);
+    b.set(3);
+    b.set(77);
+    b.set(199);
+    EXPECT_EQ(b.find_first(), 3u);
+    EXPECT_EQ(b.find_next(3), 77u);
+    EXPECT_EQ(b.find_next(77), 199u);
+    EXPECT_EQ(b.find_next(199), dyn_bitset::npos);
+}
+
+TEST(dyn_bitset, ones_iteration) {
+    dyn_bitset b(150);
+    std::vector<std::size_t> expect = {0, 63, 64, 65, 149};
+    for (auto i : expect) b.set(i);
+    std::vector<std::size_t> got;
+    for (auto i : b.ones()) got.push_back(i);
+    EXPECT_EQ(got, expect);
+}
+
+TEST(dyn_bitset, boolean_operations) {
+    dyn_bitset a(70), b(70);
+    a.set(1);
+    a.set(65);
+    b.set(65);
+    b.set(2);
+    EXPECT_EQ((a | b).count(), 3u);
+    EXPECT_EQ((a & b).count(), 1u);
+    EXPECT_EQ((a ^ b).count(), 2u);
+    dyn_bitset c = a;
+    c.and_not(b);
+    EXPECT_TRUE(c.test(1));
+    EXPECT_FALSE(c.test(65));
+}
+
+TEST(dyn_bitset, subset_and_intersection) {
+    dyn_bitset a(100), b(100);
+    a.set(10);
+    b.set(10);
+    b.set(20);
+    EXPECT_TRUE(a.is_subset_of(b));
+    EXPECT_FALSE(b.is_subset_of(a));
+    EXPECT_TRUE(a.intersects(b));
+    dyn_bitset c(100);
+    c.set(30);
+    EXPECT_FALSE(a.intersects(c));
+    EXPECT_TRUE(dyn_bitset(100).is_subset_of(a));  // empty set
+}
+
+TEST(dyn_bitset, equality_and_hash) {
+    dyn_bitset a(90), b(90);
+    a.set(42);
+    b.set(42);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(a.hash(), b.hash());
+    b.set(43);
+    EXPECT_NE(a, b);
+}
+
+TEST(dyn_bitset, to_string) {
+    dyn_bitset b(4);
+    b.set(1);
+    b.set(3);
+    EXPECT_EQ(b.to_string(), "0101");
+}
+
+class dyn_bitset_random : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(dyn_bitset_random, matches_reference_implementation) {
+    xorshift64 rng(GetParam() * 1234567 + 1);
+    const std::size_t n = 1 + rng.next_below(300);
+    dyn_bitset a(n), b(n);
+    std::vector<bool> ra(n), rb(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (rng.next_bool()) a.set(i), ra[i] = true;
+        if (rng.next_bool()) b.set(i), rb[i] = true;
+    }
+    // count
+    std::size_t expect_count = 0;
+    for (bool v : ra) expect_count += v;
+    EXPECT_EQ(a.count(), expect_count);
+    // or / and / xor / andnot
+    auto check = [&](const dyn_bitset& got, auto op) {
+        for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(got.test(i), op(ra[i], rb[i]));
+    };
+    check(a | b, [](bool x, bool y) { return x || y; });
+    check(a & b, [](bool x, bool y) { return x && y; });
+    check(a ^ b, [](bool x, bool y) { return x != y; });
+    dyn_bitset d = a;
+    d.and_not(b);
+    check(d, [](bool x, bool y) { return x && !y; });
+    // subset / intersects
+    bool exp_inter = false, exp_sub = true;
+    for (std::size_t i = 0; i < n; ++i) {
+        exp_inter = exp_inter || (ra[i] && rb[i]);
+        exp_sub = exp_sub && (!ra[i] || rb[i]);
+    }
+    EXPECT_EQ(a.intersects(b), exp_inter);
+    EXPECT_EQ(a.is_subset_of(b), exp_sub);
+    // iteration
+    std::size_t seen = 0;
+    for (auto i : a.ones()) {
+        EXPECT_TRUE(ra[i]);
+        ++seen;
+    }
+    EXPECT_EQ(seen, a.count());
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, dyn_bitset_random, ::testing::Range<uint64_t>(0, 20));
+
+TEST(xorshift, deterministic_and_bounded) {
+    xorshift64 a(42), b(42);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+    xorshift64 c(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(c.next_below(13), 13u);
+        const double u = c.next_unit();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    xorshift64 zero_seed(0);  // must not get stuck at 0
+    EXPECT_NE(zero_seed.next(), 0u);
+}
+
+TEST(errors, require_throws_with_message) {
+    EXPECT_NO_THROW(require(true, "fine"));
+    try {
+        require(false, "broken invariant");
+        FAIL() << "expected throw";
+    } catch (const error& e) {
+        EXPECT_STREQ(e.what(), "broken invariant");
+    }
+    parse_error pe(17, "bad token");
+    EXPECT_EQ(pe.line(), 17u);
+    EXPECT_NE(std::string(pe.what()).find("17"), std::string::npos);
+}
+
+TEST(hashing, hash_combine_mixes) {
+    std::size_t h1 = 0, h2 = 0;
+    hash_combine(h1, 1);
+    hash_combine(h2, 2);
+    EXPECT_NE(h1, h2);
+    std::size_t h3 = h1;
+    hash_combine(h3, 2);
+    EXPECT_NE(h3, h1);
+}

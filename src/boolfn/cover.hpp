@@ -69,8 +69,8 @@ private:
 
 /// A sum of cubes.
 struct cover {
-    std::size_t nvars = 0;
-    std::vector<cube> cubes;
+    std::size_t nvars = 0;    ///< variable count shared by all cubes
+    std::vector<cube> cubes;  ///< the product terms (empty = constant 0)
 
     [[nodiscard]] bool covers(const dyn_bitset& point) const;
     [[nodiscard]] std::size_t literal_count() const;

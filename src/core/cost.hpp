@@ -11,17 +11,25 @@
 
 namespace asynth {
 
+/// Parameters of the section-7 cost  C = (1-W)*csc_weight*pairs + W*literals.
 struct cost_params {
-    double w = 0.5;           ///< the paper's W, in [0, 1]
-    double csc_weight = 16.0; ///< scale of one CSC conflict pair vs one literal
+    /// The paper's W, dimensionless, in [0, 1].  0 biases the search towards
+    /// resolving state coding, 1 towards smaller logic.
+    double w = 0.5;
+    /// Exchange rate of one CSC conflict pair, in *literal equivalents* per
+    /// pair (dimensionless scale between the two cost terms).
+    double csc_weight = 16.0;
+    /// Number of heuristic minimisation sweeps when estimating literals
+    /// (a count; more passes = tighter estimate, slower evaluation).
     unsigned minimize_passes = 1;
 };
 
+/// One cost evaluation, with the raw terms kept apart for reporting.
 struct cost_breakdown {
-    std::size_t csc_pairs = 0;
-    std::size_t literals = 0;
-    std::size_t states = 0;
-    double value = 0.0;
+    std::size_t csc_pairs = 0;  ///< CSC conflict pairs in the subgraph
+    std::size_t literals = 0;   ///< estimated SOP literals over all non-input signals
+    std::size_t states = 0;     ///< live states (context for the estimate)
+    double value = 0.0;         ///< the combined weighted cost C
 };
 
 [[nodiscard]] cost_breakdown estimate_cost(const subgraph& g, const cost_params& p);

@@ -23,9 +23,11 @@
 
 namespace asynth {
 
+/// Handshake expansion knobs.
 struct expand_options {
-    int phases = 4;                  ///< 2 or 4
+    int phases = 4;                  ///< handshake protocol: 2 or 4 phases
     bool channel_interface = true;   ///< honour the 4-phase channel protocol
+    /// Budget for the reachability pruning pass (number of SG states).
     std::size_t max_states = 1u << 20;
 };
 

@@ -2,40 +2,48 @@
 
 namespace asynth {
 
+search_result run_reduction(const subgraph& initial, reduction_strategy strategy,
+                            const search_options& opt, const cost_breakdown* initial_cost) {
+    switch (strategy) {
+        case reduction_strategy::none: {
+            search_result res;
+            res.best = initial;
+            res.best_cost = initial_cost ? *initial_cost : estimate_cost(initial, opt.cost);
+            res.explored = 1;
+            return res;
+        }
+        case reduction_strategy::beam:
+            return reduce_concurrency(initial, opt);
+        case reduction_strategy::full:
+            return reduce_fully(initial, opt);
+    }
+    return {};
+}
+
+delay_model wire_zero_delays(const circuit& ckt, const state_graph& g, delay_model delays) {
+    for (const auto& impl : ckt.impls)
+        if (impl.kind == impl_kind::wire || impl.kind == impl_kind::constant)
+            delays.overrides.emplace_back(g.signals()[impl.signal].name, 0.0);
+    return delays;
+}
+
 namespace {
 
 flow_report continue_flow(flow_report rep, const flow_options& opt) {
     auto initial = subgraph::full(*rep.base_sg);
     rep.initial_cost = estimate_cost(initial, opt.search.cost);
 
-    switch (opt.strategy) {
-        case reduction_strategy::none:
-            rep.reduced = initial;
-            rep.reduced_cost = rep.initial_cost;
-            break;
-        case reduction_strategy::beam:
-            rep.search = reduce_concurrency(initial, opt.search);
-            rep.reduced = rep.search.best;
-            rep.reduced_cost = rep.search.best_cost;
-            break;
-        case reduction_strategy::full:
-            rep.search = reduce_fully(initial, opt.search);
-            rep.reduced = rep.search.best;
-            rep.reduced_cost = rep.search.best_cost;
-            break;
-    }
+    rep.search = run_reduction(initial, opt.strategy, opt.search, &rep.initial_cost);
+    rep.reduced = rep.search.best;
+    rep.reduced_cost = rep.search.best_cost;
 
     rep.csc = resolve_csc(rep.reduced, opt.csc);
     auto encoded = subgraph::full(rep.csc.graph);
     rep.synth = synthesize(encoded, opt.synth);
 
     delay_model delays = opt.delays;
-    if (opt.zero_delay_wires && rep.synth.ok) {
-        for (const auto& impl : rep.synth.ckt.impls)
-            if (impl.kind == impl_kind::wire || impl.kind == impl_kind::constant)
-                delays.overrides.emplace_back(
-                    rep.csc.graph.signals()[impl.signal].name, 0.0);
-    }
+    if (opt.zero_delay_wires && rep.synth.ok)
+        delays = wire_zero_delays(rep.synth.ckt, rep.csc.graph, std::move(delays));
     rep.perf = analyze_performance(encoded, delays);
 
     if (opt.recover) rep.recovered = recover_stg(rep.reduced);

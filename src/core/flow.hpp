@@ -33,15 +33,17 @@ enum class reduction_strategy : uint8_t {
     full,  ///< greedy reduction to minimal concurrency
 };
 
+/// Configuration of the whole Fig. 4 flow.
 struct flow_options {
-    expand_options expand;
-    reduction_strategy strategy = reduction_strategy::beam;
-    search_options search;
-    csc_options csc;
-    synthesis_options synth;
-    delay_model delays;
+    expand_options expand;   ///< handshake expansion knobs
+    reduction_strategy strategy = reduction_strategy::beam;  ///< step-3 engine
+    search_options search;   ///< Fig. 9 search configuration
+    csc_options csc;         ///< CSC insertion budget
+    synthesis_options synth; ///< gate library + minimiser
+    delay_model delays;      ///< timed-simulation delays (model time units)
+    /// Wire/constant-implemented outputs get zero delay in the timed model.
     bool zero_delay_wires = true;
-    bool recover = false;  ///< also run region-based STG recovery
+    bool recover = false;    ///< also run region-based STG recovery
 };
 
 struct flow_report {
@@ -63,6 +65,19 @@ struct flow_report {
     [[nodiscard]] double cycle() const { return perf.cycle_time; }
     [[nodiscard]] std::size_t input_events() const { return perf.input_events_on_cycle; }
 };
+
+/// Step-3 engine dispatch: applies the configured reduction strategy to
+/// @p initial.  For `none` the result wraps the input unchanged (explored=1),
+/// reusing @p initial_cost when the caller already evaluated it.  Shared by
+/// run_flow and the pipeline so the strategy semantics cannot drift.
+[[nodiscard]] search_result run_reduction(const subgraph& initial, reduction_strategy strategy,
+                                          const search_options& opt,
+                                          const cost_breakdown* initial_cost = nullptr);
+
+/// Returns @p delays extended with zero-delay overrides for every wire- or
+/// constant-implemented signal of @p ckt (a wire has no gate).
+[[nodiscard]] delay_model wire_zero_delays(const circuit& ckt, const state_graph& g,
+                                           delay_model delays);
 
 /// Full flow from a channel-level / partial specification.
 [[nodiscard]] flow_report run_flow(const stg& spec, const flow_options& opt);

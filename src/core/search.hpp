@@ -19,17 +19,23 @@
 
 namespace asynth {
 
+/// Knobs of the Fig. 9 exploration.
 struct search_options {
+    /// Beam width: candidates kept per level (the paper's size_frontier).
     std::size_t size_frontier = 4;
+    /// Safety cap on exploration depth; the search is monotone in arcs, so
+    /// it normally terminates well before this.
     std::size_t max_levels = 128;
+    /// Section-7 cost function parameters driving candidate ranking.
     cost_params cost;
-    /// Unordered pairs whose concurrency must be preserved.
+    /// Unordered pairs whose concurrency must be preserved (Keep_Conc).
     std::vector<std::pair<sg_event, sg_event>> keep_concurrent;
 };
 
+/// Outcome of one exploration run.
 struct search_result {
-    subgraph best;
-    cost_breakdown best_cost;
+    subgraph best;                  ///< lowest-cost configuration found anywhere
+    cost_breakdown best_cost;       ///< its cost evaluation
     std::size_t explored = 0;       ///< distinct SGs evaluated
     std::size_t levels = 0;         ///< exploration depth reached
     std::vector<double> level_best; ///< best cost per level (trace)

@@ -39,12 +39,13 @@ struct csc_options {
     std::size_t beam_width = 4;   ///< partial solutions kept per round
 };
 
+/// Outcome of a CSC resolution run.
 struct csc_result {
-    bool solved = false;
-    std::size_t signals_inserted = 0;
+    bool solved = false;                ///< all CSC conflicts eliminated
+    std::size_t signals_inserted = 0;   ///< internal signals added
     state_graph graph;                  ///< encoded SG (valid also when !solved)
     std::vector<std::string> anchors;   ///< human-readable insertion log
-    std::string message;
+    std::string message;                ///< diagnostic when !solved
 };
 
 /// Resolves CSC conflicts of @p g by repeated state-signal insertion.

@@ -26,13 +26,14 @@
 
 namespace asynth {
 
-/// Area units of the standard-cell library used throughout the benches.
-/// (Documented substitution: the paper's library is unnamed; shapes, not
-/// absolute units, are the comparison target.)
+/// Area of each cell in abstract *area units* of the standard-cell library
+/// used throughout the benches.  (Documented substitution: the paper's
+/// library is unnamed; shapes, not absolute units, are the comparison
+/// target.)
 struct gate_library {
-    double inverter = 4.0;
-    double gate2 = 8.0;      ///< any 2-input AND/OR/NAND/NOR
-    double celement = 16.0;  ///< 2-input C-element
+    double inverter = 4.0;   ///< inverter, area units
+    double gate2 = 8.0;      ///< any 2-input AND/OR/NAND/NOR, area units
+    double celement = 16.0;  ///< 2-input C-element, area units
 };
 
 enum class impl_kind : uint8_t {
@@ -43,21 +44,23 @@ enum class impl_kind : uint8_t {
     gc_element,    ///< C-element with set/reset networks
 };
 
+/// Implementation of one non-input signal.
 struct signal_impl {
-    uint32_t signal = 0;
-    impl_kind kind = impl_kind::complex_gate;
+    uint32_t signal = 0;        ///< signal index in the SG's table
+    impl_kind kind = impl_kind::complex_gate;  ///< winning implementation style
     cover function;             ///< complex-gate cover of f_x
     cover set_fn, reset_fn;     ///< gC covers
     bool has_feedback = false;  ///< f_x depends on x itself
-    double area_complex = 0.0;
-    double area_gc = 0.0;
-    double area = 0.0;  ///< min of the two styles (0 for wires)
-    std::string equation;
+    double area_complex = 0.0;  ///< complex-gate area, area units
+    double area_gc = 0.0;       ///< gC area, area units
+    double area = 0.0;          ///< min of the two styles, area units (0 for wires)
+    std::string equation;       ///< printable equation of the chosen style
 };
 
+/// The synthesised circuit: one implementation per non-input signal.
 struct circuit {
-    std::vector<signal_impl> impls;
-    double total_area = 0.0;
+    std::vector<signal_impl> impls;  ///< per-signal implementations
+    double total_area = 0.0;         ///< sum of impl areas, area units
     [[nodiscard]] const signal_impl* find(uint32_t signal) const {
         for (const auto& i : impls)
             if (i.signal == signal) return &i;

@@ -17,6 +17,7 @@
 // critical cycle.
 #pragma once
 
+#include <chrono>
 #include <string>
 #include <vector>
 
@@ -24,10 +25,31 @@
 
 namespace asynth {
 
+/// Monotonic wall-clock stopwatch used for per-stage pipeline timings.
+/// (Distinct from the *model* time units of delay_model below: the stopwatch
+/// measures real elapsed seconds of this process.)
+class stopwatch {
+public:
+    stopwatch() : start_(clock::now()) {}
+    /// Restarts the measurement from now.
+    void restart() { start_ = clock::now(); }
+    /// Elapsed wall-clock time since construction/restart, in seconds.
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// Event delay assignment for the timed simulation.  All delays are in the
+/// paper's abstract *time units* (Table 1 normalises an output gate delay
+/// to 1); they are not wall-clock quantities.
 struct delay_model {
-    double input_delay = 2.0;     ///< Table 1: input events take 2 time units
-    double output_delay = 1.0;    ///< outputs take 1
-    double internal_delay = 1.0;  ///< internal/state signals take 1
+    double input_delay = 2.0;     ///< environment response, time units (Table 1 uses 2)
+    double output_delay = 1.0;    ///< output gate delay, time units
+    double internal_delay = 1.0;  ///< internal/state-signal gate delay, time units
     /// Per-signal overrides by name (used by the Table 2 MMU delay set).
     std::vector<std::pair<std::string, double>> overrides;
 

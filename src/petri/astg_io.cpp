@@ -1,5 +1,6 @@
 #include "petri/astg_io.hpp"
 
+#include <algorithm>
 #include <istream>
 #include <map>
 #include <sstream>
@@ -220,7 +221,58 @@ std::string write_astg(const stg& net) {
     for (uint32_t p = 0; p < places.size(); ++p)
         implicit[p] = places[p].implicit && net.place_pre(p).size() == 1 &&
                       net.place_post(p).size() == 1;
-    for (uint32_t t = 0; t < net.transitions().size(); ++t) {
+    // The parser numbers transitions and places by first sight in the text,
+    // so for the written text to be a fixpoint of write_astg(parse_astg(.))
+    // the sections must be emitted in exactly that first-encounter order.
+    // Compute it by simulating the reader over the current emission order and
+    // re-sorting until stable (converges in a couple of passes).
+    const std::size_t nt = net.transitions().size();
+    std::vector<uint32_t> t_order(nt), p_order(places.size());
+    for (uint32_t t = 0; t < nt; ++t) t_order[t] = t;
+    for (uint32_t p = 0; p < places.size(); ++p) p_order[p] = p;
+    std::vector<uint32_t> t_rank(nt), p_rank(places.size());
+    for (int pass = 0; pass < 8; ++pass) {
+        uint32_t next = 0;
+        t_rank.assign(nt, UINT32_MAX);
+        p_rank.assign(places.size(), UINT32_MAX);
+        auto see_t = [&](uint32_t t) {
+            if (t_rank[t] == UINT32_MAX) t_rank[t] = next++;
+        };
+        auto see_p = [&](uint32_t p) {
+            if (p_rank[p] == UINT32_MAX) p_rank[p] = next++;
+        };
+        for (uint32_t t : t_order) {
+            if (net.transitions()[t].post.empty()) continue;
+            see_t(t);
+            for (uint32_t p : net.transitions()[t].post) {
+                see_p(p);
+                if (implicit[p]) see_t(net.place_post(p)[0]);
+            }
+        }
+        for (uint32_t p : p_order) {
+            if (implicit[p] || net.place_post(p).empty()) continue;
+            see_p(p);
+            for (uint32_t t : net.place_post(p)) see_t(t);
+        }
+        for (uint32_t p : p_order) {
+            if (places[p].tokens == 0) continue;
+            see_p(p);
+            if (implicit[p]) {
+                see_t(net.place_pre(p)[0]);
+                see_t(net.place_post(p)[0]);
+            }
+        }
+        auto resort = [](std::vector<uint32_t>& order, const std::vector<uint32_t>& rank) {
+            std::stable_sort(order.begin(), order.end(),
+                             [&](uint32_t a, uint32_t b) { return rank[a] < rank[b]; });
+        };
+        auto t_prev = t_order, p_prev = p_order;
+        resort(t_order, t_rank);
+        resort(p_order, p_rank);
+        if (t_order == t_prev && p_order == p_prev) break;
+    }
+
+    for (uint32_t t : t_order) {
         std::string line = net.transition_name(t);
         bool has_succ = false;
         for (uint32_t p : net.transitions()[t].post) {
@@ -233,7 +285,7 @@ std::string write_astg(const stg& net) {
         }
         if (has_succ) out << line << "\n";
     }
-    for (uint32_t p = 0; p < places.size(); ++p) {
+    for (uint32_t p : p_order) {
         if (implicit[p]) continue;
         std::string line = places[p].name;
         bool has_succ = false;
@@ -244,8 +296,14 @@ std::string write_astg(const stg& net) {
         if (has_succ) out << line << "\n";
     }
     out << ".marking {";
-    for (uint32_t p = 0; p < places.size(); ++p) {
+    for (uint32_t p : p_order) {
         if (places[p].tokens == 0) continue;
+        // A marked place with no arcs would appear only here and the text
+        // would not reparse ("marking of unknown place"); fail loudly at
+        // write time instead of producing unreadable output.
+        require(!net.place_pre(p).empty() || !net.place_post(p).empty(),
+                "write_astg: marked place '" + places[p].name +
+                    "' has no arcs and cannot be represented in .g");
         if (implicit[p]) {
             out << " <" << net.transition_name(net.place_pre(p)[0]) << ","
                 << net.transition_name(net.place_post(p)[0]) << ">";

@@ -50,9 +50,10 @@ struct event_label {
     }
 };
 
+/// One entry of the signal table shared by STGs and state graphs.
 struct signal_decl {
-    std::string name;
-    signal_kind kind = signal_kind::internal;
+    std::string name;                          ///< unique printable identifier
+    signal_kind kind = signal_kind::internal;  ///< interface role
     /// Partially specified: only the functional edges appear in the spec and
     /// handshake expansion must insert the return-to-zero edge (Fig. 5.a/b).
     bool partial = false;
@@ -61,16 +62,18 @@ struct signal_decl {
     bool initial_value = false;
 };
 
+/// A place of the underlying safe Petri net.
 struct pn_place {
-    std::string name;
-    uint32_t tokens = 0;
+    std::string name;     ///< unique printable identifier
+    uint32_t tokens = 0;  ///< initial marking (0 or 1; the net is safe)
     /// Implicit places (created from transition->transition arcs in .g files)
     /// are rendered back as such by the writer.
     bool implicit = false;
 };
 
+/// A transition of the net, labelled with a signal/channel event.
 struct pn_transition {
-    event_label label;
+    event_label label;           ///< signal edge or channel action
     std::vector<uint32_t> pre;   ///< input places
     std::vector<uint32_t> post;  ///< output places
 };

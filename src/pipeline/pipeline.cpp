@@ -1,0 +1,186 @@
+#include "pipeline/pipeline.hpp"
+
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "petri/astg_io.hpp"
+
+namespace asynth {
+
+const char* stage_name(pipeline_stage s) noexcept {
+    switch (s) {
+        case pipeline_stage::parse: return "parse";
+        case pipeline_stage::expand: return "expand";
+        case pipeline_stage::state_graph: return "state-graph";
+        case pipeline_stage::reduce: return "reduce";
+        case pipeline_stage::csc: return "csc";
+        case pipeline_stage::logic: return "logic";
+        case pipeline_stage::perf: return "perf";
+        case pipeline_stage::recover: return "recover";
+    }
+    return "?";
+}
+
+double pipeline_result::stage_seconds(pipeline_stage s) const noexcept {
+    for (const auto& t : timings)
+        if (t.stage == s) return t.seconds;
+    return 0.0;
+}
+
+namespace {
+
+/// Runs @p body under a stopwatch, appending the measurement to the result.
+/// Returns false when the stage threw, recording the structured failure.
+template <typename Body>
+bool run_stage(pipeline_result& rep, pipeline_stage stage, Body&& body) {
+    stopwatch sw;
+    bool ok = true;
+    try {
+        body();
+    } catch (const error& e) {
+        rep.failed = stage;
+        rep.message = std::string(stage_name(stage)) + ": " + e.what();
+        ok = false;
+    } catch (const std::exception& e) {
+        // The pipeline promises not to throw; resource exhaustion inside a
+        // stage (bad_alloc, length_error) is reported the same way.
+        rep.failed = stage;
+        rep.message = std::string(stage_name(stage)) + ": " + e.what();
+        ok = false;
+    }
+    rep.timings.push_back({stage, sw.seconds()});
+    rep.total_seconds += rep.timings.back().seconds;
+    return ok;
+}
+
+/// Stages after the spec has been provided/parsed.  Fills `rep` in place.
+void continue_pipeline(pipeline_result& rep, const pipeline_options& opt) {
+    if (!run_stage(rep, pipeline_stage::expand,
+                   [&] { rep.expanded = expand_handshakes(rep.spec, opt.expand); }))
+        return;
+
+    if (!run_stage(rep, pipeline_stage::state_graph, [&] {
+            rep.base_sg = std::make_shared<const state_graph>(
+                state_graph::generate(rep.expanded).graph);
+        }))
+        return;
+
+    // Keep_Conc pairs recorded in the spec ride along into the search.
+    search_options search = opt.search;
+    auto kc = keepconc_events(rep.expanded);
+    search.keep_concurrent.insert(search.keep_concurrent.end(), kc.begin(), kc.end());
+
+    if (!run_stage(rep, pipeline_stage::reduce, [&] {
+            auto initial = subgraph::full(*rep.base_sg);
+            rep.initial_cost = estimate_cost(initial, search.cost);
+            rep.search = run_reduction(initial, opt.strategy, search, &rep.initial_cost);
+            rep.reduced = rep.search.best;
+            rep.reduced_cost = rep.search.best_cost;
+        }))
+        return;
+
+    // An unsolved CSC is a *verdict*, not a crash (the paper's Fig. 1 is
+    // exactly such a spec): synthesis still runs and reports its diagnostic.
+    if (!run_stage(rep, pipeline_stage::csc, [&] { rep.csc = resolve_csc(rep.reduced, opt.csc); }))
+        return;
+
+    auto encoded = subgraph::full(rep.csc.graph);
+    if (!run_stage(rep, pipeline_stage::logic,
+                   [&] { rep.synth = synthesize(encoded, opt.synth); }))
+        return;
+
+    if (opt.run_performance) {
+        delay_model delays = opt.delays;
+        if (opt.zero_delay_wires && rep.synth.ok)
+            delays = wire_zero_delays(rep.synth.ckt, rep.csc.graph, std::move(delays));
+        if (!run_stage(rep, pipeline_stage::perf,
+                       [&] { rep.perf = analyze_performance(encoded, delays); }))
+            return;
+    }
+
+    if (opt.recover_stg) {
+        if (!run_stage(rep, pipeline_stage::recover, [&] {
+                rep.recovered = recover_stg(rep.reduced);
+                rep.recovered.net.model_name = rep.spec.model_name + "_reduced";
+            }))
+            return;
+    }
+    rep.completed = true;
+}
+
+}  // namespace
+
+pipeline_result run_pipeline(const stg& spec, const pipeline_options& opt) {
+    pipeline_result rep;
+    rep.spec = spec;
+    continue_pipeline(rep, opt);
+    return rep;
+}
+
+pipeline_result run_pipeline(const stg& spec) { return run_pipeline(spec, pipeline_options{}); }
+
+pipeline_result run_pipeline_text(std::string_view astg_text, const pipeline_options& opt) {
+    pipeline_result rep;
+    if (!run_stage(rep, pipeline_stage::parse, [&] { rep.spec = parse_astg(astg_text); }))
+        return rep;
+    continue_pipeline(rep, opt);
+    return rep;
+}
+
+std::string pipeline_summary(const pipeline_result& r) {
+    std::string out;
+    auto emit = [&](const char* fmt, auto&&... args) {
+        // Two-pass snprintf: equations and diagnostics can be arbitrarily
+        // long, so never truncate into a fixed buffer.
+        int n = std::snprintf(nullptr, 0, fmt, args...);
+        if (n <= 0) return;
+        std::vector<char> buf(static_cast<std::size_t>(n) + 1);
+        std::snprintf(buf.data(), buf.size(), fmt, args...);
+        out += buf.data();
+    };
+
+    if (!r.completed) {
+        emit("pipeline: %s (FAILED)\n", r.spec.model_name.c_str());
+        emit("  error: %s\n", r.message.c_str());
+    } else if (r.synthesized()) {
+        emit("pipeline: %s (ok)\n", r.spec.model_name.c_str());
+    } else {
+        emit("pipeline: %s (completed, no circuit)\n", r.spec.model_name.c_str());
+        const std::string& why = !r.csc.solved ? r.csc.message : r.synth.message;
+        emit("  verdict: %s\n", why.c_str());
+    }
+
+    emit("stage timings:\n");
+    for (const auto& t : r.timings)
+        emit("  %-12s %9.3f ms\n", stage_name(t.stage), t.seconds * 1e3);
+    emit("  %-12s %9.3f ms\n", "total", r.total_seconds * 1e3);
+
+    if (r.base_sg) {
+        emit("state graph: %zu states, %zu arcs (%zu signals)\n", r.base_sg->state_count(),
+             r.base_sg->arc_count(), r.base_sg->signals().size());
+        emit("reduction: cost %.1f -> %.1f, %zu states / %zu arcs live, %zu SGs explored\n",
+             r.initial_cost.value, r.reduced_cost.value, r.reduced.live_state_count(),
+             r.reduced.live_arc_count(), r.search.explored);
+    }
+    if (r.csc.signals_inserted > 0 || r.csc.solved) {
+        emit("csc: %s, %zu signal(s) inserted\n", r.csc.solved ? "solved" : "UNSOLVED",
+             r.csc.signals_inserted);
+        for (const auto& a : r.csc.anchors) emit("  %s\n", a.c_str());
+    }
+    if (r.synth.ok) {
+        emit("circuit: area %.0f\n", r.synth.ckt.total_area);
+        for (const auto& impl : r.synth.ckt.impls) emit("  %s\n", impl.equation.c_str());
+    }
+    if (r.perf.periodic)
+        emit("performance: cycle %.1f time units, %zu events (%zu inputs) on the critical cycle\n",
+             r.perf.cycle_time, r.perf.events_on_cycle, r.perf.input_events_on_cycle);
+    if (r.recovered.ok)
+        emit("recovered STG: %zu places, %zu transitions\n", r.recovered.net.places().size(),
+             r.recovered.net.transitions().size());
+    else if (!r.recovered.message.empty())
+        emit("recovered STG: failed (%s)\n", r.recovered.message.c_str());
+    return out;
+}
+
+}  // namespace asynth

@@ -1,0 +1,129 @@
+// End-to-end synthesis pipeline: one documented entry point that chains every
+// layer of the library into the paper's Fig. 4 flow and reports what happened
+// at each stage:
+//
+//   parse   astg text -> stg                       (petri/astg_io)
+//   expand  handshake expansion                    (core/expand)
+//   sg      state graph generation                 (sg/state_graph)
+//   reduce  Fig. 9 concurrency-reduction search    (core/search)
+//   csc     state-signal insertion                 (csc/csc)
+//   logic   speed-independent logic synthesis      (logic/synthesis)
+//   perf    critical-cycle timed simulation        (perf/timing)
+//   recover region-based STG recovery              (regions/regions)
+//
+// Unlike core/flow (which the benches drive and which aborts by exception),
+// the pipeline never throws: every stage runs under a wall-clock stopwatch
+// and converts asynth::error into a structured (failed stage, diagnostic)
+// pair in the result, so callers -- the asynth CLI, tests, future services --
+// can report failures without a try/catch of their own.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/cost.hpp"
+#include "core/expand.hpp"
+#include "core/flow.hpp"
+#include "core/search.hpp"
+#include "csc/csc.hpp"
+#include "logic/synthesis.hpp"
+#include "perf/timing.hpp"
+#include "petri/stg.hpp"
+#include "regions/regions.hpp"
+#include "sg/state_graph.hpp"
+
+namespace asynth {
+
+/// The stages of the end-to-end flow, in execution order.
+enum class pipeline_stage : uint8_t {
+    parse,        ///< astg text -> stg (only when starting from text)
+    expand,       ///< handshake expansion (core/expand)
+    state_graph,  ///< reachability graph generation (sg/)
+    reduce,       ///< Fig. 9 concurrency reduction (core/search)
+    csc,          ///< complete state coding resolution (csc/)
+    logic,        ///< logic synthesis + area (logic/)
+    perf,         ///< critical-cycle analysis (perf/)
+    recover,      ///< region-based STG recovery (regions/)
+};
+
+/// Short printable name of a stage ("parse", "expand", ...).
+[[nodiscard]] const char* stage_name(pipeline_stage s) noexcept;
+
+/// Wall-clock cost of one executed stage.
+struct stage_timing {
+    pipeline_stage stage = pipeline_stage::parse;
+    double seconds = 0.0;  ///< wall-clock seconds (perf/timing stopwatch)
+};
+
+/// Everything the pipeline can be asked to do.  Defaults reproduce the
+/// paper's Fig. 4 flow with the beam search of Fig. 9.
+struct pipeline_options {
+    expand_options expand;                                   ///< handshake expansion knobs
+    reduction_strategy strategy = reduction_strategy::beam;  ///< none / beam / full
+    search_options search;                                   ///< Fig. 9 search configuration
+    csc_options csc;                                         ///< CSC insertion budget
+    synthesis_options synth;                                 ///< gate library + minimiser
+    delay_model delays;                                      ///< timed-simulation delays
+    /// Wire- and constant-implemented outputs get zero delay in the timed
+    /// model (a wire has no gate), matching Table 1's fully reduced rows.
+    bool zero_delay_wires = true;
+    bool run_performance = true;  ///< run the perf stage
+    bool recover_stg = true;      ///< run the recover stage (STG of the result)
+};
+
+/// The pipeline outcome.  Two notions of success are kept apart:
+///  * `completed` -- every requested stage ran without throwing.  A spec
+///    whose CSC conflict is provably unfixable (the paper's Fig. 1) still
+///    *completes*: that verdict is the analysis result, not a crash.
+///  * `synthesized()` -- the flow additionally produced a valid circuit.
+/// When !completed, `failed` names the first failing stage and `message`
+/// carries the diagnostic; artefacts up to the failure point remain valid.
+struct pipeline_result {
+    bool completed = false;                 ///< all requested stages ran
+    std::optional<pipeline_stage> failed;   ///< first failing stage when !completed
+    std::string message;                    ///< diagnostic when !completed
+
+    stg spec;                               ///< input specification
+    stg expanded;                           ///< after handshake expansion
+    /// Base SG behind a shared_ptr so `reduced` (a view into it) survives
+    /// moves/copies of the result struct.
+    std::shared_ptr<const state_graph> base_sg;
+    subgraph reduced;                       ///< best reduced configuration
+    cost_breakdown initial_cost;            ///< section-7 cost before reduction
+    cost_breakdown reduced_cost;            ///< section-7 cost after reduction
+    search_result search;                   ///< Fig. 9 exploration trace
+    csc_result csc;                         ///< CSC insertion log + encoded SG
+    synthesis_result synth;                 ///< circuit + area
+    perf_report perf;                       ///< critical-cycle metrics
+    recovery_result recovered;              ///< STG of the reduced result
+
+    std::vector<stage_timing> timings;      ///< one entry per executed stage
+    double total_seconds = 0.0;             ///< sum of stage wall-clock times
+
+    /// True when the flow produced a valid speed-independent circuit.
+    [[nodiscard]] bool synthesized() const { return csc.solved && synth.ok; }
+    /// Circuit area (-1 when synthesis failed).
+    [[nodiscard]] double area() const { return synth.ok ? synth.ckt.total_area : -1.0; }
+    /// Critical cycle length in model time units (0 when perf did not run).
+    [[nodiscard]] double cycle() const { return perf.cycle_time; }
+    /// Wall-clock seconds spent in @p s (0 when the stage did not run).
+    [[nodiscard]] double stage_seconds(pipeline_stage s) const noexcept;
+};
+
+/// Runs the flow from an in-memory specification (no parse stage).
+[[nodiscard]] pipeline_result run_pipeline(const stg& spec, const pipeline_options& opt);
+[[nodiscard]] pipeline_result run_pipeline(const stg& spec);
+
+/// Runs the flow from astg (.g) text, starting with the parse stage.
+[[nodiscard]] pipeline_result run_pipeline_text(std::string_view astg_text,
+                                                const pipeline_options& opt);
+
+/// Human-readable multi-line report: per-stage wall-clock timings, state/arc
+/// counts, cost trajectory, inserted CSC signals, area, equations and the
+/// critical-cycle metrics.  Used verbatim by the asynth CLI.
+[[nodiscard]] std::string pipeline_summary(const pipeline_result& r);
+
+}  // namespace asynth

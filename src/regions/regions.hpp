@@ -25,15 +25,16 @@ namespace asynth {
 
 struct region_options {
     std::size_t max_expansion_nodes = 100000;  ///< branch budget per seed
-    std::size_t max_regions = 2048;
-    bool verify_roundtrip = true;
+    std::size_t max_regions = 2048;            ///< cap on minimal pre-regions kept
+    bool verify_roundtrip = true;              ///< re-check language equivalence
 };
 
+/// Outcome of a recovery run.
 struct recovery_result {
-    bool ok = false;
-    stg net;
-    std::size_t regions_found = 0;
-    std::string message;
+    bool ok = false;                ///< an equivalent STG was synthesised
+    stg net;                        ///< the recovered net (valid iff ok)
+    std::size_t regions_found = 0;  ///< minimal pre-regions discovered
+    std::string message;            ///< diagnostic when !ok
 };
 
 /// Synthesises an STG whose reachability graph is language-equivalent to

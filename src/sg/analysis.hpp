@@ -13,10 +13,10 @@ namespace asynth {
 /// Result of the speed-independence checks.  `ok()` iff all constituents
 /// hold; each violation carries a readable diagnostic.
 struct si_report {
-    bool deterministic = true;
-    bool commutative = true;
-    bool output_persistent = true;
-    std::vector<std::string> violations;
+    bool deterministic = true;            ///< no state enables one event twice
+    bool commutative = true;              ///< diamonds commute (Def. 2.1)
+    bool output_persistent = true;        ///< no event disables a non-input
+    std::vector<std::string> violations;  ///< readable diagnostics, one per violation
     [[nodiscard]] bool ok() const noexcept {
         return deterministic && commutative && output_persistent;
     }
@@ -32,10 +32,11 @@ struct si_report {
 /// One CSC conflict: two states with equal codes but different enabled
 /// non-input event sets.
 struct csc_conflict {
-    uint32_t state_a = 0;
-    uint32_t state_b = 0;
+    uint32_t state_a = 0;  ///< first state of the conflicting pair
+    uint32_t state_b = 0;  ///< second state (same code, different outputs)
 };
 
+/// Complete State Coding verdict over a subgraph.
 struct csc_report {
     std::size_t conflict_pairs = 0;       ///< |{(s,s') : CSC violated}|
     std::size_t usc_pairs = 0;            ///< pairs with equal codes at all
@@ -49,8 +50,8 @@ struct csc_report {
 /// which `event` is enabled.  Components stand in for transition instances
 /// at the SG level.
 struct er_component {
-    uint16_t event = 0;
-    dyn_bitset states;  ///< over base state ids
+    uint16_t event = 0;  ///< index into state_graph::events()
+    dyn_bitset states;   ///< over base state ids
 };
 
 /// All ER components of all events, in a stable order.

@@ -23,14 +23,16 @@ struct sg_event {
     [[nodiscard]] bool operator==(const sg_event&) const = default;
 };
 
+/// One SG state: a reachable marking with its binary encoding.
 struct sg_state {
     marking m;        ///< STG marking (empty for synthetic SGs)
     dyn_bitset code;  ///< binary signal vector v(s)
 };
 
+/// A labelled SG transition s --e--> s'.
 struct sg_arc {
-    uint32_t src = 0;
-    uint32_t dst = 0;
+    uint32_t src = 0;    ///< source state index
+    uint32_t dst = 0;    ///< destination state index
     uint16_t event = 0;  ///< index into state_graph::events()
 };
 
@@ -38,6 +40,7 @@ class state_graph {
 public:
     // ---- construction ----------------------------------------------------
     struct generation_options {
+        /// Abort generation (asynth::error) beyond this many states.
         std::size_t max_states = 1u << 20;
     };
     struct generation_result;

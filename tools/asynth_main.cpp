@@ -1,0 +1,246 @@
+// asynth: end-to-end synthesis of partially specified asynchronous systems.
+//
+// Drives the full DAC'99 flow (handshake expansion -> state graph -> Fig. 9
+// concurrency reduction -> CSC -> logic synthesis -> timed analysis -> STG
+// recovery) over an astg (.g) file or an embedded corpus entry, printing
+// per-stage wall-clock timings and the synthesised circuit.
+//
+//   asynth --corpus fig1
+//   asynth --strategy full --w 0.2 spec.g
+//   asynth --corpus lr --out reduced.g
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchmarks/corpus.hpp"
+#include "petri/astg_io.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace {
+
+using namespace asynth;
+
+struct corpus_entry {
+    const char* name;
+    const char* blurb;
+    stg (*make)();
+};
+
+const corpus_entry kCorpus[] = {
+    {"fig1", "Fig. 1 memory/processor controller (one CSC conflict)", benchmarks::fig1_controller},
+    {"lr", "Fig. 2.c LR process (channel-level, needs expansion)", benchmarks::lr_process},
+    {"qmodule", "Table 1 hand-made Q-module reshuffling of LR", benchmarks::qmodule_lr},
+    {"lr_full", "Fig. 3.b fully reduced LR process (two wires)", benchmarks::lr_full_reduction},
+    {"fig6", "Fig. 6.a mixed channel/partial/complete example", benchmarks::fig6_mixed},
+    {"par", "Fig. 10.a Tangram PAR component", benchmarks::par_component},
+    {"par_manual", "Fig. 10.c-style hand-designed PAR solution", benchmarks::par_manual},
+    {"mmu", "Table 2 MMU-like controller (channels b, l, m, r)", benchmarks::mmu_controller},
+};
+
+void print_usage(std::FILE* to) {
+    std::fprintf(to,
+                 "usage: asynth [options] <spec.g>\n"
+                 "       asynth [options] --corpus <name>\n"
+                 "\n"
+                 "Runs the full synthesis pipeline: parse -> handshake expansion -> state\n"
+                 "graph -> concurrency-reduction search (Fig. 9) -> CSC resolution -> logic\n"
+                 "synthesis -> timed analysis -> STG recovery.\n"
+                 "\n"
+                 "input:\n"
+                 "  <spec.g>              astg specification file (petrify .g dialect)\n"
+                 "  --corpus <name>       use an embedded paper benchmark instead of a file\n"
+                 "  --list-corpus         list the embedded benchmarks and exit\n"
+                 "\n"
+                 "flow options:\n"
+                 "  --strategy <s>        none | beam | full   (default: beam, the Fig. 9 search)\n"
+                 "  --w <x>               cost weight W in [0,1]; 0 biases CSC, 1 logic (default 0.5)\n"
+                 "  --frontier <n>        beam frontier size (default 4)\n"
+                 "  --max-levels <n>      beam depth limit (default 128)\n"
+                 "  --phases <2|4>        handshake expansion protocol (default 4)\n"
+                 "  --csc-signals <n>     max inserted state signals (default 4)\n"
+                 "  --no-perf             skip the timed critical-cycle analysis\n"
+                 "  --no-recover          skip region-based STG recovery (ignored with --out)\n"
+                 "\n"
+                 "output:\n"
+                 "  --out <file>          write the recovered (reduced) STG as astg text\n"
+                 "  --dot <file>          write the reduced state graph as Graphviz dot\n"
+                 "  --print-spec          echo the parsed specification before running\n"
+                 "  -q, --quiet           only print errors (exit code carries the result)\n"
+                 "  -h, --help            this message\n");
+}
+
+[[nodiscard]] bool parse_double(const char* s, double& out) {
+    char* end = nullptr;
+    out = std::strtod(s, &end);
+    return end && *end == '\0';
+}
+
+/// Parses a non-negative integer; prints a diagnostic naming @p flag on
+/// failure so a typo never exits silently.  Digits only: strtoull would
+/// silently wrap negative or overflowing inputs into huge values.
+[[nodiscard]] bool parse_size(const char* flag, const char* s, std::size_t& out) {
+    bool digits_only = *s != '\0';
+    for (const char* c = s; *c; ++c)
+        if (*c < '0' || *c > '9') digits_only = false;
+    errno = 0;
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    if (!digits_only || errno == ERANGE || v > std::numeric_limits<std::size_t>::max()) {
+        std::fprintf(stderr, "asynth: %s expects a non-negative integer, got '%s'\n", flag, s);
+        return false;
+    }
+    (void)end;
+    out = static_cast<std::size_t>(v);
+    return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    pipeline_options opt;
+    std::string input_file, corpus_name, out_file, dot_file;
+    bool quiet = false, print_spec = false;
+
+    auto need_value = [&](int& i, const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "asynth: %s requires a value\n", flag);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            print_usage(stdout);
+            return 0;
+        } else if (arg == "--list-corpus") {
+            for (const auto& e : kCorpus) std::printf("%-12s %s\n", e.name, e.blurb);
+            return 0;
+        } else if (arg == "--corpus") {
+            corpus_name = need_value(i, "--corpus");
+        } else if (arg == "--strategy") {
+            const std::string v = need_value(i, "--strategy");
+            if (v == "none")
+                opt.strategy = reduction_strategy::none;
+            else if (v == "beam")
+                opt.strategy = reduction_strategy::beam;
+            else if (v == "full")
+                opt.strategy = reduction_strategy::full;
+            else {
+                std::fprintf(stderr, "asynth: unknown strategy '%s'\n", v.c_str());
+                return 2;
+            }
+        } else if (arg == "--w") {
+            if (!parse_double(need_value(i, "--w"), opt.search.cost.w) || opt.search.cost.w < 0 ||
+                opt.search.cost.w > 1) {
+                std::fprintf(stderr, "asynth: --w expects a number in [0,1]\n");
+                return 2;
+            }
+        } else if (arg == "--frontier") {
+            if (!parse_size("--frontier", need_value(i, "--frontier"), opt.search.size_frontier))
+                return 2;
+        } else if (arg == "--max-levels") {
+            if (!parse_size("--max-levels", need_value(i, "--max-levels"), opt.search.max_levels))
+                return 2;
+        } else if (arg == "--phases") {
+            const std::string v = need_value(i, "--phases");
+            if (v != "2" && v != "4") {
+                std::fprintf(stderr, "asynth: --phases expects 2 or 4\n");
+                return 2;
+            }
+            opt.expand.phases = v == "2" ? 2 : 4;
+        } else if (arg == "--csc-signals") {
+            if (!parse_size("--csc-signals", need_value(i, "--csc-signals"), opt.csc.max_signals))
+                return 2;
+        } else if (arg == "--no-perf") {
+            opt.run_performance = false;
+        } else if (arg == "--no-recover") {
+            opt.recover_stg = false;
+        } else if (arg == "--out") {
+            out_file = need_value(i, "--out");
+        } else if (arg == "--dot") {
+            dot_file = need_value(i, "--dot");
+        } else if (arg == "--print-spec") {
+            print_spec = true;
+        } else if (arg == "-q" || arg == "--quiet") {
+            quiet = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "asynth: unknown option '%s' (see --help)\n", arg.c_str());
+            return 2;
+        } else if (input_file.empty()) {
+            input_file = arg;
+        } else {
+            std::fprintf(stderr, "asynth: more than one input file\n");
+            return 2;
+        }
+    }
+
+    if (input_file.empty() == corpus_name.empty()) {
+        std::fprintf(stderr, "asynth: exactly one of <spec.g> or --corpus is required\n\n");
+        print_usage(stderr);
+        return 2;
+    }
+    // --out needs the recovered STG, so it overrides --no-recover.
+    if (!out_file.empty()) opt.recover_stg = true;
+
+    pipeline_result result;
+    if (!corpus_name.empty()) {
+        const corpus_entry* entry = nullptr;
+        for (const auto& e : kCorpus)
+            if (corpus_name == e.name) entry = &e;
+        if (!entry) {
+            std::fprintf(stderr, "asynth: unknown corpus entry '%s' (try --list-corpus)\n",
+                         corpus_name.c_str());
+            return 2;
+        }
+        stg spec = entry->make();
+        if (print_spec && !quiet) std::printf("%s\n", write_astg(spec).c_str());
+        result = run_pipeline(spec, opt);
+    } else {
+        std::ifstream in(input_file);
+        if (!in) {
+            std::fprintf(stderr, "asynth: cannot open '%s'\n", input_file.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        if (print_spec && !quiet) std::printf("%s\n", text.str().c_str());
+        result = run_pipeline_text(text.str(), opt);
+    }
+
+    if (!quiet) std::fputs(pipeline_summary(result).c_str(), stdout);
+    if (!result.completed && quiet) std::fprintf(stderr, "asynth: %s\n", result.message.c_str());
+
+    auto write_file = [&](const std::string& path, const std::string& content) {
+        std::ofstream out(path);
+        out << content;
+        out.close();
+        if (!out) {
+            std::fprintf(stderr, "asynth: cannot write '%s'\n", path.c_str());
+            return false;
+        }
+        if (!quiet) std::printf("wrote %s\n", path.c_str());
+        return true;
+    };
+    if (!out_file.empty()) {
+        if (!result.recovered.ok) {
+            std::fprintf(stderr, "asynth: no recovered STG to write (%s)\n",
+                         result.recovered.message.c_str());
+            return 1;
+        }
+        if (!write_file(out_file, write_astg(result.recovered.net))) return 1;
+    }
+    // A valid reduced subgraph always keeps the initial state live; after a
+    // reduce-stage failure it is a default view with no base to render.
+    if (!dot_file.empty() && result.base_sg && result.reduced.live_states().size() > 0) {
+        if (!write_file(dot_file, write_dot(result.reduced))) return 1;
+    }
+    return result.completed ? 0 : 1;
+}

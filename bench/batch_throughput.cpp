@@ -1,0 +1,60 @@
+// Batch-engine throughput: specs/second of run_batch() over a generated
+// workload at 1, half and all hardware cores.  The per-spec records are
+// independent of the job count (the pipeline is pure over its inputs), so
+// this measures pure scheduling + parallel speedup; items_per_second is the
+// corpus sweep rate that BENCH_pipeline.json records as `specs_per_second`.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <thread>
+
+#include "batch/batch.hpp"
+#include "benchmarks/generate.hpp"
+
+namespace {
+
+using namespace asynth;
+
+/// A fixed 16-spec workload, small enough that one sweep stays in the
+/// millisecond range at every job count (size 3 ~ the mmu scale).
+const std::vector<benchmarks::named_spec>& workload() {
+    static const std::vector<benchmarks::named_spec> specs = [] {
+        benchmarks::generator_options opt;
+        opt.size = 3;
+        return benchmarks::generate_workload(1, 16, opt);
+    }();
+    return specs;
+}
+
+void bm_batch_throughput(benchmark::State& state) {
+    batch::batch_options opt;
+    opt.jobs = static_cast<std::size_t>(state.range(0));
+    const auto& specs = workload();
+    std::size_t completed = 0;
+    for (auto _ : state) {
+        auto rep = batch::run_batch(specs, opt);
+        completed = rep.completed;
+        benchmark::DoNotOptimize(completed);
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * specs.size()));
+    state.counters["completed"] = static_cast<double>(completed);
+}
+
+void job_counts(benchmark::internal::Benchmark* b) {
+    const auto hw = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    b->Arg(1);
+    if (hw / 2 > 1) b->Arg(hw / 2);
+    if (hw > 1 && hw != hw / 2) b->Arg(hw);
+    b->Unit(benchmark::kMillisecond)->UseRealTime();
+}
+BENCHMARK(bm_batch_throughput)->Apply(job_counts);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::printf("batch throughput over %zu generated specs, %u hardware cores\n",
+                workload().size(), std::thread::hardware_concurrency());
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,0 +1,329 @@
+#include "batch/batch.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "perf/timing.hpp"
+
+namespace asynth::batch {
+
+namespace {
+
+/// Work-stealing scheduler over a fixed task list.  Each worker owns a deque
+/// seeded round-robin; it pops its own front and, when empty, steals from the
+/// back of the other queues.  Tasks never spawn tasks, so a worker that finds
+/// every queue empty can retire.  Mutex-per-queue keeps the implementation
+/// obviously correct; the tasks (whole pipeline runs, ~ms to ~s) dwarf the
+/// lock cost by orders of magnitude.
+class work_stealing_pool {
+public:
+    work_stealing_pool(std::size_t workers, std::size_t tasks) : queues_(workers) {
+        for (std::size_t i = 0; i < tasks; ++i) queues_[i % workers].items.push_back(i);
+    }
+
+    /// Runs @p body(task_index) across all workers and joins.
+    template <typename Body>
+    void run(Body&& body) {
+        std::vector<std::thread> threads;
+        threads.reserve(queues_.size() - 1);
+        for (std::size_t w = 1; w < queues_.size(); ++w)
+            threads.emplace_back([this, w, &body] { work(w, body); });
+        work(0, body);  // the calling thread is worker 0
+        for (auto& t : threads) t.join();
+    }
+
+private:
+    struct queue {
+        std::deque<std::size_t> items;
+        std::mutex m;
+    };
+
+    template <typename Body>
+    void work(std::size_t self, Body& body) {
+        for (;;) {
+            std::size_t task = 0;
+            if (!pop_own(self, task) && !steal(self, task)) return;
+            body(task);
+        }
+    }
+
+    bool pop_own(std::size_t self, std::size_t& task) {
+        queue& q = queues_[self];
+        std::lock_guard<std::mutex> lock(q.m);
+        if (q.items.empty()) return false;
+        task = q.items.front();
+        q.items.pop_front();
+        return true;
+    }
+
+    bool steal(std::size_t self, std::size_t& task) {
+        for (std::size_t off = 1; off < queues_.size(); ++off) {
+            queue& q = queues_[(self + off) % queues_.size()];
+            std::lock_guard<std::mutex> lock(q.m);
+            if (q.items.empty()) continue;
+            task = q.items.back();
+            q.items.pop_back();
+            return true;
+        }
+        return false;
+    }
+
+    std::vector<queue> queues_;
+};
+
+/// Nearest-rank percentile of an ascending sample vector, in milliseconds.
+double percentile_ms(const std::vector<double>& sorted_seconds, double q) {
+    if (sorted_seconds.empty()) return 0.0;
+    auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted_seconds.size() - 1) + 0.5);
+    rank = std::min(rank, sorted_seconds.size() - 1);
+    return sorted_seconds[rank] * 1e3;
+}
+
+void aggregate(batch_report& rep) {
+    rep.count = rep.specs.size();
+    for (const auto& s : rep.specs) {
+        rep.completed += s.completed ? 1 : 0;
+        rep.synthesized += s.synthesized ? 1 : 0;
+        rep.csc_solved += s.csc_solved ? 1 : 0;
+        rep.total_states += s.states;
+        rep.total_arcs += s.arcs;
+        rep.total_explored += s.explored;
+        rep.total_csc_signals += s.csc_signals;
+        rep.total_literals += s.literals;
+        if (s.synthesized) rep.total_area += s.area;
+        rep.cpu_seconds += s.seconds;
+    }
+    rep.failed = rep.count - rep.completed;
+    if (rep.wall_seconds > 0.0)
+        rep.specs_per_second = static_cast<double>(rep.count) / rep.wall_seconds;
+
+    // Per-stage distributions, iterating the contiguous pipeline_stage enum
+    // (recover is the last stage) so a newly added stage can never silently
+    // drop out of the percentiles.
+    for (uint8_t si = 0; si <= static_cast<uint8_t>(pipeline_stage::recover); ++si) {
+        const auto stage = static_cast<pipeline_stage>(si);
+        std::vector<double> samples;
+        for (const auto& s : rep.specs)
+            for (const auto& t : s.timings)
+                if (t.stage == stage) samples.push_back(t.seconds);
+        if (samples.empty()) continue;
+        std::sort(samples.begin(), samples.end());
+        stage_stats st;
+        st.stage = stage_name(stage);
+        st.runs = samples.size();
+        st.p50_ms = percentile_ms(samples, 0.5);
+        st.p90_ms = percentile_ms(samples, 0.9);
+        st.max_ms = samples.back() * 1e3;
+        for (double v : samples) st.total_ms += v * 1e3;
+        rep.stages.push_back(std::move(st));
+    }
+}
+
+// ---- JSON ------------------------------------------------------------------
+
+void json_escape(std::string& out, const std::string& s) {
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    out += '"';
+}
+
+void json_number(std::string& out, double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    out += buf;
+}
+
+/// Appends `"key": value` pairs with stable ordering and formatting.
+struct json_object {
+    std::string& out;
+    bool first = true;
+
+    void key(const char* k) {
+        if (!first) out += ", ";
+        first = false;
+        out += '"';
+        out += k;
+        out += "\": ";
+    }
+    void field(const char* k, const std::string& v) { key(k), json_escape(out, v); }
+    void field(const char* k, double v) { key(k), json_number(out, v); }
+    void field(const char* k, std::size_t v) { key(k), out += std::to_string(v); }
+    void field(const char* k, bool v) { key(k), out += v ? "true" : "false"; }
+};
+
+}  // namespace
+
+spec_record record_of(const std::string& name, const pipeline_result& r) {
+    spec_record out;
+    out.name = name;
+    out.completed = r.completed;
+    out.synthesized = r.synthesized();
+    if (r.failed) out.failed_stage = stage_name(*r.failed);
+    if (!r.completed)
+        out.message = r.message;
+    else if (!r.csc.solved)
+        out.message = r.csc.message;
+    if (r.base_sg) {
+        out.states = r.base_sg->state_count();
+        out.arcs = r.base_sg->arc_count();
+        out.signals = r.base_sg->signals().size();
+    }
+    out.explored = r.search.explored;
+    out.csc_solved = r.csc.solved;
+    out.csc_signals = r.csc.signals_inserted;
+    out.initial_cost = r.initial_cost.value;
+    out.reduced_cost = r.reduced_cost.value;
+    out.literals = r.reduced_cost.literals;
+    out.area = r.area();
+    out.cycle = r.cycle();
+    out.seconds = r.total_seconds;
+    out.timings = r.timings;
+    return out;
+}
+
+batch_report run_batch(const std::vector<benchmarks::named_spec>& specs,
+                       const batch_options& opt) {
+    batch_report rep;
+    rep.specs.resize(specs.size());
+    std::size_t jobs = opt.jobs ? opt.jobs
+                                : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    jobs = std::max<std::size_t>(1, std::min(jobs, std::max<std::size_t>(specs.size(), 1)));
+    rep.jobs = jobs;
+
+    stopwatch wall;
+    if (!specs.empty()) {
+        work_stealing_pool pool(jobs, specs.size());
+        pool.run([&](std::size_t i) {
+            // run_pipeline converts stage failures into structured errors; the
+            // belt-and-braces catch keeps one poisoned spec (e.g. resource
+            // exhaustion outside a stage) from sinking the whole sweep.
+            try {
+                rep.specs[i] = record_of(specs[i].name, run_pipeline(specs[i].net, opt.pipeline));
+            } catch (const std::exception& e) {
+                spec_record bad;
+                bad.name = specs[i].name;
+                bad.failed_stage = "batch";
+                bad.message = e.what();
+                rep.specs[i] = std::move(bad);
+            }
+        });
+    }
+    rep.wall_seconds = wall.seconds();
+    aggregate(rep);
+    return rep;
+}
+
+std::string report_json(const batch_report& r) {
+    std::string out = "{\n  ";
+    json_object top{out};
+    top.field("schema_version", std::size_t{1});
+    top.field("tool", std::string("asynth batch"));
+    top.field("jobs", r.jobs);
+    top.field("count", r.count);
+    top.field("completed", r.completed);
+    top.field("failed", r.failed);
+    top.field("synthesized", r.synthesized);
+    top.field("csc_solved", r.csc_solved);
+    top.field("wall_seconds", r.wall_seconds);
+    top.field("cpu_seconds", r.cpu_seconds);
+    top.field("specs_per_second", r.specs_per_second);
+    top.field("total_states", r.total_states);
+    top.field("total_arcs", r.total_arcs);
+    top.field("total_explored", r.total_explored);
+    top.field("total_csc_signals", r.total_csc_signals);
+    top.field("total_literals", r.total_literals);
+    top.field("total_area", r.total_area);
+
+    out += ",\n  \"stage_percentiles\": [";
+    for (std::size_t i = 0; i < r.stages.size(); ++i) {
+        const auto& st = r.stages[i];
+        out += i ? ",\n    " : "\n    ";
+        out += "{";
+        json_object o{out};
+        o.field("stage", st.stage);
+        o.field("runs", st.runs);
+        o.field("p50_ms", st.p50_ms);
+        o.field("p90_ms", st.p90_ms);
+        o.field("max_ms", st.max_ms);
+        o.field("total_ms", st.total_ms);
+        out += "}";
+    }
+    out += r.stages.empty() ? "]" : "\n  ]";
+
+    out += ",\n  \"specs\": [";
+    for (std::size_t i = 0; i < r.specs.size(); ++i) {
+        const auto& s = r.specs[i];
+        out += i ? ",\n    " : "\n    ";
+        out += "{";
+        json_object o{out};
+        o.field("name", s.name);
+        o.field("completed", s.completed);
+        o.field("synthesized", s.synthesized);
+        if (!s.failed_stage.empty()) o.field("failed_stage", s.failed_stage);
+        if (!s.message.empty()) o.field("message", s.message);
+        o.field("states", s.states);
+        o.field("arcs", s.arcs);
+        o.field("signals", s.signals);
+        o.field("explored", s.explored);
+        o.field("csc_solved", s.csc_solved);
+        o.field("csc_signals", s.csc_signals);
+        o.field("initial_cost", s.initial_cost);
+        o.field("reduced_cost", s.reduced_cost);
+        o.field("literals", s.literals);
+        o.field("area", s.area);
+        o.field("cycle", s.cycle);
+        o.field("seconds", s.seconds);
+        for (const auto& t : s.timings) {
+            std::string k = std::string(stage_name(t.stage)) + "_ms";
+            o.field(k.c_str(), t.seconds * 1e3);
+        }
+        out += "}";
+    }
+    out += r.specs.empty() ? "]" : "\n  ]";
+    out += "\n}\n";
+    return out;
+}
+
+std::string report_text(const batch_report& r) {
+    std::string out;
+    char line[256];
+    std::snprintf(line, sizeof line, "%-16s %7s %7s %6s %8s %8s %9s  %s\n", "spec", "states",
+                  "explored", "csc", "area", "cycle", "ms", "verdict");
+    out += line;
+    for (const auto& s : r.specs) {
+        const char* verdict = !s.completed ? "FAILED" : (s.synthesized ? "ok" : "no circuit");
+        std::snprintf(line, sizeof line, "%-16s %7zu %7zu %6zu %8.0f %8.1f %9.2f  %s%s%s\n",
+                      s.name.c_str(), s.states, s.explored, s.csc_signals, s.area, s.cycle,
+                      s.seconds * 1e3, verdict, s.failed_stage.empty() ? "" : " at ",
+                      s.failed_stage.c_str());
+        out += line;
+    }
+    std::snprintf(line, sizeof line,
+                  "batch: %zu specs, %zu completed (%zu synthesized, %zu failed), "
+                  "%zu states, jobs=%zu, %.2f s wall (%.2f s cpu), %.1f specs/s\n",
+                  r.count, r.completed, r.synthesized, r.failed, r.total_states, r.jobs,
+                  r.wall_seconds, r.cpu_seconds, r.specs_per_second);
+    out += line;
+    return out;
+}
+
+}  // namespace asynth::batch

@@ -1,0 +1,106 @@
+// Batch synthesis engine: run_pipeline() over a whole corpus on a
+// work-stealing thread pool, aggregated into one report.
+//
+// The paper's experiments (Tables 1 and 2) are statements about a *corpus*,
+// not a single spec; this module makes such sweeps a first-class operation.
+// run_batch() executes every spec independently -- the pipeline layers are
+// pure over their inputs (see the thread-safety notes in core/flow.hpp,
+// sg/state_graph.hpp and bdd/bdd.hpp) -- and the per-spec records land in
+// input order, so the report is byte-for-byte independent of the job count
+// apart from the timing fields.
+//
+// report_json() serialises the report in a schema-stable layout
+// (schema_version 1) written as BENCH_pipeline.json by `asynth batch
+// --report`; the checked-in BENCH_pipeline.json at the repo root is the perf
+// baseline subsequent PRs measure against.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "benchmarks/corpus.hpp"
+#include "pipeline/pipeline.hpp"
+
+namespace asynth::batch {
+
+/// Configuration of one sweep.
+struct batch_options {
+    pipeline_options pipeline;  ///< applied identically to every spec
+    /// Worker threads; 0 picks std::thread::hardware_concurrency().  The
+    /// per-spec records do not depend on this value (only the timings do).
+    std::size_t jobs = 0;
+};
+
+/// Serialisation-friendly projection of one pipeline_result.
+struct spec_record {
+    std::string name;           ///< spec name within the sweep
+    bool completed = false;     ///< every requested stage ran
+    bool synthesized = false;   ///< a valid circuit was produced
+    std::string failed_stage;   ///< first failing stage name ("" when completed)
+    std::string message;        ///< failure diagnostic or CSC verdict ("" when clean)
+    std::size_t states = 0;     ///< base SG states explored
+    std::size_t arcs = 0;       ///< base SG arcs
+    std::size_t signals = 0;    ///< SG signal count after expansion
+    std::size_t explored = 0;   ///< distinct SGs evaluated by the Fig. 9 search
+    bool csc_solved = false;    ///< CSC verdict
+    std::size_t csc_signals = 0;  ///< inserted state signals
+    double initial_cost = 0.0;  ///< section-7 cost before reduction
+    double reduced_cost = 0.0;  ///< section-7 cost after reduction
+    std::size_t literals = 0;   ///< estimated SOP literals of the reduced SG
+    double area = -1.0;         ///< circuit area in area units (-1: no circuit)
+    double cycle = 0.0;         ///< critical-cycle length, model time units
+    double seconds = 0.0;       ///< pipeline wall-clock total
+    std::vector<stage_timing> timings;  ///< per-stage wall-clock seconds
+};
+
+/// Wall-clock distribution of one pipeline stage across the sweep.
+struct stage_stats {
+    std::string stage;      ///< stage name ("expand", "state-graph", ...)
+    std::size_t runs = 0;   ///< specs that executed the stage
+    double p50_ms = 0.0;    ///< median stage wall-clock, milliseconds
+    double p90_ms = 0.0;    ///< 90th percentile, milliseconds
+    double max_ms = 0.0;    ///< worst spec, milliseconds
+    double total_ms = 0.0;  ///< sum over the sweep, milliseconds
+};
+
+/// Corpus-level outcome of one sweep.
+struct batch_report {
+    std::size_t jobs = 1;            ///< worker threads actually used
+    double wall_seconds = 0.0;       ///< sweep wall-clock (threads overlap)
+    double cpu_seconds = 0.0;        ///< sum of per-spec pipeline totals
+    double specs_per_second = 0.0;   ///< count / wall_seconds
+    std::size_t count = 0;           ///< specs in the sweep
+    std::size_t completed = 0;       ///< specs whose every stage ran
+    std::size_t failed = 0;          ///< count - completed
+    std::size_t synthesized = 0;     ///< specs that produced a circuit
+    std::size_t csc_solved = 0;      ///< specs whose CSC was resolved
+    std::size_t total_states = 0;    ///< sum of base SG states
+    std::size_t total_arcs = 0;      ///< sum of base SG arcs
+    std::size_t total_explored = 0;  ///< sum of search explorations
+    std::size_t total_csc_signals = 0;  ///< sum of inserted state signals
+    std::size_t total_literals = 0;  ///< sum of reduced-SG literal estimates
+    double total_area = 0.0;         ///< sum of areas over synthesized specs
+    std::vector<stage_stats> stages; ///< per-stage percentiles, stage order
+    std::vector<spec_record> specs;  ///< one record per spec, input order
+};
+
+/// Flattens one pipeline outcome into a record (exposed for tests and for
+/// callers that drive run_pipeline themselves).
+[[nodiscard]] spec_record record_of(const std::string& name, const pipeline_result& r);
+
+/// Runs the pipeline over every spec on a work-stealing pool and aggregates.
+/// A spec that fails -- structured pipeline error or a stray exception --
+/// yields a failed record without affecting the rest of the sweep.
+[[nodiscard]] batch_report run_batch(const std::vector<benchmarks::named_spec>& specs,
+                                     const batch_options& opt = {});
+
+/// Schema-stable JSON serialisation of the report (schema_version 1): fixed
+/// key order, aggregate block first, then stage percentiles, then one object
+/// per spec.  This is the BENCH_pipeline.json format.
+[[nodiscard]] std::string report_json(const batch_report& r);
+
+/// Compact per-spec table plus the aggregate line, for terminal output.
+[[nodiscard]] std::string report_text(const batch_report& r);
+
+}  // namespace asynth::batch

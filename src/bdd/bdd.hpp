@@ -2,6 +2,14 @@
 // ITE, quantification and variable renaming -- enough to run symbolic
 // reachability over safe Petri nets as an independent cross-check of the
 // explicit state-graph engine (see bdd/symbolic.hpp).
+//
+// Thread safety: there is deliberately NO global manager -- all state (the
+// unique table and the apply cache) lives inside each bdd_manager instance,
+// and even nominally-reading operations insert into those tables, so one
+// manager must never be shared across threads without external locking.
+// The contract for parallel code (e.g. batch/ sweeps running symbolic
+// analyses): one bdd_manager per thread/task; refs are meaningless across
+// managers.
 #pragma once
 
 #include <cstdint>

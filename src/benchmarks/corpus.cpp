@@ -1,5 +1,8 @@
 #include "benchmarks/corpus.hpp"
 
+#include <utility>
+
+#include "benchmarks/fragment_builder.hpp"
 #include "petri/astg_io.hpp"
 #include "util/hash.hpp"
 
@@ -176,12 +179,11 @@ state_graph fig8_fragment() {
 
 namespace {
 
-/// Series-parallel body builder over channel "calls" (c! ; c?).
-struct fragment {
-    std::vector<uint32_t> entries;  // transitions that consume from the join
-    std::vector<uint32_t> exits;    // transitions that feed the next stage
-};
+using detail::fragment;
 
+/// Series-parallel body builder over channel "calls" (c! ; c?); composition
+/// primitives shared with the random workload generator live in
+/// fragment_builder.hpp.
 struct sp_builder {
     stg net;
     int next_channel = 0;
@@ -190,27 +192,14 @@ struct sp_builder {
         return net.add_signal("c" + std::to_string(next_channel++), signal_kind::channel);
     }
 
-    fragment leaf() {
-        auto c = static_cast<int32_t>(new_channel());
-        uint32_t send = net.add_transition({c, edge::send, 0});
-        uint32_t recv = net.add_transition({c, edge::recv, 0});
-        net.connect(send, recv);
-        return fragment{{send}, {recv}};
-    }
+    fragment leaf() { return detail::call_fragment(net, static_cast<int32_t>(new_channel())); }
 
     fragment seq(fragment a, fragment b) {
-        for (uint32_t e : a.exits)
-            for (uint32_t s : b.entries) net.connect(e, s);
-        return fragment{std::move(a.entries), std::move(b.exits)};
+        return detail::seq_fragments(net, std::move(a), std::move(b));
     }
 
     fragment par(fragment a, fragment b) {
-        fragment out;
-        out.entries = std::move(a.entries);
-        out.entries.insert(out.entries.end(), b.entries.begin(), b.entries.end());
-        out.exits = std::move(a.exits);
-        out.exits.insert(out.exits.end(), b.exits.begin(), b.exits.end());
-        return out;
+        return detail::par_fragments(std::move(a), std::move(b));
     }
 
     fragment random_tree(xorshift64& rng, int leaves) {
@@ -223,14 +212,7 @@ struct sp_builder {
 
     /// Wraps the body in a passive trigger channel t: t? ; body ; t! ; loop.
     stg finish(fragment body, std::string name) {
-        auto t = static_cast<int32_t>(net.add_signal("t", signal_kind::channel));
-        uint32_t trig = net.add_transition({t, edge::recv, 0});
-        uint32_t done = net.add_transition({t, edge::send, 0});
-        for (uint32_t s : body.entries) net.connect(trig, s);
-        for (uint32_t e : body.exits) net.connect(e, done);
-        net.connect(done, trig, 1);
-        net.model_name = std::move(name);
-        return std::move(net);
+        return detail::finish_trigger(std::move(net), std::move(body), std::move(name));
     }
 };
 
@@ -241,6 +223,27 @@ stg random_handshake_spec(uint64_t seed, int n_leaves) {
     sp_builder b;
     auto body = b.random_tree(rng, n_leaves);
     return b.finish(std::move(body), "rand_" + std::to_string(seed));
+}
+
+const std::vector<corpus_entry>& corpus_table() {
+    static const std::vector<corpus_entry> table = {
+        {"fig1", "Fig. 1 memory/processor controller (one CSC conflict)", fig1_controller},
+        {"lr", "Fig. 2.c LR process (channel-level, needs expansion)", lr_process},
+        {"qmodule", "Table 1 hand-made Q-module reshuffling of LR", qmodule_lr},
+        {"lr_full", "Fig. 3.b fully reduced LR process (two wires)", lr_full_reduction},
+        {"fig6", "Fig. 6.a mixed channel/partial/complete example", fig6_mixed},
+        {"par", "Fig. 10.a Tangram PAR component", par_component},
+        {"par_manual", "Fig. 10.c-style hand-designed PAR solution", par_manual},
+        {"mmu", "Table 2 MMU-like controller (channels b, l, m, r)", mmu_controller},
+    };
+    return table;
+}
+
+std::vector<named_spec> corpus_specs() {
+    std::vector<named_spec> out;
+    out.reserve(corpus_table().size());
+    for (const auto& e : corpus_table()) out.push_back({e.name, e.make()});
+    return out;
 }
 
 std::vector<named_spec> spec_suite() {

@@ -66,6 +66,22 @@ struct named_spec {
 /// fork/join, nested parallelism) exercised by property tests and ablations.
 [[nodiscard]] std::vector<named_spec> spec_suite();
 
+/// One embedded paper benchmark: CLI name, one-line blurb, factory.
+struct corpus_entry {
+    const char* name;
+    const char* blurb;
+    stg (*make)();
+};
+
+/// The single authoritative table of the embedded paper benchmarks (fig1,
+/// lr, qmodule, lr_full, fig6, par, par_manual, mmu) -- the CLI's
+/// `--corpus` / `--list-corpus` and the batch sweep both derive from it.
+[[nodiscard]] const std::vector<corpus_entry>& corpus_table();
+
+/// corpus_table() as named specs, in table order.  This is the corpus half
+/// of an `asynth batch` sweep.
+[[nodiscard]] std::vector<named_spec> corpus_specs();
+
 /// Deterministic random series-parallel handshake specification with
 /// @p n_leaves active channels triggered by one passive channel; always
 /// expandable, consistent and speed-independent.

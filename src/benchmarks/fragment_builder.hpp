@@ -1,0 +1,66 @@
+// Handshake-fragment composition shared by the fixed spec suite
+// (corpus.cpp) and the random workload generator (generate.cpp).
+//
+// A fragment is a body piece with transition boundaries: `entries` consume
+// the tokens produced upstream, `exits` produce the tokens for the
+// successor.  Marked-graph composition keeps the boundaries honest: a
+// sequence connects every exit to every entry through its own implicit
+// place (which is exactly a fork/join when either side has several
+// transitions), and a parallel composition is a boundary union.  Free
+// choice -- whose split place needs a *single* producer -- lives in
+// generate.cpp on top of these primitives.
+//
+// Internal to asynth::benchmarks; not part of the library API.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "petri/stg.hpp"
+
+namespace asynth::benchmarks::detail {
+
+struct fragment {
+    std::vector<uint32_t> entries;  ///< transitions consuming upstream tokens
+    std::vector<uint32_t> exits;    ///< transitions feeding the next stage
+};
+
+/// An active handshake call on @p channel: c! ; c?.
+inline fragment call_fragment(stg& net, int32_t channel) {
+    uint32_t send = net.add_transition({channel, edge::send, 0});
+    uint32_t recv = net.add_transition({channel, edge::recv, 0});
+    net.connect(send, recv);
+    return fragment{{send}, {recv}};
+}
+
+/// Marked-graph sequence: every exit of @p a feeds every entry of @p b
+/// through its own implicit place (fork/join-correct for multi-boundary
+/// sides).
+inline fragment seq_fragments(stg& net, fragment a, fragment b) {
+    for (uint32_t e : a.exits)
+        for (uint32_t s : b.entries) net.connect(e, s);
+    return fragment{std::move(a.entries), std::move(b.exits)};
+}
+
+/// Marked-graph parallel composition: boundary union.
+inline fragment par_fragments(fragment a, fragment b) {
+    a.entries.insert(a.entries.end(), b.entries.begin(), b.entries.end());
+    a.exits.insert(a.exits.end(), b.exits.begin(), b.exits.end());
+    return a;
+}
+
+/// Wraps @p body in a passive trigger channel t (t? ; body ; t! ; loop) and
+/// names the model: the closed-spec shape of every generated workload.
+inline stg finish_trigger(stg net, fragment body, std::string name) {
+    auto t = static_cast<int32_t>(net.add_signal("t", signal_kind::channel));
+    uint32_t trig = net.add_transition({t, edge::recv, 0});
+    uint32_t done = net.add_transition({t, edge::send, 0});
+    for (uint32_t s : body.entries) net.connect(trig, s);
+    for (uint32_t e : body.exits) net.connect(e, done);
+    net.connect(done, trig, 1);
+    net.model_name = std::move(name);
+    return net;
+}
+
+}  // namespace asynth::benchmarks::detail

@@ -1,0 +1,161 @@
+#include "benchmarks/generate.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "benchmarks/fragment_builder.hpp"
+#include "petri/astg_io.hpp"
+#include "util/hash.hpp"
+
+namespace asynth::benchmarks {
+
+namespace {
+
+// Composition primitives (fragment, call/seq/par, trigger wrapping) are the
+// shared ones from fragment_builder.hpp; choice nodes below are normalised
+// to single-entry/single-exit so fragments always compose safely with
+// all-to-all implicit places.
+using detail::fragment;
+
+struct generator {
+    stg net;
+    xorshift64 rng;
+    int next_call = 0;    // active call channels a0, a1, ...
+    int next_guard = 0;   // passive select-guard channels s0, s1, ...
+    int next_seq = 0;     // choice-bracketing sequencer channels q0, q1, ...
+    int next_place = 0;   // explicit split/merge places
+    const generator_options& opt;
+
+    explicit generator(uint64_t seed, const generator_options& o)
+        // Same seed-conditioning constant as random_handshake_spec so the two
+        // generators never alias each other's streams.
+        : rng(seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL), opt(o) {}
+
+    /// An active handshake call on a fresh channel: a! ; a?.
+    fragment call(const char* prefix, int& counter) {
+        auto c = static_cast<int32_t>(
+            net.add_signal(prefix + std::to_string(counter++), signal_kind::channel));
+        return detail::call_fragment(net, c);
+    }
+
+    fragment leaf() { return call("a", next_call); }
+
+    fragment seq2(fragment a, fragment b) {
+        return detail::seq_fragments(net, std::move(a), std::move(b));
+    }
+
+    fragment par2(fragment a, fragment b) {
+        return detail::par_fragments(std::move(a), std::move(b));
+    }
+
+    /// Free-choice select over @p branches.  Each branch i is guarded by a
+    /// fresh passive channel s_i (s_i? body_i s_i!): the environment requests
+    /// exactly one guard, so the choice is input-resolved and the SG stays
+    /// speed-independent.  The shared split place must receive exactly one
+    /// token and the merge place must feed exactly one consumer, so the node
+    /// is bracketed by two sequencer calls q_in / q_out, giving the fragment
+    /// a plain single-entry/single-exit transition boundary.
+    fragment choice(std::vector<fragment> branches) {
+        fragment in = call("q", next_seq);
+        fragment out = call("q", next_seq);
+        uint32_t split = net.add_place("sel" + std::to_string(next_place) + "_split");
+        uint32_t merge = net.add_place("sel" + std::to_string(next_place) + "_merge");
+        ++next_place;
+        net.add_arc_tp(in.exits.front(), split);
+        net.add_arc_pt(merge, out.entries.front());
+        for (auto& b : branches) {
+            auto g = static_cast<int32_t>(
+                net.add_signal("s" + std::to_string(next_guard++), signal_kind::channel));
+            uint32_t open = net.add_transition({g, edge::recv, 0});
+            uint32_t close = net.add_transition({g, edge::send, 0});
+            net.add_arc_pt(split, open);
+            for (uint32_t s : b.entries) net.connect(open, s);
+            for (uint32_t e : b.exits) net.connect(e, close);
+            net.add_arc_tp(close, merge);
+        }
+        return fragment{std::move(in.entries), std::move(out.exits)};
+    }
+
+    /// Splits @p total into exactly @p parts random shares (each >= 1).
+    std::vector<int> split_into(int total, int parts) {
+        std::vector<int> sizes(static_cast<std::size_t>(parts), 1);
+        for (int extra = total - parts; extra > 0; --extra)
+            ++sizes[rng.next_below(sizes.size())];
+        return sizes;
+    }
+
+    /// Builds a body spending exactly @p budget channels, never exceeding
+    /// @p width simultaneously active calls: a parallel node splits the
+    /// width among its children, a sequence or choice hands the full width
+    /// to each child (choice branches are alternatives, not concurrent).
+    fragment body(int budget, int width) {
+        if (budget <= 1) return leaf();
+        int fanout = std::max(2, opt.max_fanout);
+
+        // A k-branch select costs 2 sequencers + k guards on top of its
+        // branch bodies (k channels minimum), so it needs budget >= 2 + 2k.
+        if (budget >= 6 && rng.next_bool(opt.choice)) {
+            int max_k = std::min(fanout, (budget - 2) / 2);
+            int k = max_k <= 2 ? 2
+                               : 2 + static_cast<int>(rng.next_below(
+                                         static_cast<uint64_t>(max_k - 1)));
+            auto shares = split_into(budget - 2 - k, k);
+            std::vector<fragment> branches;
+            branches.reserve(shares.size());
+            for (int s : shares) branches.push_back(body(s, width));
+            return choice(std::move(branches));
+        }
+
+        int parts = 2 + static_cast<int>(rng.next_below(static_cast<uint64_t>(fanout - 1)));
+        parts = std::min(parts, budget);
+        auto shares = split_into(budget, parts);
+        bool parallel = width >= parts && rng.next_bool(opt.concurrency);
+        std::vector<fragment> children;
+        children.reserve(shares.size());
+        for (std::size_t i = 0; i < shares.size(); ++i) {
+            int child_width = width;
+            if (parallel) {
+                // Divide the width budget; the first children absorb the rest.
+                child_width = width / parts + (static_cast<int>(i) < width % parts ? 1 : 0);
+            }
+            children.push_back(body(shares[i], child_width));
+        }
+        fragment acc = std::move(children.front());
+        for (std::size_t i = 1; i < children.size(); ++i)
+            acc = parallel ? par2(std::move(acc), std::move(children[i]))
+                           : seq2(std::move(acc), std::move(children[i]));
+        return acc;
+    }
+
+    /// Wraps the body in the passive trigger loop t? ; body ; t!.
+    stg finish(fragment f, std::string name) {
+        return detail::finish_trigger(std::move(net), std::move(f), std::move(name));
+    }
+};
+
+}  // namespace
+
+stg generate_stg(uint64_t seed, const generator_options& opt) {
+    generator g(seed, opt);
+    auto f = g.body(std::max(1, opt.size), std::max(1, opt.max_width));
+    return g.finish(std::move(f),
+                    "gen_s" + std::to_string(seed) + "_n" + std::to_string(std::max(1, opt.size)));
+}
+
+std::string generate_astg(uint64_t seed, const generator_options& opt) {
+    return write_astg(generate_stg(seed, opt));
+}
+
+std::vector<named_spec> generate_workload(uint64_t first_seed, std::size_t count,
+                                          const generator_options& opt) {
+    std::vector<named_spec> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        stg net = generate_stg(first_seed + i, opt);
+        std::string name = net.model_name;
+        out.push_back({std::move(name), std::move(net)});
+    }
+    return out;
+}
+
+}  // namespace asynth::benchmarks

@@ -1,0 +1,80 @@
+// Deterministic random-STG workload generator.
+//
+// Produces channel-level specifications far larger than the paper's figures
+// by composing handshake fragments into marked-graph (sequence, fork/join)
+// and free-choice (environment-resolved select) structures:
+//
+//   * leaf      -- an active handshake call  a!  ;  a?
+//   * sequence  -- marked-graph chaining of sub-bodies
+//   * parallel  -- marked-graph fork/join of sub-bodies
+//   * choice    -- a free-choice place whose branches each start with a
+//                  passive request  s_i?  (the *environment* picks the
+//                  branch, so the choice stays speed-independent); the
+//                  node is bracketed by two sequencer calls so the split
+//                  place always receives exactly one token and the merge
+//                  place always feeds exactly one consumer (safety)
+//
+// The whole body hangs off one passive trigger channel t (t? body t!), like
+// the Tangram-style specs of src/benchmarks/corpus.cpp, so every generated
+// net is expandable, safe and consistently encodable -- tests/test_generate
+// checks this property over a seed x size sweep.
+//
+// Everything is driven by the repository's xorshift64 PRNG: the same
+// (seed, options) pair yields byte-identical write_astg() text on every
+// platform, which is what makes BENCH_pipeline.json runs comparable
+// across machines and PRs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "benchmarks/corpus.hpp"
+#include "petri/stg.hpp"
+
+namespace asynth::benchmarks {
+
+/// Shape knobs of one generated specification.
+struct generator_options {
+    /// Channel budget of the body.  Every construct pays its way: a handshake
+    /// call costs 1 channel, a k-branch select costs 2 sequencers + k guards
+    /// on top of its branches.  The generated net therefore has exactly
+    /// size + 1 channels (body + trigger), i.e. 2*(size+1) signals after
+    /// 4-phase expansion -- this is the signal-count knob.  Reachable states
+    /// grow roughly 6x per channel (maximal reset concurrency), so size is
+    /// also the primary runtime dial.
+    int size = 4;
+    /// Concurrency degree: probability that a composition node runs its
+    /// children in parallel rather than in sequence, in [0, 1].
+    double concurrency = 0.5;
+    /// Hard cap on the number of *simultaneously active* handshake calls
+    /// (the parallel width).  The reachable state count grows exponentially
+    /// in this number -- each concurrent 4-phase handshake multiplies the
+    /// state space -- so the cap, not `size`, is what bounds SG growth;
+    /// raise it deliberately to study the polynomial-vs-exponential scaling
+    /// axis (Baudru & Morin, PAPERS.md).
+    int max_width = 3;
+    /// Probability that a composition node becomes a free-choice select
+    /// instead of a seq/par block, in [0, 1].  A select costs one passive
+    /// guard channel per branch plus two sequencer channels, so it can only
+    /// appear where the remaining budget is >= 6 (selects never fire at the
+    /// default size 4; raise size to exercise free choice).
+    double choice = 0.15;
+    /// Maximum children of one composition node (>= 2).
+    int max_fanout = 3;
+};
+
+/// Generates one specification.  Deterministic in (seed, opt); the model
+/// name encodes both ("gen_s<seed>_n<size>").
+[[nodiscard]] stg generate_stg(uint64_t seed, const generator_options& opt = {});
+
+/// The same specification as canonical astg (.g) text -- byte-identical for
+/// equal (seed, opt) on every platform.
+[[nodiscard]] std::string generate_astg(uint64_t seed, const generator_options& opt = {});
+
+/// A workload of @p count specifications seeded first_seed, first_seed+1, ...
+/// (names are the model names, unique within the workload).
+[[nodiscard]] std::vector<named_spec> generate_workload(uint64_t first_seed, std::size_t count,
+                                                        const generator_options& opt = {});
+
+}  // namespace asynth::benchmarks

@@ -12,6 +12,16 @@
 // such as the Q-module).  Wire-implemented outputs get zero delay in the
 // timing model -- a wire has no gate -- which is what makes the fully
 // reduced LR process cost 4 input events * 2 = 8 time units, as in Table 1.
+//
+// Thread safety: every entry point in this header is a pure function of its
+// arguments -- no global or function-local mutable state anywhere in the
+// flow (expand, sg, reduce, csc, logic, perf, regions were audited when the
+// batch engine was added; the BDD engine keeps its caches inside
+// bdd_manager instances created per call).  Concurrent calls on distinct
+// inputs are safe, which is what batch/batch.cpp relies on.  A `subgraph`
+// (including flow_report::reduced) holds a pointer to its base SG, so a
+// report must not outlive or be mutated concurrently with the shared_ptr'd
+// base it carries; concurrent *reads* of one report are fine.
 #pragma once
 
 #include <memory>

@@ -16,6 +16,12 @@
 // and converts asynth::error into a structured (failed stage, diagnostic)
 // pair in the result, so callers -- the asynth CLI, tests, future services --
 // can report failures without a try/catch of their own.
+//
+// Thread safety: run_pipeline is a pure function of (spec, options) -- the
+// batch engine (batch/batch.hpp) runs many calls concurrently on a thread
+// pool.  Each result owns its artefacts (the base SG rides behind a
+// shared_ptr so `reduced` stays valid across moves); share a result across
+// threads only for reading.
 #pragma once
 
 #include <memory>

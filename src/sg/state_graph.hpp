@@ -2,6 +2,13 @@
 // labelled with a binary signal vector (paper section 2).  Concurrency
 // reduction operates on *subgraphs* (live state/arc masks over an immutable
 // base SG), which makes beam-search candidates cheap to copy and hash.
+//
+// Thread safety: a state_graph is immutable after generate()/build(), and
+// every const accessor is a plain read with no hidden caches -- any number
+// of threads may share one SG concurrently (the batch engine and the Fig. 9
+// search both do).  A subgraph is a mutable view: confine each instance to
+// one thread (copies are independent), and keep the base SG alive for as
+// long as any view points at it.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,12 @@
+# Inconsistent on purpose: two rising edges of `a` with no falling edge in
+# between, so state-graph generation must fail with a structured error.  Used
+# by the cli_fail_nonzero CTest entry to pin the CLI's nonzero exit code.
+.model inconsistent
+.outputs a
+.graph
+a+/1 p1
+p1 a+/2
+a+/2 p2
+p2 a+/1
+.marking { p2 }
+.end

@@ -1,0 +1,180 @@
+// Batch engine: job-count independence of the per-spec records, poisoned
+// specs failing in isolation, the record projection of pipeline results and
+// the schema stability of the JSON report.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "batch/batch.hpp"
+#include "benchmarks/corpus.hpp"
+#include "benchmarks/generate.hpp"
+#include "petri/astg_io.hpp"
+#include "pipeline/pipeline.hpp"
+
+using namespace asynth;
+using batch::batch_options;
+using batch::batch_report;
+using batch::run_batch;
+
+namespace {
+
+/// A small mixed workload: two paper specs + four generated ones.
+std::vector<benchmarks::named_spec> small_workload() {
+    std::vector<benchmarks::named_spec> specs;
+    specs.push_back({"fig1", benchmarks::fig1_controller()});
+    specs.push_back({"lr", benchmarks::lr_process()});
+    benchmarks::generator_options gen;
+    gen.size = 3;
+    auto more = benchmarks::generate_workload(1, 4, gen);
+    specs.insert(specs.end(), more.begin(), more.end());
+    return specs;
+}
+
+/// A spec that parses but fails state-graph generation (two a+ in a row).
+stg poisoned_spec() {
+    auto net = parse_astg(R"(.model poison
+.outputs a
+.graph
+a+/1 p1
+p1 a+/2
+a+/2 p2
+p2 a+/1
+.marking { p2 }
+.end
+)");
+    return net;
+}
+
+/// Everything except the wall-clock fields must match across job counts.
+void expect_records_equal(const batch::spec_record& a, const batch::spec_record& b) {
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.synthesized, b.synthesized);
+    EXPECT_EQ(a.failed_stage, b.failed_stage);
+    EXPECT_EQ(a.message, b.message);
+    EXPECT_EQ(a.states, b.states);
+    EXPECT_EQ(a.arcs, b.arcs);
+    EXPECT_EQ(a.signals, b.signals);
+    EXPECT_EQ(a.explored, b.explored);
+    EXPECT_EQ(a.csc_solved, b.csc_solved);
+    EXPECT_EQ(a.csc_signals, b.csc_signals);
+    EXPECT_DOUBLE_EQ(a.initial_cost, b.initial_cost);
+    EXPECT_DOUBLE_EQ(a.reduced_cost, b.reduced_cost);
+    EXPECT_EQ(a.literals, b.literals);
+    EXPECT_DOUBLE_EQ(a.area, b.area);
+    EXPECT_DOUBLE_EQ(a.cycle, b.cycle);
+}
+
+}  // namespace
+
+TEST(batch, records_independent_of_job_count) {
+    auto specs = small_workload();
+    batch_options one, many;
+    one.jobs = 1;
+    many.jobs = 4;
+    auto a = run_batch(specs, one);
+    auto b = run_batch(specs, many);
+    EXPECT_EQ(a.jobs, 1u);
+    EXPECT_EQ(b.jobs, 4u);
+    ASSERT_EQ(a.specs.size(), specs.size());
+    ASSERT_EQ(b.specs.size(), specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SCOPED_TRACE(specs[i].name);
+        expect_records_equal(a.specs[i], b.specs[i]);
+        // Records land in input order regardless of which worker ran them.
+        EXPECT_EQ(a.specs[i].name, specs[i].name);
+    }
+    EXPECT_EQ(a.completed, b.completed);
+    EXPECT_EQ(a.synthesized, b.synthesized);
+    EXPECT_EQ(a.total_states, b.total_states);
+}
+
+TEST(batch, poisoned_spec_fails_alone) {
+    auto specs = small_workload();
+    specs.insert(specs.begin() + 1, {"poison", poisoned_spec()});
+    batch_options opt;
+    opt.jobs = 3;
+    auto rep = run_batch(specs, opt);
+    ASSERT_EQ(rep.specs.size(), specs.size());
+    EXPECT_EQ(rep.failed, 1u);
+    EXPECT_EQ(rep.completed, specs.size() - 1);
+    const auto& bad = rep.specs[1];
+    EXPECT_EQ(bad.name, "poison");
+    EXPECT_FALSE(bad.completed);
+    EXPECT_FALSE(bad.failed_stage.empty());
+    EXPECT_FALSE(bad.message.empty());
+    for (std::size_t i = 0; i < rep.specs.size(); ++i)
+        if (i != 1) EXPECT_TRUE(rep.specs[i].completed) << rep.specs[i].name;
+}
+
+TEST(batch, record_projection_of_fig1) {
+    auto r = run_pipeline(benchmarks::fig1_controller());
+    auto rec = batch::record_of("fig1", r);
+    EXPECT_EQ(rec.name, "fig1");
+    EXPECT_TRUE(rec.completed);
+    EXPECT_FALSE(rec.synthesized);
+    EXPECT_TRUE(rec.failed_stage.empty());
+    EXPECT_FALSE(rec.message.empty());  // the CSC verdict travels along
+    EXPECT_EQ(rec.states, 5u);
+    EXPECT_EQ(rec.arcs, 6u);
+    EXPECT_FALSE(rec.csc_solved);
+    EXPECT_EQ(rec.area, -1.0);
+    EXPECT_EQ(rec.timings.size(), r.timings.size());
+    EXPECT_DOUBLE_EQ(rec.seconds, r.total_seconds);
+}
+
+TEST(batch, aggregates_and_percentiles) {
+    batch_options opt;
+    opt.jobs = 2;
+    auto rep = run_batch(small_workload(), opt);
+    EXPECT_EQ(rep.count, rep.specs.size());
+    EXPECT_EQ(rep.completed + rep.failed, rep.count);
+    EXPECT_GT(rep.wall_seconds, 0.0);
+    EXPECT_GT(rep.specs_per_second, 0.0);
+    double cpu = 0.0;
+    for (const auto& s : rep.specs) cpu += s.seconds;
+    EXPECT_DOUBLE_EQ(rep.cpu_seconds, cpu);
+    ASSERT_FALSE(rep.stages.empty());
+    for (const auto& st : rep.stages) {
+        SCOPED_TRACE(st.stage);
+        // No parse stage: the sweep starts from in-memory specs.
+        EXPECT_NE(st.stage, "parse");
+        EXPECT_EQ(st.runs, rep.count);
+        EXPECT_LE(st.p50_ms, st.p90_ms);
+        EXPECT_LE(st.p90_ms, st.max_ms);
+        EXPECT_LE(st.max_ms, st.total_ms + 1e-12);
+    }
+}
+
+TEST(batch, report_json_is_schema_stable) {
+    batch_options opt;
+    opt.jobs = 2;
+    auto rep = run_batch(small_workload(), opt);
+    std::string json = batch::report_json(rep);
+    // Aggregate block, stage percentiles and one object per spec, with the
+    // documented keys in a fixed order.
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json[json.size() - 2], '}');
+    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"tool\": \"asynth batch\""), std::string::npos);
+    EXPECT_NE(json.find("\"specs_per_second\": "), std::string::npos);
+    EXPECT_NE(json.find("\"stage_percentiles\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"specs\": ["), std::string::npos);
+    EXPECT_LT(json.find("\"schema_version\""), json.find("\"stage_percentiles\""));
+    EXPECT_LT(json.find("\"stage_percentiles\""), json.find("\"specs\""));
+    for (const auto& s : rep.specs)
+        EXPECT_NE(json.find("\"name\": \"" + s.name + "\""), std::string::npos) << s.name;
+    // Diagnostics are escaped, never raw (quotes/backslashes would break
+    // downstream parsers).
+    EXPECT_EQ(json.find("\n\""), std::string::npos);
+}
+
+TEST(batch, empty_workload) {
+    auto rep = run_batch({}, batch_options{});
+    EXPECT_EQ(rep.count, 0u);
+    EXPECT_EQ(rep.failed, 0u);
+    EXPECT_TRUE(rep.specs.empty());
+    std::string json = batch::report_json(rep);
+    EXPECT_NE(json.find("\"specs\": []"), std::string::npos);
+}

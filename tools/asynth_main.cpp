@@ -5,9 +5,14 @@
 // recovery) over an astg (.g) file or an embedded corpus entry, printing
 // per-stage wall-clock timings and the synthesised circuit.
 //
+// The `batch` subcommand sweeps the embedded corpus plus a generated random
+// workload on a work-stealing thread pool and can serialise the corpus-level
+// report as BENCH_pipeline.json (see docs/CLI.md for the full reference):
+//
 //   asynth --corpus fig1
 //   asynth --strategy full --w 0.2 spec.g
 //   asynth --corpus lr --out reduced.g
+//   asynth batch --count 64 --jobs 0 --report BENCH_pipeline.json
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -18,7 +23,9 @@
 #include <string>
 #include <vector>
 
+#include "batch/batch.hpp"
 #include "benchmarks/corpus.hpp"
+#include "benchmarks/generate.hpp"
 #include "petri/astg_io.hpp"
 #include "pipeline/pipeline.hpp"
 
@@ -26,31 +33,18 @@ namespace {
 
 using namespace asynth;
 
-struct corpus_entry {
-    const char* name;
-    const char* blurb;
-    stg (*make)();
-};
-
-const corpus_entry kCorpus[] = {
-    {"fig1", "Fig. 1 memory/processor controller (one CSC conflict)", benchmarks::fig1_controller},
-    {"lr", "Fig. 2.c LR process (channel-level, needs expansion)", benchmarks::lr_process},
-    {"qmodule", "Table 1 hand-made Q-module reshuffling of LR", benchmarks::qmodule_lr},
-    {"lr_full", "Fig. 3.b fully reduced LR process (two wires)", benchmarks::lr_full_reduction},
-    {"fig6", "Fig. 6.a mixed channel/partial/complete example", benchmarks::fig6_mixed},
-    {"par", "Fig. 10.a Tangram PAR component", benchmarks::par_component},
-    {"par_manual", "Fig. 10.c-style hand-designed PAR solution", benchmarks::par_manual},
-    {"mmu", "Table 2 MMU-like controller (channels b, l, m, r)", benchmarks::mmu_controller},
-};
-
 void print_usage(std::FILE* to) {
     std::fprintf(to,
                  "usage: asynth [options] <spec.g>\n"
                  "       asynth [options] --corpus <name>\n"
+                 "       asynth batch [batch options]\n"
                  "\n"
                  "Runs the full synthesis pipeline: parse -> handshake expansion -> state\n"
                  "graph -> concurrency-reduction search (Fig. 9) -> CSC resolution -> logic\n"
-                 "synthesis -> timed analysis -> STG recovery.\n"
+                 "synthesis -> timed analysis -> STG recovery.  On a stage failure the\n"
+                 "failed stage and diagnostic go to stderr and the exit code is 1.\n"
+                 "See docs/CLI.md for the complete reference and docs/PIPELINE.md for the\n"
+                 "stage-by-stage walkthrough.\n"
                  "\n"
                  "input:\n"
                  "  <spec.g>              astg specification file (petrify .g dialect)\n"
@@ -72,7 +66,18 @@ void print_usage(std::FILE* to) {
                  "  --dot <file>          write the reduced state graph as Graphviz dot\n"
                  "  --print-spec          echo the parsed specification before running\n"
                  "  -q, --quiet           only print errors (exit code carries the result)\n"
-                 "  -h, --help            this message\n");
+                 "  -h, --help            this message\n"
+                 "\n"
+                 "batch subcommand (corpus sweep on a work-stealing thread pool):\n"
+                 "  --jobs <n>            worker threads; 0 = all hardware cores (default 0)\n"
+                 "  --seed <n>            first seed of the generated workload (default 1)\n"
+                 "  --count <n>           number of generated random specs (default 64)\n"
+                 "  --size <n>            handshake calls per generated spec (default 4)\n"
+                 "  --concurrency <x>     generator concurrency degree in [0,1] (default 0.5)\n"
+                 "  --choice <x>          generator free-choice probability in [0,1] (default 0.15)\n"
+                 "  --no-corpus           sweep only the generated workload\n"
+                 "  --report <file>       write the corpus report as JSON (BENCH_pipeline.json format)\n"
+                 "  -q, --quiet           suppress the per-spec table\n");
 }
 
 [[nodiscard]] bool parse_double(const char* s, double& out) {
@@ -100,9 +105,108 @@ void print_usage(std::FILE* to) {
     return true;
 }
 
+/// `asynth batch`: embedded corpus + generated workload through run_batch().
+/// Exit code 0 only when every spec completed (a CSC "no circuit" verdict
+/// still counts as completed -- the verdict is the result).
+int run_batch_cli(int argc, char** argv) {
+    batch::batch_options opt;
+    benchmarks::generator_options gen;
+    uint64_t seed = 1;
+    std::size_t count = 64;
+    bool use_corpus = true, quiet = false;
+    std::string report_file;
+
+    auto need_value = [&](int& i, const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "asynth batch: %s requires a value\n", flag);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    auto parse_unit = [&](const char* flag, const char* s, double& out) {
+        // !(0 <= out <= 1) rather than out < 0 || out > 1: NaN must fail too.
+        if (!parse_double(s, out) || !(out >= 0 && out <= 1)) {
+            std::fprintf(stderr, "asynth batch: %s expects a number in [0,1]\n", flag);
+            return false;
+        }
+        return true;
+    };
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            print_usage(stdout);
+            return 0;
+        } else if (arg == "--jobs") {
+            if (!parse_size("--jobs", need_value(i, "--jobs"), opt.jobs)) return 2;
+        } else if (arg == "--seed") {
+            std::size_t v = 0;
+            if (!parse_size("--seed", need_value(i, "--seed"), v)) return 2;
+            seed = v;
+        } else if (arg == "--count") {
+            if (!parse_size("--count", need_value(i, "--count"), count)) return 2;
+        } else if (arg == "--size") {
+            std::size_t v = 0;
+            if (!parse_size("--size", need_value(i, "--size"), v)) return 2;
+            // Sizes beyond ~8 already exceed the state-graph budget; 4096 is
+            // a generous bound that keeps the int cast from truncating.
+            if (v == 0 || v > 4096) {
+                std::fprintf(stderr, "asynth batch: --size must be in [1, 4096]\n");
+                return 2;
+            }
+            gen.size = static_cast<int>(v);
+        } else if (arg == "--concurrency") {
+            if (!parse_unit("--concurrency", need_value(i, "--concurrency"), gen.concurrency))
+                return 2;
+        } else if (arg == "--choice") {
+            if (!parse_unit("--choice", need_value(i, "--choice"), gen.choice)) return 2;
+        } else if (arg == "--no-corpus") {
+            use_corpus = false;
+        } else if (arg == "--report") {
+            report_file = need_value(i, "--report");
+        } else if (arg == "-q" || arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "asynth batch: unknown option '%s' (see --help)\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    std::vector<benchmarks::named_spec> specs;
+    if (use_corpus) specs = benchmarks::corpus_specs();
+    auto generated = benchmarks::generate_workload(seed, count, gen);
+    specs.insert(specs.end(), std::make_move_iterator(generated.begin()),
+                 std::make_move_iterator(generated.end()));
+    if (specs.empty()) {
+        std::fprintf(stderr, "asynth batch: nothing to run (--no-corpus with --count 0)\n");
+        return 2;
+    }
+
+    auto report = batch::run_batch(specs, opt);
+
+    if (!quiet) std::fputs(batch::report_text(report).c_str(), stdout);
+    for (const auto& s : report.specs)
+        if (!s.completed)
+            std::fprintf(stderr, "asynth batch: %s failed at stage %s: %s\n", s.name.c_str(),
+                         s.failed_stage.c_str(), s.message.c_str());
+
+    if (!report_file.empty()) {
+        std::ofstream out(report_file);
+        out << batch::report_json(report);
+        out.close();
+        if (!out) {
+            std::fprintf(stderr, "asynth batch: cannot write '%s'\n", report_file.c_str());
+            return 1;
+        }
+        if (!quiet) std::printf("wrote %s\n", report_file.c_str());
+    }
+    return report.failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+    if (argc > 1 && std::strcmp(argv[1], "batch") == 0) return run_batch_cli(argc, argv);
     pipeline_options opt;
     std::string input_file, corpus_name, out_file, dot_file;
     bool quiet = false, print_spec = false;
@@ -121,7 +225,8 @@ int main(int argc, char** argv) {
             print_usage(stdout);
             return 0;
         } else if (arg == "--list-corpus") {
-            for (const auto& e : kCorpus) std::printf("%-12s %s\n", e.name, e.blurb);
+            for (const auto& e : benchmarks::corpus_table())
+                std::printf("%-12s %s\n", e.name, e.blurb);
             return 0;
         } else if (arg == "--corpus") {
             corpus_name = need_value(i, "--corpus");
@@ -192,8 +297,8 @@ int main(int argc, char** argv) {
 
     pipeline_result result;
     if (!corpus_name.empty()) {
-        const corpus_entry* entry = nullptr;
-        for (const auto& e : kCorpus)
+        const benchmarks::corpus_entry* entry = nullptr;
+        for (const auto& e : benchmarks::corpus_table())
             if (corpus_name == e.name) entry = &e;
         if (!entry) {
             std::fprintf(stderr, "asynth: unknown corpus entry '%s' (try --list-corpus)\n",
@@ -216,7 +321,11 @@ int main(int argc, char** argv) {
     }
 
     if (!quiet) std::fputs(pipeline_summary(result).c_str(), stdout);
-    if (!result.completed && quiet) std::fprintf(stderr, "asynth: %s\n", result.message.c_str());
+    // A structured stage failure always reaches stderr and exits nonzero --
+    // scripts must never mistake a failed run for a verdict.
+    if (!result.completed)
+        std::fprintf(stderr, "asynth: stage %s failed: %s\n",
+                     result.failed ? stage_name(*result.failed) : "?", result.message.c_str());
 
     auto write_file = [&](const std::string& path, const std::string& content) {
         std::ofstream out(path);

@@ -1,0 +1,118 @@
+// Reference vs incremental Fig. 9 engines over the embedded corpus and
+// generated size-4/5 specs: per-spec wall-clock, speedup, and a result-
+// equality check (the engines must agree bit-for-bit -- "MISMATCH" in this
+// table means a bug, and tests/test_explore.cpp fails with it).
+//
+// The last column is why the incremental engine exists: the reference
+// engine's per-candidate cost re-derives every analysis from scratch, while
+// the incremental engine delta-evaluates against memoised per-node caches
+// (src/explore/).  The reshuffling cost function is minimisation-bound, so
+// the boolfn word-parallel kernels contribute to both engines equally; the
+// residual gap is the cache reuse.
+#include <chrono>
+#include <functional>
+
+#include "bench_util.hpp"
+#include "benchmarks/generate.hpp"
+#include "explore/engine.hpp"
+
+using namespace asynth;
+using namespace bench_util;
+
+namespace {
+
+double run_ms(const std::function<search_result()>& body, search_result& out) {
+    const auto t0 = std::chrono::steady_clock::now();
+    out = body();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+void print_engine_comparison() {
+    std::printf("\n=== Fig. 9 search: reference vs incremental engine ===\n");
+    std::printf("%-14s %8s %9s %12s %12s %8s  %s\n", "spec", "states", "explored", "ref ms",
+                "incr ms", "speedup", "agree");
+
+    std::vector<benchmarks::named_spec> specs = benchmarks::corpus_specs();
+    benchmarks::generator_options g4;
+    g4.size = 4;
+    for (auto& s : benchmarks::generate_workload(1, 2, g4)) specs.push_back(std::move(s));
+    benchmarks::generator_options g5;
+    g5.size = 5;
+    for (auto& s : benchmarks::generate_workload(1, 2, g5)) specs.push_back(std::move(s));
+
+    double ref_total = 0, incr_total = 0;
+    for (const auto& [name, spec] : specs) {
+        auto base = state_graph::generate(expand_handshakes(spec)).graph;
+        auto g = subgraph::full(base);
+        search_options so;
+        so.cost.w = 0.5;
+        so.keep_concurrent = keepconc_events(expand_handshakes(spec));
+
+        search_result ref, incr;
+        const double ref_ms = run_ms([&] { return reduce_concurrency(g, so); }, ref);
+        const double incr_ms =
+            run_ms([&] { return explore::reduce_concurrency_incremental(g, so); }, incr);
+        ref_total += ref_ms;
+        incr_total += incr_ms;
+        const bool agree = ref.best_cost.value == incr.best_cost.value &&
+                           ref.best.live_states() == incr.best.live_states() &&
+                           ref.best.live_arcs() == incr.best.live_arcs() &&
+                           ref.explored == incr.explored;
+        std::printf("%-14s %8zu %9zu %12.2f %12.2f %7.1fx  %s\n", name.c_str(),
+                    base.state_count(), incr.explored, ref_ms, incr_ms,
+                    incr_ms > 0 ? ref_ms / incr_ms : 0.0, agree ? "yes" : "MISMATCH");
+    }
+    std::printf("%-14s %8s %9s %12.2f %12.2f %7.1fx\n", "total", "", "", ref_total, incr_total,
+                incr_total > 0 ? ref_total / incr_total : 0.0);
+}
+
+state_graph size4_sg() {
+    benchmarks::generator_options go;
+    go.size = 4;
+    auto specs = benchmarks::generate_workload(1, 1, go);
+    return state_graph::generate(expand_handshakes(specs[0].net)).graph;
+}
+
+void bm_reduce_reference(benchmark::State& state) {
+    auto base = size4_sg();
+    auto g = subgraph::full(base);
+    search_options so;
+    for (auto _ : state) {
+        auto res = reduce_concurrency(g, so);
+        benchmark::DoNotOptimize(res.best_cost.value);
+    }
+}
+BENCHMARK(bm_reduce_reference)->Unit(benchmark::kMillisecond);
+
+void bm_reduce_incremental(benchmark::State& state) {
+    auto base = size4_sg();
+    auto g = subgraph::full(base);
+    search_options so;
+    for (auto _ : state) {
+        auto res = explore::reduce_concurrency_incremental(g, so);
+        benchmark::DoNotOptimize(res.best_cost.value);
+    }
+}
+BENCHMARK(bm_reduce_incremental)->Unit(benchmark::kMillisecond);
+
+void bm_reduce_incremental_par(benchmark::State& state) {
+    auto base = size4_sg();
+    auto g = subgraph::full(base);
+    search_options so;
+    so.jobs = static_cast<std::size_t>(state.range(0));
+    for (auto _ : state) {
+        auto res = explore::reduce_concurrency_incremental(g, so);
+        benchmark::DoNotOptimize(res.best_cost.value);
+    }
+}
+BENCHMARK(bm_reduce_incremental_par)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    print_engine_comparison();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -1,6 +1,7 @@
 #include "boolfn/cover.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <unordered_set>
 
 #include "util/error.hpp"
@@ -14,16 +15,30 @@ cube cube::minterm(const dyn_bitset& point) {
     return c;
 }
 
+// The three cube predicates below are word-parallel: they run once per 64
+// variables instead of once per variable.  expand_against_off() calls
+// covers() for every (cube, variable, OFF-minterm) triple, which makes these
+// kernels the hottest code of the whole Fig. 9 search -- the reshuffling
+// cost function is minimisation-bound (see bench/reduce_search.cpp).
+
 std::size_t cube::literal_count() const {
-    std::size_t n = 0;
-    for (std::size_t v = 0; v < nvars(); ++v)
-        if (!is_dc(v)) ++n;
-    return n;
+    // A variable is a literal iff it is not don't-care, i.e. not pos & neg.
+    std::size_t dc = 0;
+    const auto& p = pos_.words();
+    const auto& n = neg_.words();
+    for (std::size_t w = 0; w < p.size(); ++w)
+        dc += static_cast<std::size_t>(std::popcount(p[w] & n[w]));
+    return nvars() - dc;
 }
 
 bool cube::covers(const dyn_bitset& point) const {
-    for (std::size_t v = 0; v < nvars(); ++v) {
-        if (point.test(v) ? !pos_.test(v) : !neg_.test(v)) return false;
+    // Violation at v: point(v)=1 without pos(v), or point(v)=0 without neg(v).
+    const auto& p = pos_.words();
+    const auto& n = neg_.words();
+    const auto& x = point.words();
+    for (std::size_t w = 0; w < p.size(); ++w) {
+        const uint64_t bad = (x[w] & ~p[w]) | (~(x[w] | n[w]) & pos_.word_mask(w));
+        if (bad != 0) return false;
     }
     return true;
 }
@@ -33,10 +48,14 @@ bool cube::contains(const cube& o) const {
 }
 
 bool cube::intersects(const cube& o) const {
-    for (std::size_t v = 0; v < nvars(); ++v) {
-        const bool p = pos_.test(v) && o.pos_.test(v);
-        const bool n = neg_.test(v) && o.neg_.test(v);
-        if (!p && !n) return false;
+    // Disjoint iff some variable admits no common value.
+    const auto& p = pos_.words();
+    const auto& n = neg_.words();
+    const auto& op = o.pos_.words();
+    const auto& on = o.neg_.words();
+    for (std::size_t w = 0; w < p.size(); ++w) {
+        const uint64_t common = (p[w] & op[w]) | (n[w] & on[w]);
+        if ((~common & pos_.word_mask(w)) != 0) return false;
     }
     return true;
 }
@@ -103,22 +122,109 @@ cube expand_against_off(cube c, const std::vector<dyn_bitset>& off,
     return c;
 }
 
+/// Precomputed OFF-set geometry for the <= 64-variable fast path of minterm
+/// expansion.  Shared across every ON minterm of one minimisation.
+struct off_index {
+    std::vector<uint64_t> words;             ///< OFF minterms as single words
+    std::vector<std::vector<uint32_t>> col;  ///< [2 * v + bit]: OFF indices with o[v] == bit
+    // Per-minterm scratch, reused to avoid reallocation.
+    std::vector<uint64_t> diff;
+    std::vector<uint8_t> cnt;
+    std::vector<uint32_t> ones;
+
+    explicit off_index(const std::vector<dyn_bitset>& off, std::size_t nvars) {
+        words.reserve(off.size());
+        for (const auto& o : off) words.push_back(o.words().empty() ? 0 : o.words()[0]);
+        col.resize(2 * nvars);
+        for (uint32_t o = 0; o < words.size(); ++o)
+            for (std::size_t v = 0; v < nvars; ++v)
+                col[2 * v + ((words[o] >> v) & 1U)].push_back(o);
+    }
+};
+
+/// Exact fast-path equivalent of expand_against_off(minterm(m), off, order)
+/// for nvars <= 64, by a counting argument: the cube `m raised on R` covers
+/// OFF minterm o iff diff(o) = m XOR o is a subset of R.  Raising v is
+/// therefore blocked iff some o has |diff(o) \ R| == 0 (`zeros`; ON and OFF
+/// intersect) or == 1 with v as the remaining bit (`ones[v]`).  Per variable
+/// the test is O(1); only *accepted* raises walk their OFF column to update
+/// the counters.  This turns the minimiser's hottest loop from
+/// O(vars * |off|) per minterm into roughly O(|off|) + the accepted columns.
+cube expand_against_off_small(const dyn_bitset& m, std::size_t nvars, off_index& ix,
+                              const std::vector<std::size_t>& order) {
+    const uint64_t m_word = m.words().empty() ? 0 : m.words()[0];
+    const std::size_t noff = ix.words.size();
+    ix.diff.resize(noff);
+    ix.cnt.resize(noff);
+    ix.ones.assign(nvars, 0);
+    std::size_t zeros = 0;
+    for (std::size_t o = 0; o < noff; ++o) {
+        const uint64_t d = m_word ^ ix.words[o];
+        ix.diff[o] = d;
+        const auto c = static_cast<uint8_t>(std::popcount(d));
+        ix.cnt[o] = c;
+        if (c == 0)
+            ++zeros;
+        else if (c == 1)
+            ++ix.ones[static_cast<std::size_t>(std::countr_zero(d))];
+    }
+
+    uint64_t raised = 0;
+    if (zeros == 0) {
+        for (std::size_t v : order) {
+            if (ix.ones[v] != 0) continue;
+            raised |= uint64_t{1} << v;
+            // o loses its diff bit v from the outside set iff o[v] != m[v].
+            const auto& column = ix.col[2 * v + (((m_word >> v) & 1U) ^ 1U)];
+            for (uint32_t o : column) {
+                // Every o here had >= 2 outside bits: a single-bit o would
+                // have put its bit v into ones[v], vetoing the raise.
+                const auto c = static_cast<uint8_t>(ix.cnt[o] - 1);
+                ix.cnt[o] = c;
+                if (c == 1) {
+                    const uint64_t rem = ix.diff[o] & ~raised;
+                    ++ix.ones[static_cast<std::size_t>(std::countr_zero(rem))];
+                }
+            }
+        }
+    }
+
+    cube out(nvars);  // universal; narrow the kept literals
+    for (std::size_t v = 0; v < nvars; ++v)
+        if (((raised >> v) & 1U) == 0) out.set_literal(v, (m_word >> v) & 1U);
+    return out;
+}
+
 /// Greedy irredundant cover of the ON minterms by the candidate cubes:
-/// essentials first, then maximum uncovered gain.
+/// essentials first, then maximum uncovered gain.  Coverage is precomputed
+/// as one bitset of minterm indices per candidate, so every greedy round is
+/// a popcount sweep instead of re-evaluating covers(); the selection (gains,
+/// literal tie-breaks, index tie-breaks) is unchanged.
 std::vector<cube> greedy_cover(const std::vector<cube>& candidates,
                                const std::vector<dyn_bitset>& on) {
-    std::vector<std::vector<std::size_t>> covers_of(on.size());
-    for (std::size_t m = 0; m < on.size(); ++m)
-        for (std::size_t c = 0; c < candidates.size(); ++c)
-            if (candidates[c].covers(on[m])) covers_of[m].push_back(c);
+    std::vector<dyn_bitset> cand_bits(candidates.size());
+    std::vector<std::size_t> cand_lits(candidates.size());
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+        cand_bits[c] = dyn_bitset(on.size());
+        cand_lits[c] = candidates[c].literal_count();
+        for (std::size_t m = 0; m < on.size(); ++m)
+            if (candidates[c].covers(on[m])) cand_bits[c].set(m);
+    }
 
-    std::vector<bool> selected(candidates.size(), false), covered(on.size(), false);
+    std::vector<bool> selected(candidates.size(), false);
     // Essential candidates: sole cover of some minterm.
+    std::vector<uint32_t> cover_count(on.size(), 0), sole(on.size(), 0);
+    for (std::size_t c = 0; c < candidates.size(); ++c)
+        for (auto m : cand_bits[c].ones()) {
+            ++cover_count[m];
+            sole[m] = static_cast<uint32_t>(c);
+        }
     for (std::size_t m = 0; m < on.size(); ++m)
-        if (covers_of[m].size() == 1) selected[covers_of[m][0]] = true;
-    for (std::size_t m = 0; m < on.size(); ++m)
-        for (std::size_t c : covers_of[m])
-            if (selected[c]) covered[m] = true;
+        if (cover_count[m] == 1) selected[sole[m]] = true;
+
+    dyn_bitset covered(on.size());
+    for (std::size_t c = 0; c < candidates.size(); ++c)
+        if (selected[c]) covered |= cand_bits[c];
 
     while (true) {
         // Pick the candidate covering the most uncovered minterms; break
@@ -126,21 +232,17 @@ std::vector<cube> greedy_cover(const std::vector<cube>& candidates,
         std::size_t best = candidates.size(), best_gain = 0, best_lits = SIZE_MAX;
         for (std::size_t c = 0; c < candidates.size(); ++c) {
             if (selected[c]) continue;
-            std::size_t gain = 0;
-            for (std::size_t m = 0; m < on.size(); ++m)
-                if (!covered[m] && candidates[c].covers(on[m])) ++gain;
+            const std::size_t gain = cand_bits[c].count_and_not(covered);
             if (gain == 0) continue;
-            const std::size_t lits = candidates[c].literal_count();
-            if (gain > best_gain || (gain == best_gain && lits < best_lits)) {
+            if (gain > best_gain || (gain == best_gain && cand_lits[c] < best_lits)) {
                 best = c;
                 best_gain = gain;
-                best_lits = lits;
+                best_lits = cand_lits[c];
             }
         }
         if (best == candidates.size()) break;
         selected[best] = true;
-        for (std::size_t m = 0; m < on.size(); ++m)
-            if (candidates[best].covers(on[m])) covered[m] = true;
+        covered |= cand_bits[best];
     }
 
     std::vector<cube> out;
@@ -155,6 +257,10 @@ cover minimize_heuristic(const sop_spec& spec, unsigned passes) {
     cover best;
     best.nvars = spec.nvars;
     if (spec.on.empty()) return best;
+
+    const bool small = spec.nvars >= 1 && spec.nvars <= 64;
+    std::optional<off_index> ix;
+    if (small) ix.emplace(spec.off, spec.nvars);
 
     std::size_t best_cost = SIZE_MAX;
     for (unsigned pass = 0; pass < std::max(1u, passes); ++pass) {
@@ -171,7 +277,8 @@ cover minimize_heuristic(const sop_spec& spec, unsigned passes) {
         std::vector<cube> expanded;
         std::unordered_set<std::size_t> seen;
         for (const auto& m : spec.on) {
-            cube c = expand_against_off(cube::minterm(m), spec.off, order);
+            cube c = small ? expand_against_off_small(m, spec.nvars, *ix, order)
+                           : expand_against_off(cube::minterm(m), spec.off, order);
             if (seen.insert(c.hash()).second) expanded.push_back(std::move(c));
         }
         cover candidate;

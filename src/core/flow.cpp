@@ -1,5 +1,7 @@
 #include "core/flow.hpp"
 
+#include "explore/engine.hpp"
+
 namespace asynth {
 
 search_result run_reduction(const subgraph& initial, reduction_strategy strategy,
@@ -13,7 +15,11 @@ search_result run_reduction(const subgraph& initial, reduction_strategy strategy
             return res;
         }
         case reduction_strategy::beam:
-            return reduce_concurrency(initial, opt);
+            // Engine dispatch: both engines walk the same beam and return the
+            // same result; `incremental` (the default) just does less work.
+            return opt.engine == search_engine::reference
+                       ? reduce_concurrency(initial, opt)
+                       : explore::reduce_concurrency_incremental(initial, opt);
         case reduction_strategy::full:
             return reduce_fully(initial, opt);
     }

@@ -103,7 +103,9 @@ std::optional<subgraph> forward_reduction(const subgraph& g, const er_component&
 std::optional<subgraph> single_arc_reduction(const subgraph& g, uint32_t arc,
                                              const fwdred_options& opt, fwdred_stats* stats) {
     const auto& base = g.base();
-    if (!g.arc_live(arc)) return std::nullopt;
+    // Invalid (out-of-range) arc ids are a no-op, not UB: the function is
+    // exposed for exploration drivers that may enumerate speculatively.
+    if (arc >= base.arc_count() || !g.arc_live(arc)) return std::nullopt;
     const uint16_t event = base.arcs()[arc].event;
     if (opt.require_noninput_target && base.is_input_event(event)) return std::nullopt;
 

@@ -19,6 +19,19 @@
 
 namespace asynth {
 
+/// Which implementation of the Fig. 9 exploration to run.  Both engines walk
+/// the same beam (same candidates, same costs, same deterministic tie-break)
+/// and return the same result; they differ only in how the work is done.
+enum class search_engine : uint8_t {
+    /// The original copy-everything implementation: every candidate is fully
+    /// materialised and re-analysed from scratch.  Kept as the oracle the
+    /// incremental engine is tested against.
+    reference,
+    /// src/explore/: delta-evaluated moves over memoised per-node analyses,
+    /// a 128-bit transposition table, and an optional parallel expander.
+    incremental,
+};
+
 /// Knobs of the Fig. 9 exploration.
 struct search_options {
     /// Beam width: candidates kept per level (the paper's size_frontier).
@@ -30,6 +43,12 @@ struct search_options {
     cost_params cost;
     /// Unordered pairs whose concurrency must be preserved (Keep_Conc).
     std::vector<std::pair<sg_event, sg_event>> keep_concurrent;
+    /// Engine selection for the beam strategy (CLI: --engine).
+    search_engine engine = search_engine::incremental;
+    /// Worker threads for the incremental engine's frontier expander; <= 1
+    /// runs serially.  Results are identical for every value (the expander
+    /// merges in a deterministic order); only wall-clock changes.
+    std::size_t jobs = 1;
 };
 
 /// Outcome of one exploration run.
@@ -52,5 +71,22 @@ struct search_result {
 
 /// Translates the Keep_Conc label pairs recorded in an STG into SG events.
 [[nodiscard]] std::vector<std::pair<sg_event, sg_event>> keepconc_events(const stg& net);
+
+// ---- shared between the reference and incremental engines -------------------
+// Both engines must agree on Keep_Conc semantics to the letter, so the three
+// predicates live here rather than being duplicated in src/explore/.
+
+/// Does @p keep contain the unordered pair (a, b)?
+[[nodiscard]] bool is_kept_pair(const std::vector<std::pair<sg_event, sg_event>>& keep,
+                                const sg_event& a, const sg_event& b);
+
+/// All Keep_Conc pairs still concurrent in @p g?
+[[nodiscard]] bool kept_pairs_alive(const subgraph& g,
+                                    const std::vector<std::pair<sg_event, sg_event>>& keep);
+
+/// Keep_Conc pairs that are not even concurrent in the starting SG cannot be
+/// preserved and must not veto every reduction; drop them up front.
+[[nodiscard]] std::vector<std::pair<sg_event, sg_event>> effective_keepconc(
+    const subgraph& g, const std::vector<std::pair<sg_event, sg_event>>& keep);
 
 }  // namespace asynth

@@ -1,0 +1,211 @@
+#include "explore/analysis_cache.hpp"
+
+#include <unordered_map>
+
+namespace asynth::explore {
+
+context make_context(const state_graph& base, const cost_params& params) {
+    context ctx;
+    ctx.base = &base;
+    ctx.params = params;
+    ctx.nevents = base.events().size();
+    ctx.words = (ctx.nevents + 63) / 64;
+
+    ctx.noninput_mask.assign(ctx.words, 0);
+    ctx.input_event.assign(ctx.nevents, 0);
+    for (std::size_t e = 0; e < ctx.nevents; ++e) {
+        ctx.input_event[e] = base.is_input_event(static_cast<uint16_t>(e)) ? 1 : 0;
+        if (!ctx.input_event[e]) row_set(ctx.noninput_mask.data(), e);
+    }
+
+    ctx.sig_events.resize(base.signals().size());
+    for (uint32_t s = 0; s < base.signals().size(); ++s) {
+        auto& se = ctx.sig_events[s];
+        if (auto p = base.find_event(static_cast<int32_t>(s), edge::plus)) se.plus = *p;
+        if (auto m = base.find_event(static_cast<int32_t>(s), edge::minus)) se.minus = *m;
+        se.estimated = base.signals()[s].kind != signal_kind::input &&
+                       (se.plus >= 0 || se.minus >= 0);
+    }
+
+    ctx.code_hash.reserve(base.state_count());
+    for (const auto& st : base.states())
+        ctx.code_hash.push_back(splitmix64(st.code.hash()));
+    return ctx;
+}
+
+namespace detail {
+
+std::vector<uint64_t> build_rows(const context& ctx, const subgraph& g) {
+    const auto& b = *ctx.base;
+    std::vector<uint64_t> rows(ctx.words * b.state_count(), 0);
+    for (auto av : g.live_arcs().ones()) {
+        const auto& arc = b.arcs()[av];
+        if (!g.state_live(arc.src)) continue;
+        row_set(rows.data() + ctx.words * arc.src, arc.event);
+    }
+    return rows;
+}
+
+void build_groups(const context& ctx, const subgraph& g, std::vector<code_group>& groups,
+                  std::vector<uint32_t>& group_of) {
+    const auto& b = *ctx.base;
+    groups.clear();
+    group_of.assign(b.state_count(), UINT32_MAX);
+    std::unordered_map<dyn_bitset, uint32_t> index;
+    for (auto sv : g.live_states().ones()) {
+        const auto s = static_cast<uint32_t>(sv);
+        auto [it, inserted] =
+            index.emplace(b.states()[s].code, static_cast<uint32_t>(groups.size()));
+        if (inserted) groups.emplace_back();
+        groups[it->second].states.push_back(s);
+        group_of[s] = it->second;
+    }
+}
+
+std::size_t group_conflicts(const context& ctx, const std::vector<uint32_t>& members,
+                            const dyn_bitset* removed, const row_view& rows) {
+    // Gather the masked (non-input) enabled rows of the surviving members.
+    std::vector<const uint64_t*> alive;
+    alive.reserve(members.size());
+    for (uint32_t s : members) {
+        if (removed && removed->test(s)) continue;
+        alive.push_back(rows(s));
+    }
+    std::size_t pairs = 0;
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+        for (std::size_t j = i + 1; j < alive.size(); ++j) {
+            for (std::size_t w = 0; w < ctx.words; ++w) {
+                if ((alive[i][w] & ctx.noninput_mask[w]) !=
+                    (alive[j][w] & ctx.noninput_mask[w])) {
+                    ++pairs;
+                    break;
+                }
+            }
+        }
+    }
+    return pairs;
+}
+
+sig_key signal_key(const context& ctx, uint32_t signal,
+                   const std::vector<const code_group*>& ordered, const dyn_bitset* removed,
+                   const row_view& rows) {
+    sig_key key;
+    for (const code_group* grp : ordered) {
+        // side: +1 = every member ON, -1 = every member OFF, 0 = conflicting
+        // (excluded from both sides, exactly as derive_nextstate() does).
+        int side = 2;  // 2 = no live member seen yet
+        uint64_t chash = 0;
+        for (uint32_t s : grp->states) {
+            if (removed && removed->test(s)) continue;
+            const int fs = nextstate_value(ctx, signal, s, rows(s)) ? 1 : -1;
+            if (side == 2) {
+                side = fs;
+                chash = ctx.code_hash[s];
+            } else if (side != fs) {
+                side = 0;
+                break;
+            }
+        }
+        if (side == 1)
+            hash128_combine(key.on, chash);
+        else if (side == -1)
+            hash128_combine(key.off, chash);
+    }
+    return key;
+}
+
+sop_spec assemble_spec(const context& ctx, uint32_t signal,
+                       const std::vector<const code_group*>& ordered, const dyn_bitset* removed,
+                       const row_view& rows) {
+    const auto& b = *ctx.base;
+    sop_spec spec;
+    spec.nvars = b.signals().size();
+    for (const code_group* grp : ordered) {
+        int side = 2;
+        uint32_t first = 0;
+        for (uint32_t s : grp->states) {
+            if (removed && removed->test(s)) continue;
+            const int fs = nextstate_value(ctx, signal, s, rows(s)) ? 1 : -1;
+            if (side == 2) {
+                side = fs;
+                first = s;
+            } else if (side != fs) {
+                side = 0;
+                break;
+            }
+        }
+        if (side == 1)
+            spec.on.push_back(b.states()[first].code);
+        else if (side == -1)
+            spec.off.push_back(b.states()[first].code);
+    }
+    return spec;
+}
+
+std::size_t minimise_literals(const context& ctx, const sop_spec& spec, const sig_key& key,
+                              literal_memo* memo) {
+    if (memo) {
+        if (auto hit = memo->find(key)) return *hit;
+    }
+    const std::size_t literals =
+        minimize_heuristic(spec, ctx.params.minimize_passes).literal_count();
+    if (memo) memo->insert(key, literals);
+    return literals;
+}
+
+}  // namespace detail
+
+analysis_cache build_cache(const context& ctx, const subgraph& g, literal_memo* memo) {
+    const auto& b = *ctx.base;
+    analysis_cache c;
+
+    c.rows = detail::build_rows(ctx, g);
+    c.event_arcs.assign(ctx.nevents, 0);
+    for (auto av : g.live_arcs().ones()) ++c.event_arcs[b.arcs()[av].event];
+
+    c.er.resize(ctx.nevents);
+    c.er_union.resize(ctx.nevents);
+    for (std::size_t e = 0; e < ctx.nevents; ++e) {
+        c.er[e] = excitation_regions(g, static_cast<uint16_t>(e));
+        dyn_bitset u(b.state_count());
+        for (const auto& comp : c.er[e]) u |= comp.states;
+        c.er_union[e] = std::move(u);
+    }
+
+    detail::build_groups(ctx, g, c.groups, c.group_of);
+    const detail::row_view rows{&ctx, &c.rows, nullptr, nullptr};
+    c.csc_pairs = 0;
+    for (auto& grp : c.groups) {
+        grp.conflict_pairs = detail::group_conflicts(ctx, grp.states, nullptr, rows);
+        c.csc_pairs += grp.conflict_pairs;
+    }
+
+    std::vector<const code_group*> ordered;
+    ordered.reserve(c.groups.size());
+    for (const auto& grp : c.groups) ordered.push_back(&grp);
+
+    c.signals.resize(b.signals().size());
+    std::size_t literals = 0;
+    for (uint32_t s = 0; s < b.signals().size(); ++s) {
+        auto& entry = c.signals[s];
+        entry.estimated = ctx.sig_events[s].estimated;
+        if (!entry.estimated) continue;
+        entry.key = detail::signal_key(ctx, s, ordered, nullptr, rows);
+        if (auto hit = memo ? memo->find(entry.key) : std::nullopt)
+            entry.literals = *hit;
+        else
+            entry.literals = detail::minimise_literals(
+                ctx, detail::assemble_spec(ctx, s, ordered, nullptr, rows), entry.key, memo);
+        literals += entry.literals;
+    }
+
+    c.cost.states = g.live_state_count();
+    c.cost.csc_pairs = c.csc_pairs;
+    c.cost.literals = literals;
+    c.cost.value = ctx.params.w * static_cast<double>(literals) +
+                   (1.0 - ctx.params.w) * ctx.params.csc_weight *
+                       static_cast<double>(c.csc_pairs);
+    return c;
+}
+
+}  // namespace asynth::explore

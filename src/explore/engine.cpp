@@ -1,0 +1,159 @@
+#include "explore/engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+
+#include "batch/pool.hpp"
+#include "explore/move.hpp"
+
+namespace asynth::explore {
+
+namespace {
+
+/// One frontier member: the subgraph plus its memoised analyses.
+struct node {
+    subgraph g;
+    analysis_cache cache;
+};
+
+/// A candidate reduction as a lightweight descriptor: which frontier node it
+/// expands and which ER component pair it reduces.  Nothing is materialised
+/// until apply_move().
+struct move_ref {
+    uint32_t node = 0;
+    const er_component* a = nullptr;
+    const er_component* b = nullptr;
+};
+
+/// Runs body(0..n-1), on the work-stealing pool when jobs > 1.  Each body
+/// writes only its own slot, so results are identical for every job count.
+/// Tiny task batches (e.g. the <= size_frontier survivor derivations) stay
+/// serial: spawning a thread costs more than a handful of move scores.
+template <typename Body>
+void run_tasks(std::size_t jobs, std::size_t n, Body&& body) {
+    if (jobs <= 1 || n < 16) {
+        for (std::size_t i = 0; i < n; ++i) body(i);
+        return;
+    }
+    batch::work_stealing_pool pool(std::min(jobs, n), n);
+    pool.run(body);
+}
+
+}  // namespace
+
+search_result reduce_concurrency_incremental(const subgraph& initial,
+                                             const search_options& options) {
+    // The delta validity checks assume the root is output-persistent (the
+    // search keeps that invariant thereafter).  A hand-built SG that is not
+    // falls back to the reference engine, whose full per-candidate
+    // speed-independence recheck handles it -- the engines stay equivalent
+    // on every input, not just well-formed ones.
+    if (!check_speed_independence(initial).output_persistent)
+        return reduce_concurrency(initial, options);
+
+    search_options opt = options;
+    opt.keep_concurrent = effective_keepconc(initial, options.keep_concurrent);
+    opt.size_frontier = std::max<std::size_t>(1, opt.size_frontier);
+
+    const state_graph& base = initial.base();
+    const context ctx = make_context(base, opt.cost);
+    literal_memo memo;
+
+    search_result res;
+    res.best = initial;
+    res.explored = 1;
+
+    std::vector<node> frontier(1);
+    frontier[0].g = initial;
+    frontier[0].cache = build_cache(ctx, initial, &memo);
+    res.best_cost = frontier[0].cache.cost;
+
+    std::unordered_set<hash128> transposition{initial.signature128()};
+
+    for (std::size_t level = 0; level < opt.max_levels && !frontier.empty(); ++level) {
+        // ---- enumerate candidate moves in the reference engine's order:
+        // frontier order, then ER components ascending by event.
+        std::vector<move_ref> moves;
+        for (uint32_t ni = 0; ni < frontier.size(); ++ni) {
+            const auto& cache = frontier[ni].cache;
+            std::vector<const er_component*> comps;
+            for (std::size_t e = 0; e < ctx.nevents; ++e)
+                for (const auto& comp : cache.er[e]) comps.push_back(&comp);
+            for (std::size_t i = 0; i < comps.size(); ++i) {
+                // e2 (the delayed event) must not be an input (Fig. 9).
+                if (ctx.input_event[comps[i]->event]) continue;
+                for (std::size_t j = 0; j < comps.size(); ++j) {
+                    if (i == j || comps[i]->event == comps[j]->event) continue;
+                    if (!comps[i]->states.intersects(comps[j]->states)) continue;
+                    if (is_kept_pair(opt.keep_concurrent, base.events()[comps[i]->event],
+                                     base.events()[comps[j]->event]))
+                        continue;
+                    moves.push_back(move_ref{ni, comps[i], comps[j]});
+                }
+            }
+        }
+
+        // ---- phase 1: apply + validity-check every move (parallel).
+        std::vector<std::optional<applied_move>> applied(moves.size());
+        run_tasks(opt.jobs, moves.size(), [&](std::size_t i) {
+            const move_ref& m = moves[i];
+            applied[i] = apply_move(ctx, frontier[m.node].g, frontier[m.node].cache, *m.a, *m.b);
+            if (applied[i] && !opt.keep_concurrent.empty() &&
+                !kept_pairs_alive(applied[i]->child, opt.keep_concurrent))
+                applied[i].reset();
+        });
+
+        // ---- phase 2: transposition dedupe, serially in enumeration order
+        // (the reference engine's `explored` semantics, with 128-bit keys).
+        std::vector<uint32_t> unique;
+        for (std::size_t i = 0; i < applied.size(); ++i) {
+            if (!applied[i]) continue;
+            if (transposition.insert(applied[i]->sig).second)
+                unique.push_back(static_cast<uint32_t>(i));
+            else
+                applied[i].reset();
+        }
+        if (unique.empty()) break;
+
+        // ---- phase 3: delta-score the survivors of dedupe (parallel).
+        std::vector<move_score> scores(unique.size());
+        run_tasks(opt.jobs, unique.size(), [&](std::size_t k) {
+            const move_ref& m = moves[unique[k]];
+            scores[k] = score_move(ctx, frontier[m.node].g, frontier[m.node].cache,
+                                   *applied[unique[k]], memo);
+        });
+        res.explored += unique.size();
+
+        // ---- phase 4: deterministic beam selection -- cost, then signature.
+        std::vector<uint32_t> order(unique.size());
+        std::iota(order.begin(), order.end(), 0u);
+        std::stable_sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
+            if (scores[x].cost.value != scores[y].cost.value)
+                return scores[x].cost.value < scores[y].cost.value;
+            return applied[unique[x]]->sig < applied[unique[y]]->sig;
+        });
+        if (order.size() > opt.size_frontier) order.resize(opt.size_frontier);
+
+        res.levels = level + 1;
+        res.level_best.push_back(scores[order[0]].cost.value);
+        if (scores[order[0]].cost.value < res.best_cost.value) {
+            res.best = applied[unique[order[0]]]->child;
+            res.best_cost = scores[order[0]].cost;
+        }
+
+        // ---- phase 5: survivors derive their caches and become the frontier.
+        std::vector<node> next(order.size());
+        run_tasks(opt.jobs, order.size(), [&](std::size_t k) {
+            const move_ref& m = moves[unique[order[k]]];
+            const applied_move& am = *applied[unique[order[k]]];
+            next[k].g = am.child;
+            next[k].cache = derive_cache(ctx, frontier[m.node].g, frontier[m.node].cache, am,
+                                         scores[order[k]]);
+        });
+        frontier = std::move(next);
+    }
+    return res;
+}
+
+}  // namespace asynth::explore

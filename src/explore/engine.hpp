@@ -1,0 +1,30 @@
+// The incremental Fig. 9 exploration engine (the `--engine incremental`
+// default).  Same beam, same results as core/search's reference engine --
+// the per-level candidate set, every candidate's cost, the deterministic
+// (cost, signature) beam order and therefore search_result are identical;
+// tests/test_explore.cpp pins the equivalence over the whole corpus.
+//
+// What changes is the work per candidate:
+//
+//  * every frontier node carries an analysis_cache (memoised excitation
+//    regions, CSC structure, per-signal minimised covers);
+//  * candidate moves are applied with delta validity checks and delta-scored
+//    against the parent's cache (move.hpp) -- a candidate that prunes no
+//    state re-minimises at most one signal instead of all of them;
+//  * a 128-bit transposition table replaces the collision-prone
+//    std::size_t `explored` set;
+//  * with search_options::jobs > 1 the per-level apply/score work fans out
+//    over the batch work-stealing pool; the expander merges in enumeration
+//    order, so results are independent of the job count.
+#pragma once
+
+#include "core/search.hpp"
+
+namespace asynth::explore {
+
+/// Runs the Fig. 9 exploration from @p initial, incrementally.  Returns the
+/// same search_result as reduce_concurrency(initial, opt).
+[[nodiscard]] search_result reduce_concurrency_incremental(const subgraph& initial,
+                                                           const search_options& opt);
+
+}  // namespace asynth::explore

@@ -1,0 +1,265 @@
+#include "explore/move.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "core/reduce.hpp"
+
+namespace asynth::explore {
+
+std::optional<applied_move> apply_move(const context& ctx, const subgraph& g,
+                                       const analysis_cache& cache, const er_component& a,
+                                       const er_component& b) {
+    const auto& base = g.base();
+
+    dyn_bitset intersection = a.states;
+    intersection &= b.states;
+    if (intersection.none()) return std::nullopt;  // not concurrent: no-op
+
+    // Removal zone, exactly as forward_reduction(): ER(b) plus every state of
+    // this excitation episode from which the common states are reachable
+    // without leaving ER(a).
+    dyn_bitset zone = backward_reachable(g, intersection, &a.states);
+    zone |= b.states;
+    zone &= a.states;
+
+    applied_move am;
+    am.child = g;
+    am.delayed_event = a.event;
+    std::size_t removed_count = 0;
+    for (auto sv : zone.ones()) {
+        for (uint32_t arc : base.out_arcs(static_cast<uint32_t>(sv))) {
+            if (!am.child.arc_live(arc)) continue;
+            if (base.arcs()[arc].event == a.event) {
+                am.child.kill_arc(arc);
+                ++removed_count;
+            }
+        }
+    }
+    if (removed_count == 0) return std::nullopt;
+    am.child.prune_unreachable();
+
+    am.removed_arcs = g.live_arcs();
+    am.removed_arcs.and_not(am.child.live_arcs());
+    am.removed_states = g.live_states();
+    am.removed_states.and_not(am.child.live_states());
+
+    // Condition 3 -- no event disappears -- as a counter decrement, and the
+    // disturbed set D (live states that lost an out-arc) in one sweep.
+    std::vector<uint32_t> removed_per_event(ctx.nevents, 0);
+    for (auto av : am.removed_arcs.ones()) {
+        const auto& arc = base.arcs()[av];
+        ++removed_per_event[arc.event];
+        if (am.child.state_live(arc.src)) am.disturbed.push_back(arc.src);
+    }
+    for (std::size_t e = 0; e < ctx.nevents; ++e)
+        if (removed_per_event[e] != 0 && cache.event_arcs[e] == removed_per_event[e])
+            return std::nullopt;
+    std::sort(am.disturbed.begin(), am.disturbed.end());
+    am.disturbed.erase(std::unique(am.disturbed.begin(), am.disturbed.end()),
+                       am.disturbed.end());
+
+    // Child enabled rows of the disturbed states.
+    am.disturbed_rows.assign(am.disturbed.size() * ctx.words, 0);
+    for (std::size_t k = 0; k < am.disturbed.size(); ++k) {
+        uint64_t* row = am.disturbed_rows.data() + k * ctx.words;
+        for (uint32_t arc : base.out_arcs(am.disturbed[k]))
+            if (am.child.arc_live(arc)) row_set(row, base.arcs()[arc].event);
+    }
+
+    // Condition 4 -- no new deadlock.  Only a state that lost an out-arc can
+    // become one, and every disturbed state had an out-arc before the move.
+    for (std::size_t k = 0; k < am.disturbed.size(); ++k) {
+        const uint64_t* row = am.disturbed_rows.data() + k * ctx.words;
+        bool has_out = false;
+        for (std::size_t w = 0; w < ctx.words; ++w)
+            if (row[w] != 0) {
+                has_out = true;
+                break;
+            }
+        if (!has_out) return std::nullopt;
+    }
+
+    // Condition 1 -- output persistency -- as a delta.  The parent is
+    // output-persistent (search invariant), and arc removal can only create a
+    // new violation (s, fire, e) where e was enabled at fire's destination in
+    // the parent and no longer is: that destination lost an out-arc, so it is
+    // in D.  Check every predecessor of every disturbed state against the
+    // events the state lost.
+    const detail::row_view child_rows{&ctx, &cache.rows, &am.disturbed, &am.disturbed_rows};
+    for (std::size_t k = 0; k < am.disturbed.size(); ++k) {
+        const uint32_t d = am.disturbed[k];
+        const uint64_t* parent_row = cache.rows.data() + ctx.words * d;
+        const uint64_t* child_row = am.disturbed_rows.data() + k * ctx.words;
+        for (uint32_t ain : base.in_arcs(d)) {
+            if (!am.child.arc_live(ain)) continue;
+            const uint32_t s = base.arcs()[ain].src;
+            const uint16_t f = base.arcs()[ain].event;
+            const uint64_t* s_row = child_rows(s);
+            for (std::size_t w = 0; w < ctx.words; ++w) {
+                uint64_t lost = parent_row[w] & ~child_row[w];
+                while (lost != 0) {
+                    const auto e =
+                        static_cast<uint16_t>(w * 64 + std::countr_zero(lost));
+                    lost &= lost - 1;
+                    if (e == f) continue;
+                    if (!row_bit(s_row, e)) continue;  // e not enabled at s
+                    if (ctx.input_event[e] && ctx.input_event[f]) continue;
+                    return std::nullopt;  // firing f at s disables e
+                }
+            }
+        }
+    }
+
+    am.sig = am.child.signature128();
+    return am;
+}
+
+move_score score_move(const context& ctx, const subgraph& parent, const analysis_cache& cache,
+                      const applied_move& am, literal_memo& memo) {
+    (void)parent;
+    move_score out;
+    const detail::row_view child_rows{&ctx, &cache.rows, &am.disturbed, &am.disturbed_rows};
+
+    // ---- Delta(csc_pairs): only code groups containing a removed or
+    // disturbed state can change their conflict-pair count.
+    std::vector<uint32_t> affected;
+    for (auto sv : am.removed_states.ones()) affected.push_back(cache.group_of[sv]);
+    for (uint32_t d : am.disturbed) affected.push_back(cache.group_of[d]);
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+
+    std::size_t csc = cache.csc_pairs;
+    for (uint32_t gi : affected) {
+        csc -= cache.groups[gi].conflict_pairs;
+        csc += detail::group_conflicts(ctx, cache.groups[gi].states, &am.removed_states,
+                                       child_rows);
+    }
+
+    // ---- Delta(literals): recompute a signal's spec key only when the move
+    // can have changed it, re-minimise only when the key actually differs.
+    std::size_t literals = cache.cost.literals;
+    auto update_signal = [&](uint32_t x, const std::vector<const code_group*>& ordered) {
+        const sig_key key = detail::signal_key(ctx, x, ordered, &am.removed_states, child_rows);
+        if (key == cache.signals[x].key) return;  // identical spec: reuse count
+        std::size_t lits;
+        if (auto hit = memo.find(key)) {
+            lits = *hit;
+        } else {
+            lits = detail::minimise_literals(
+                ctx, detail::assemble_spec(ctx, x, ordered, &am.removed_states, child_rows), key,
+                &memo);
+        }
+        literals -= cache.signals[x].literals;
+        literals += lits;
+        out.updates.push_back({x, key, lits});
+    };
+
+    if (am.removed_states.none()) {
+        // No pruning: the code groups are unchanged and only the delayed
+        // event's signal changed its excitation anywhere.
+        std::vector<const code_group*> ordered;
+        ordered.reserve(cache.groups.size());
+        for (const auto& grp : cache.groups) ordered.push_back(&grp);
+        const auto sig =
+            static_cast<uint32_t>(ctx.base->events()[am.delayed_event].signal);
+        update_signal(sig, ordered);
+    } else {
+        // Pruning may drop codes (larger DC-set) anywhere and can reorder the
+        // first-encounter sequence; rebuild the child's group order (ascending
+        // minimum surviving member) and re-key every estimated signal.
+        std::vector<std::pair<uint32_t, const code_group*>> order;
+        order.reserve(cache.groups.size());
+        for (const auto& grp : cache.groups) {
+            for (uint32_t s : grp.states) {
+                if (!am.removed_states.test(s)) {
+                    order.emplace_back(s, &grp);
+                    break;
+                }
+            }
+        }
+        std::sort(order.begin(), order.end(),
+                  [](const auto& x, const auto& y) { return x.first < y.first; });
+        std::vector<const code_group*> ordered;
+        ordered.reserve(order.size());
+        for (const auto& [min_state, grp] : order) ordered.push_back(grp);
+        for (uint32_t x = 0; x < ctx.sig_events.size(); ++x)
+            if (ctx.sig_events[x].estimated) update_signal(x, ordered);
+    }
+
+    out.cost.states = am.child.live_state_count();
+    out.cost.csc_pairs = csc;
+    out.cost.literals = literals;
+    out.cost.value = ctx.params.w * static_cast<double>(literals) +
+                     (1.0 - ctx.params.w) * ctx.params.csc_weight * static_cast<double>(csc);
+    return out;
+}
+
+analysis_cache derive_cache(const context& ctx, const subgraph& parent,
+                            const analysis_cache& parent_cache, const applied_move& am,
+                            const move_score& score) {
+    (void)parent;
+    const auto& base = am.child.base();
+    analysis_cache c;
+
+    // Rows: copy, zero the pruned states, splice in the disturbed rows.
+    c.rows = parent_cache.rows;
+    for (auto sv : am.removed_states.ones())
+        std::fill_n(c.rows.begin() + static_cast<std::ptrdiff_t>(ctx.words * sv), ctx.words, 0);
+    for (std::size_t k = 0; k < am.disturbed.size(); ++k)
+        std::copy_n(am.disturbed_rows.begin() + static_cast<std::ptrdiff_t>(k * ctx.words),
+                    ctx.words,
+                    c.rows.begin() + static_cast<std::ptrdiff_t>(ctx.words * am.disturbed[k]));
+
+    c.event_arcs = parent_cache.event_arcs;
+    for (auto av : am.removed_arcs.ones()) --c.event_arcs[base.arcs()[av].event];
+
+    // ER components: an event is dirty when it lost arcs, lost member states,
+    // or a removed arc connected two states of its excitation set (the
+    // component partition may split); everything else is copied verbatim.
+    std::vector<char> dirty(ctx.nevents, 0);
+    for (auto av : am.removed_arcs.ones()) dirty[base.arcs()[av].event] = 1;
+    for (std::size_t e = 0; e < ctx.nevents; ++e)
+        if (!dirty[e] && parent_cache.er_union[e].intersects(am.removed_states)) dirty[e] = 1;
+    for (auto av : am.removed_arcs.ones()) {
+        const auto& arc = base.arcs()[av];
+        for (std::size_t e = 0; e < ctx.nevents; ++e)
+            if (!dirty[e] && parent_cache.er_union[e].test(arc.src) &&
+                parent_cache.er_union[e].test(arc.dst))
+                dirty[e] = 1;
+    }
+    c.er.resize(ctx.nevents);
+    c.er_union.resize(ctx.nevents);
+    for (std::size_t e = 0; e < ctx.nevents; ++e) {
+        if (!dirty[e]) {
+            c.er[e] = parent_cache.er[e];
+            c.er_union[e] = parent_cache.er_union[e];
+            continue;
+        }
+        c.er[e] = excitation_regions(am.child, static_cast<uint16_t>(e));
+        dyn_bitset u(base.state_count());
+        for (const auto& comp : c.er[e]) u |= comp.states;
+        c.er_union[e] = std::move(u);
+    }
+
+    // CSC structure: rebuilt (one linear pass; the scorer already produced
+    // the total, which the rebuild must reproduce).
+    detail::build_groups(ctx, am.child, c.groups, c.group_of);
+    const detail::row_view rows{&ctx, &c.rows, nullptr, nullptr};
+    c.csc_pairs = 0;
+    for (auto& grp : c.groups) {
+        grp.conflict_pairs = detail::group_conflicts(ctx, grp.states, nullptr, rows);
+        c.csc_pairs += grp.conflict_pairs;
+    }
+
+    c.signals = parent_cache.signals;
+    for (const auto& u : score.updates) {
+        c.signals[u.signal].key = u.key;
+        c.signals[u.signal].literals = u.literals;
+    }
+
+    c.cost = score.cost;
+    return c;
+}
+
+}  // namespace asynth::explore

@@ -1,0 +1,77 @@
+// The move layer of the incremental engine: candidate reductions as
+// lightweight descriptors, applied and delta-scored against the parent's
+// analysis_cache instead of being re-analysed from scratch.
+//
+// apply_move() is an exact replacement for forward_reduction() on the search
+// path: it produces the identical child subgraph and accepts/rejects the
+// identical candidate set, but runs the Definition 5.1 validity battery as a
+// delta.  Only states that lost an out-arc (the "disturbed" set D) can gain a
+// deadlock or a persistency violation, and "no event disappears" is a counter
+// decrement -- so validity costs O(|removed arcs| + |D| * degree) instead of
+// a full O(states * degree^2) speed-independence sweep.
+//
+// score_move() computes the child's section-7 cost as a delta: csc_pairs is
+// adjusted only for code groups containing removed/disturbed states, and a
+// signal is re-minimised only when its 128-bit spec key differs from the
+// parent's (otherwise the parent's literal count is provably reusable).  A
+// search-global literal_memo additionally dedupes minimisations across
+// sibling candidates that converge to the same spec.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "explore/analysis_cache.hpp"
+
+namespace asynth::explore {
+
+/// One applied (and validity-checked) reduction, plus the delta bookkeeping
+/// the scorer and the survivor cache derivation need.
+struct applied_move {
+    subgraph child;             ///< identical to forward_reduction()'s result
+    hash128 sig;                ///< child.signature128() (transposition key)
+    dyn_bitset removed_arcs;    ///< live in parent, dead in child
+    dyn_bitset removed_states;  ///< pruned by the reduction
+    /// D: states live in the child that lost at least one out-arc, ascending.
+    std::vector<uint32_t> disturbed;
+    /// Child enabled-event rows of the disturbed states, `ctx.words` words
+    /// each, in `disturbed` order.
+    std::vector<uint64_t> disturbed_rows;
+    uint16_t delayed_event = 0;  ///< the reduced event a of FwdRed(a, b)
+};
+
+/// Applies FwdRed(a, b) to @p g with delta validity checks.  Returns
+/// std::nullopt exactly when forward_reduction(g, a, b) would (given that
+/// @p g itself is output-persistent, which the search maintains invariantly).
+/// @p cache is the parent node's analyses.
+[[nodiscard]] std::optional<applied_move> apply_move(const context& ctx, const subgraph& g,
+                                                     const analysis_cache& cache,
+                                                     const er_component& a,
+                                                     const er_component& b);
+
+/// Cost evaluation of one applied move.
+struct move_score {
+    cost_breakdown cost;  ///< equals estimate_cost(child, ctx.params)
+    /// Signals whose spec key changed: their fresh key + literal count.
+    /// Signals absent from this list provably kept the parent's entry.
+    struct sig_update {
+        uint32_t signal = 0;
+        sig_key key;
+        std::size_t literals = 0;
+    };
+    std::vector<sig_update> updates;
+};
+
+/// Delta-scores @p am against the parent's cache.
+[[nodiscard]] move_score score_move(const context& ctx, const subgraph& parent,
+                                    const analysis_cache& cache, const applied_move& am,
+                                    literal_memo& memo);
+
+/// Derives the child's full cache from the parent's: clean ER components and
+/// signal entries are copied, dirty ones recomputed; the CSC structure and
+/// enabled rows are rebuilt.  Exact: equals build_cache(ctx, am.child).
+[[nodiscard]] analysis_cache derive_cache(const context& ctx, const subgraph& parent,
+                                          const analysis_cache& parent_cache,
+                                          const applied_move& am, const move_score& score);
+
+}  // namespace asynth::explore

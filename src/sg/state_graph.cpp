@@ -280,6 +280,15 @@ std::size_t subgraph::signature() const noexcept {
     return h;
 }
 
+hash128 subgraph::signature128() const noexcept {
+    hash128 sig;
+    sig.hi = splitmix64(states_.hash_seeded(0x243f6a8885a308d3ULL) ^
+                        splitmix64(arcs_.hash_seeded(0x13198a2e03707344ULL)));
+    sig.lo = splitmix64(states_.hash_seeded(0xa4093822299f31d0ULL) +
+                        splitmix64(arcs_.hash_seeded(0x082efa98ec4e6c89ULL)));
+    return sig;
+}
+
 std::string write_dot(const subgraph& g) {
     std::ostringstream out;
     const auto& b = g.base();

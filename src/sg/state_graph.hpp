@@ -18,6 +18,7 @@
 
 #include "petri/stg.hpp"
 #include "util/dyn_bitset.hpp"
+#include "util/hash.hpp"
 
 namespace asynth {
 
@@ -145,6 +146,11 @@ public:
 
     /// Hash of the live masks; identifies a candidate during beam search.
     [[nodiscard]] std::size_t signature() const noexcept;
+    /// Strengthened 128-bit signature (two independently seeded hashes of the
+    /// live masks).  The exploration engine uses it as the transposition-table
+    /// key and as the deterministic beam tie-break; at 128 bits, collisions
+    /// within a search are out of reach in practice.
+    [[nodiscard]] hash128 signature128() const noexcept;
     [[nodiscard]] bool operator==(const subgraph& o) const noexcept {
         return base_ == o.base_ && states_ == o.states_ && arcs_ == o.arcs_;
     }

@@ -37,6 +37,14 @@ std::size_t dyn_bitset::count() const noexcept {
     return n;
 }
 
+std::size_t dyn_bitset::count_and_not(const dyn_bitset& o) const noexcept {
+    assert(nbits_ == o.nbits_);
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        n += static_cast<std::size_t>(std::popcount(words_[i] & ~o.words_[i]));
+    return n;
+}
+
 bool dyn_bitset::none() const noexcept {
     for (auto w : words_)
         if (w != 0) return false;
@@ -109,6 +117,16 @@ std::size_t dyn_bitset::hash() const noexcept {
     }
     h ^= nbits_;
     return static_cast<std::size_t>(h);
+}
+
+uint64_t dyn_bitset::hash_seeded(uint64_t seed) const noexcept {
+    uint64_t h = seed ^ 1469598103934665603ULL;
+    for (auto w : words_) {
+        h ^= w;
+        h *= 1099511628211ULL;
+    }
+    h ^= nbits_;
+    return h;
 }
 
 std::string dyn_bitset::to_string() const {

@@ -35,6 +35,8 @@ public:
 
     /// Number of set bits.
     [[nodiscard]] std::size_t count() const noexcept;
+    /// |this & ~o| without materialising the intersection.
+    [[nodiscard]] std::size_t count_and_not(const dyn_bitset& o) const noexcept;
     /// True if no bit is set.
     [[nodiscard]] bool none() const noexcept;
     [[nodiscard]] bool any() const noexcept { return !none(); }
@@ -64,9 +66,23 @@ public:
     [[nodiscard]] bool is_subset_of(const dyn_bitset& o) const noexcept;
 
     [[nodiscard]] std::size_t hash() const noexcept;
+    /// FNV-1a over the words starting from @p seed; two different seeds give
+    /// two (practically) independent hashes of the same content, which is how
+    /// 128-bit signatures are assembled without exposing the word array.
+    [[nodiscard]] uint64_t hash_seeded(uint64_t seed) const noexcept;
 
     /// "10110..." most-significant index last (index 0 printed first).
     [[nodiscard]] std::string to_string() const;
+
+    /// Raw 64-bit words, little-endian bit order; padding bits beyond size()
+    /// are always zero.  Exposed for word-parallel kernels (boolfn cubes).
+    [[nodiscard]] const std::vector<uint64_t>& words() const noexcept { return words_; }
+    /// Valid-bit mask of word @p w (all-ones except possibly the last word).
+    [[nodiscard]] uint64_t word_mask(std::size_t w) const noexcept {
+        if (w + 1 == words_.size() && (nbits_ & 63U) != 0)
+            return (~uint64_t{0}) >> (64 - (nbits_ & 63U));
+        return ~uint64_t{0};
+    }
 
     /// Iterate set bits: for (auto i : bits.ones()) ...
     class ones_range {

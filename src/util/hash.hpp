@@ -11,6 +11,35 @@ inline void hash_combine(std::size_t& seed, std::size_t v) noexcept {
     seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
 }
 
+/// Finaliser of the splitmix64 PRNG: a cheap, well-mixed 64 -> 64 bijection
+/// used to spread weak hashes (e.g. FNV of short bitsets) over the full word.
+inline uint64_t splitmix64(uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// A 128-bit hash value: two independently mixed 64-bit lanes.  Used where a
+/// plain std::size_t signature is too collision-prone to act as an identity
+/// (the exploration engine's transposition table and spec memo keys).
+struct hash128 {
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+    [[nodiscard]] bool operator==(const hash128&) const noexcept = default;
+    /// Strict total order (used as a deterministic sort tie-break).
+    [[nodiscard]] bool operator<(const hash128& o) const noexcept {
+        return hi != o.hi ? hi < o.hi : lo < o.lo;
+    }
+};
+
+/// Chains @p v into both lanes of @p h with different mixing constants, so the
+/// result depends on the *sequence* of combined values, not just their set.
+inline void hash128_combine(hash128& h, uint64_t v) noexcept {
+    h.hi = splitmix64(h.hi ^ v);
+    h.lo = splitmix64(h.lo + 0x6a09e667f3bcc909ULL + (v << 1 | v >> 63));
+}
+
 template <typename T>
 void hash_combine_value(std::size_t& seed, const T& v) noexcept {
     hash_combine(seed, std::hash<T>{}(v));
@@ -44,3 +73,10 @@ private:
 };
 
 }  // namespace asynth
+
+template <>
+struct std::hash<asynth::hash128> {
+    std::size_t operator()(const asynth::hash128& h) const noexcept {
+        return static_cast<std::size_t>(h.hi ^ h.lo);
+    }
+};

@@ -282,3 +282,83 @@ TEST(single_arc, dead_arc_is_noop) {
     g.kill_arc(0);
     EXPECT_FALSE(single_arc_reduction(g, 0).has_value());
 }
+
+// ---- dedicated validity battery (Definition 5.1, one condition per test) ---
+
+TEST(single_arc, out_of_range_arc_is_rejected) {
+    auto base = fig8_fragment();
+    auto g = subgraph::full(base);
+    EXPECT_FALSE(single_arc_reduction(g, static_cast<uint32_t>(base.arc_count())).has_value());
+    EXPECT_FALSE(single_arc_reduction(g, UINT32_MAX).has_value());
+}
+
+TEST(single_arc, event_disappearance_is_rejected) {
+    // A two-state toggle x+ -> y+ -> back: each event has exactly one arc, so
+    // removing any single arc erases its event (condition 3) -- and the
+    // check must fire before the deadlock check can mask it.
+    std::vector<signal_decl> sigs = {{"x", signal_kind::output, false, false},
+                                     {"y", signal_kind::output, false, false}};
+    std::vector<sg_event> events = {{0, edge::toggle}, {1, edge::toggle}};
+    auto code = [](std::initializer_list<int> set) {
+        dyn_bitset c(2);
+        for (int s : set) c.set(static_cast<std::size_t>(s));
+        return c;
+    };
+    std::vector<sg_state> states = {{marking{}, code({})}, {marking{}, code({0})}};
+    std::vector<sg_arc> arcs = {{0, 1, 0}, {1, 0, 1}};
+    auto base = state_graph::build(std::move(sigs), std::move(events), std::move(states),
+                                   std::move(arcs), 0);
+    auto g = subgraph::full(base);
+    EXPECT_FALSE(single_arc_reduction(g, 0).has_value());
+    EXPECT_FALSE(single_arc_reduction(g, 1).has_value());
+}
+
+TEST(single_arc, deadlock_introduction_is_rejected) {
+    // The x/y diamond s0 -x-> s1 -y-> s3, s0 -y-> s2 -x-> s3, s3 -z-> s4.
+    // Removing s2's x-arc makes s2 a fresh deadlock while every other
+    // condition holds: x survives via s0's arc (condition 3), s2 stays
+    // reachable through y (no pruning masks the deadlock), and the
+    // persistency check is relaxed -- so condition 4 alone must fire.
+    std::vector<signal_decl> sigs = {{"x", signal_kind::output, false, false},
+                                     {"y", signal_kind::output, false, false},
+                                     {"z", signal_kind::output, false, false}};
+    std::vector<sg_event> events = {{0, edge::plus}, {1, edge::plus}, {2, edge::plus}};
+    auto code = [](std::initializer_list<int> set) {
+        dyn_bitset c(3);
+        for (int s : set) c.set(static_cast<std::size_t>(s));
+        return c;
+    };
+    std::vector<sg_state> states = {{marking{}, code({})},
+                                    {marking{}, code({0})},
+                                    {marking{}, code({1})},
+                                    {marking{}, code({0, 1})},
+                                    {marking{}, code({0, 1, 2})}};
+    std::vector<sg_arc> arcs = {{0, 1, 0}, {0, 2, 1}, {1, 3, 1}, {2, 3, 0}, {3, 4, 2}};
+    auto base = state_graph::build(std::move(sigs), std::move(events), std::move(states),
+                                   std::move(arcs), 0);
+    auto g = subgraph::full(base);
+    fwdred_options relaxed;
+    relaxed.check_output_persistency = false;
+    EXPECT_FALSE(single_arc_reduction(g, 3, relaxed, nullptr).has_value());
+    // Cross-check the setup: the same removal with x's other arc also gone
+    // would be an event disappearance instead; here x demonstrably survives.
+    EXPECT_TRUE(g.arc_live(0));
+}
+
+TEST(single_arc, valid_removal_reports_stats_and_stays_valid) {
+    auto base = fig8_fragment();
+    auto g = subgraph::full(base);
+    uint32_t s1_arc = UINT32_MAX;
+    for (uint32_t a = 0; a < base.arc_count(); ++a)
+        if (base.arcs()[a].event == A && base.arcs()[a].src == 1) s1_arc = a;
+    ASSERT_NE(s1_arc, UINT32_MAX);
+    fwdred_stats stats;
+    auto red = single_arc_reduction(g, s1_arc, fwdred_options{}, &stats);
+    ASSERT_TRUE(red.has_value());
+    EXPECT_EQ(stats.arcs_removed, 1u);
+    EXPECT_EQ(stats.states_removed, 1u);  // s6 becomes unreachable
+    EXPECT_TRUE(check_speed_independence(*red).ok());
+    // The acyclic fragment ends in terminal states; no *new* deadlock appears.
+    EXPECT_LE(deadlock_states(*red).size(), deadlock_states(g).size());
+    EXPECT_TRUE(red->state_live(red->initial()));
+}

@@ -21,6 +21,7 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "batch/batch.hpp"
@@ -53,6 +54,10 @@ void print_usage(std::FILE* to) {
                  "\n"
                  "flow options:\n"
                  "  --strategy <s>        none | beam | full   (default: beam, the Fig. 9 search)\n"
+                 "  --engine <e>          reference | incremental beam engine (default: incremental;\n"
+                 "                        both return identical results, incremental is faster)\n"
+                 "  --search-jobs <n>     incremental-engine scoring threads; 0 = all hardware\n"
+                 "                        cores (default 1; results are identical for every value)\n"
                  "  --w <x>               cost weight W in [0,1]; 0 biases CSC, 1 logic (default 0.5)\n"
                  "  --frontier <n>        beam frontier size (default 4)\n"
                  "  --max-levels <n>      beam depth limit (default 128)\n"
@@ -70,6 +75,7 @@ void print_usage(std::FILE* to) {
                  "\n"
                  "batch subcommand (corpus sweep on a work-stealing thread pool):\n"
                  "  --jobs <n>            worker threads; 0 = all hardware cores (default 0)\n"
+                 "  --engine <e>          reference | incremental beam engine (default: incremental)\n"
                  "  --seed <n>            first seed of the generated workload (default 1)\n"
                  "  --count <n>           number of generated random specs (default 64)\n"
                  "  --size <n>            handshake calls per generated spec (default 4)\n"
@@ -103,6 +109,20 @@ void print_usage(std::FILE* to) {
     (void)end;
     out = static_cast<std::size_t>(v);
     return true;
+}
+
+/// Parses an --engine value; prints a diagnostic and returns false on typos.
+[[nodiscard]] bool parse_engine(const char* s, search_engine& out) {
+    if (std::strcmp(s, "reference") == 0) {
+        out = search_engine::reference;
+        return true;
+    }
+    if (std::strcmp(s, "incremental") == 0) {
+        out = search_engine::incremental;
+        return true;
+    }
+    std::fprintf(stderr, "asynth: unknown engine '%s' (reference | incremental)\n", s);
+    return false;
 }
 
 /// `asynth batch`: embedded corpus + generated workload through run_batch().
@@ -139,6 +159,8 @@ int run_batch_cli(int argc, char** argv) {
             return 0;
         } else if (arg == "--jobs") {
             if (!parse_size("--jobs", need_value(i, "--jobs"), opt.jobs)) return 2;
+        } else if (arg == "--engine") {
+            if (!parse_engine(need_value(i, "--engine"), opt.pipeline.search.engine)) return 2;
         } else if (arg == "--seed") {
             std::size_t v = 0;
             if (!parse_size("--seed", need_value(i, "--seed"), v)) return 2;
@@ -242,6 +264,14 @@ int main(int argc, char** argv) {
                 std::fprintf(stderr, "asynth: unknown strategy '%s'\n", v.c_str());
                 return 2;
             }
+        } else if (arg == "--engine") {
+            if (!parse_engine(need_value(i, "--engine"), opt.search.engine)) return 2;
+        } else if (arg == "--search-jobs") {
+            if (!parse_size("--search-jobs", need_value(i, "--search-jobs"), opt.search.jobs))
+                return 2;
+            // 0 = all hardware cores, mirroring the batch subcommand's --jobs.
+            if (opt.search.jobs == 0)
+                opt.search.jobs = std::max(1u, std::thread::hardware_concurrency());
         } else if (arg == "--w") {
             if (!parse_double(need_value(i, "--w"), opt.search.cost.w) || opt.search.cost.w < 0 ||
                 opt.search.cost.w > 1) {
@@ -251,6 +281,10 @@ int main(int argc, char** argv) {
         } else if (arg == "--frontier") {
             if (!parse_size("--frontier", need_value(i, "--frontier"), opt.search.size_frontier))
                 return 2;
+            if (opt.search.size_frontier == 0) {
+                std::fprintf(stderr, "asynth: --frontier must be at least 1\n");
+                return 2;
+            }
         } else if (arg == "--max-levels") {
             if (!parse_size("--max-levels", need_value(i, "--max-levels"), opt.search.max_levels))
                 return 2;

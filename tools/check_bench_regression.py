@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Guard against reduce-stage performance regressions in CI.
+
+Compares one pipeline stage's total wall-clock between a baseline
+BENCH_pipeline.json (checked in at the repo root) and a freshly generated
+report, over the *intersection* of spec names (the baseline sweeps more specs
+than the CI smoke run).
+
+Raw milliseconds are not comparable across machines, so by default the stage
+total is normalised by a calibration total -- the sum of the `expand` and
+`state-graph` stages over the same spec set.  Those stages are plain graph
+construction that no engine knob touches, so the ratio
+    stage_total / calibration_total
+cancels machine speed to first order.  Pass --absolute to compare raw
+milliseconds instead (useful when baseline and current ran on one machine).
+
+Exit code 0 = within budget, 1 = regression, 2 = usage/data error.
+
+Example (the CI bench-smoke job):
+    asynth batch --count 8 --jobs 2 --report BENCH_current.json
+    python3 tools/check_bench_regression.py \
+        --baseline BENCH_pipeline.json --current BENCH_current.json \
+        --stage reduce --max-regress-pct 25
+"""
+
+import argparse
+import json
+import sys
+
+CALIBRATION_STAGES = ("expand", "state-graph")
+
+
+def die(message):
+    """Data/usage error: exit 2 so CI can tell it apart from a regression (1)."""
+    print(message, file=sys.stderr)
+    sys.exit(2)
+
+
+def load_specs(path):
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        die(f"error: cannot read {path}: {e}")
+    specs = report.get("specs")
+    if not isinstance(specs, list) or not specs:
+        die(f"error: {path} has no specs[] (schema_version 1 expected)")
+    return {s["name"]: s for s in specs if "name" in s}
+
+
+def stage_total(specs, names, stage):
+    key = f"{stage}_ms"
+    samples = [float(specs[n][key]) for n in names if key in specs[n]]
+    if not samples:
+        # A renamed/dropped stage key must not read as a -100% "improvement":
+        # that is exactly when the gate would be defeated silently.
+        die(f"error: no {key} samples over the common specs "
+            "(schema change? rerun with a matching --stage)")
+    return sum(samples)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline", required=True, help="checked-in BENCH_pipeline.json")
+    ap.add_argument("--current", required=True, help="freshly generated report")
+    ap.add_argument("--stage", default="reduce", help="stage to guard (default: reduce)")
+    ap.add_argument("--max-regress-pct", type=float, default=25.0,
+                    help="maximum allowed regression in percent (default: 25)")
+    ap.add_argument("--absolute", action="store_true",
+                    help="compare raw milliseconds instead of calibrated ratios")
+    args = ap.parse_args()
+
+    base = load_specs(args.baseline)
+    cur = load_specs(args.current)
+    common = sorted(set(base) & set(cur))
+    if not common:
+        die("error: baseline and current share no spec names")
+
+    base_stage = stage_total(base, common, args.stage)
+    cur_stage = stage_total(cur, common, args.stage)
+    if base_stage <= 0.0:
+        die(f"error: baseline has no {args.stage}_ms samples over the common specs")
+
+    if args.absolute:
+        base_metric, cur_metric, unit = base_stage, cur_stage, "ms"
+    else:
+        base_cal = sum(stage_total(base, common, s) for s in CALIBRATION_STAGES)
+        cur_cal = sum(stage_total(cur, common, s) for s in CALIBRATION_STAGES)
+        if base_cal <= 0.0 or cur_cal <= 0.0:
+            die("error: calibration stages missing; rerun with --absolute")
+        base_metric, cur_metric = base_stage / base_cal, cur_stage / cur_cal
+        unit = f"x {'+'.join(CALIBRATION_STAGES)}"
+
+    change_pct = 100.0 * (cur_metric - base_metric) / base_metric
+    print(f"{args.stage} over {len(common)} common specs: "
+          f"baseline {base_metric:.3f} {unit}, current {cur_metric:.3f} {unit} "
+          f"({change_pct:+.1f}%)")
+
+    if change_pct > args.max_regress_pct:
+        print(f"FAIL: {args.stage} regressed {change_pct:.1f}% "
+              f"(budget {args.max_regress_pct:.0f}%)")
+        return 1
+    print(f"OK: within the {args.max_regress_pct:.0f}% budget")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

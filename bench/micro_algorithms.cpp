@@ -1,8 +1,11 @@
 // Raw algorithm throughput over the random handshake corpus: SG generation,
-// excitation regions, FwdRed, CSC checking, region-based STG recovery and
-// timed simulation.
+// excitation regions, FwdRed, CSC checking, region-based STG recovery, timed
+// simulation, and the minimiser tiers (full heuristic minimisation vs the
+// dominance filter's bound_literals).
 #include "bench_util.hpp"
+#include "boolfn/incremental_cover.hpp"
 #include "core/reduce.hpp"
+#include "logic/synthesis.hpp"
 #include "perf/timing.hpp"
 #include "regions/regions.hpp"
 
@@ -78,6 +81,44 @@ void bm_timed_simulation(benchmark::State& state) {
     }
 }
 BENCHMARK(bm_timed_simulation)->Arg(2)->Arg(4);
+
+/// Next-state specs of every estimated signal of a corpus SG -- the exact
+/// input population the search's literal estimates run on.
+std::vector<sop_spec> nextstate_specs(const state_graph& sg) {
+    auto g = subgraph::full(sg);
+    std::vector<sop_spec> specs;
+    for (uint32_t s = 0; s < sg.signals().size(); ++s) {
+        if (sg.signals()[s].kind == signal_kind::input) continue;
+        auto ns = derive_nextstate(g, s);
+        if (!ns.spec.on.empty()) specs.push_back(std::move(ns.spec));
+    }
+    return specs;
+}
+
+void bm_minimize_heuristic_tier(benchmark::State& state) {
+    auto specs = nextstate_specs(corpus_sg(static_cast<int>(state.range(0))));
+    for (auto _ : state) {
+        std::size_t lits = 0;
+        for (const auto& s : specs) lits += minimize_heuristic(s).literal_count();
+        benchmark::DoNotOptimize(lits);
+    }
+}
+BENCHMARK(bm_minimize_heuristic_tier)->Arg(2)->Arg(4);
+
+void bm_bound_literals_tier(benchmark::State& state) {
+    auto specs = nextstate_specs(corpus_sg(static_cast<int>(state.range(0))));
+    // Warm covers as the search would have them: the parent's minimised SOP.
+    std::vector<cover> warm;
+    warm.reserve(specs.size());
+    for (const auto& s : specs) warm.push_back(minimize_heuristic(s));
+    for (auto _ : state) {
+        std::size_t lits = 0;
+        for (std::size_t i = 0; i < specs.size(); ++i)
+            lits += bound_literals(specs[i], warm[i]).lower;
+        benchmark::DoNotOptimize(lits);
+    }
+}
+BENCHMARK(bm_bound_literals_tier)->Arg(2)->Arg(4);
 
 }  // namespace
 

@@ -67,6 +67,46 @@ void print_engine_comparison() {
                 incr_total > 0 ? ref_total / incr_total : 0.0);
 }
 
+void print_minimizer_comparison() {
+    std::printf("\n=== incremental engine: exact vs dominance-filtered minimizer ===\n");
+    std::printf("%-14s %8s %9s %9s %12s %12s %8s  %s\n", "spec", "states", "explored", "pruned",
+                "exact ms", "dom ms", "speedup", "agree");
+
+    std::vector<benchmarks::named_spec> specs = benchmarks::corpus_specs();
+    benchmarks::generator_options g5;
+    g5.size = 5;
+    for (auto& s : benchmarks::generate_workload(1, 3, g5)) specs.push_back(std::move(s));
+
+    double exact_total = 0, dom_total = 0;
+    for (const auto& [name, spec] : specs) {
+        auto base = state_graph::generate(expand_handshakes(spec)).graph;
+        auto g = subgraph::full(base);
+        search_options so;
+        so.cost.w = 0.5;
+        so.keep_concurrent = keepconc_events(expand_handshakes(spec));
+        so.minimizer = minimizer_mode::exact;
+        search_options dom_so = so;
+        dom_so.minimizer = minimizer_mode::incremental;
+
+        search_result exact, dom;
+        const double exact_ms =
+            run_ms([&] { return explore::reduce_concurrency_incremental(g, so); }, exact);
+        const double dom_ms =
+            run_ms([&] { return explore::reduce_concurrency_incremental(g, dom_so); }, dom);
+        exact_total += exact_ms;
+        dom_total += dom_ms;
+        const bool agree = exact.best_cost.value == dom.best_cost.value &&
+                           exact.best.live_states() == dom.best.live_states() &&
+                           exact.best.live_arcs() == dom.best.live_arcs() &&
+                           exact.explored == dom.explored;
+        std::printf("%-14s %8zu %9zu %9zu %12.2f %12.2f %7.1fx  %s\n", name.c_str(),
+                    base.state_count(), dom.explored, dom.pruned, exact_ms, dom_ms,
+                    dom_ms > 0 ? exact_ms / dom_ms : 0.0, agree ? "yes" : "MISMATCH");
+    }
+    std::printf("%-14s %8s %9s %9s %12.2f %12.2f %7.1fx\n", "total", "", "", "", exact_total,
+                dom_total, dom_total > 0 ? exact_total / dom_total : 0.0);
+}
+
 state_graph size4_sg() {
     benchmarks::generator_options go;
     go.size = 4;
@@ -108,10 +148,35 @@ void bm_reduce_incremental_par(benchmark::State& state) {
 }
 BENCHMARK(bm_reduce_incremental_par)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
+void bm_reduce_minimizer_exact(benchmark::State& state) {
+    auto base = size4_sg();
+    auto g = subgraph::full(base);
+    search_options so;
+    so.minimizer = minimizer_mode::exact;
+    for (auto _ : state) {
+        auto res = explore::reduce_concurrency_incremental(g, so);
+        benchmark::DoNotOptimize(res.best_cost.value);
+    }
+}
+BENCHMARK(bm_reduce_minimizer_exact)->Unit(benchmark::kMillisecond);
+
+void bm_reduce_minimizer_dominance(benchmark::State& state) {
+    auto base = size4_sg();
+    auto g = subgraph::full(base);
+    search_options so;
+    so.minimizer = minimizer_mode::incremental;
+    for (auto _ : state) {
+        auto res = explore::reduce_concurrency_incremental(g, so);
+        benchmark::DoNotOptimize(res.best_cost.value);
+    }
+}
+BENCHMARK(bm_reduce_minimizer_dominance)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
     print_engine_comparison();
+    print_minimizer_comparison();
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     return 0;

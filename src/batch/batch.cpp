@@ -148,8 +148,8 @@ batch_report run_batch(const std::vector<benchmarks::named_spec>& specs,
 
     stopwatch wall;
     if (!specs.empty()) {
-        work_stealing_pool pool(jobs, specs.size());
-        pool.run([&](std::size_t i) {
+        work_stealing_pool pool(jobs);
+        pool.run(specs.size(), [&](std::size_t i) {
             // run_pipeline converts stage failures into structured errors; the
             // belt-and-braces catch keeps one poisoned spec (e.g. resource
             // exhaustion outside a stage) from sinking the whole sweep.

@@ -54,7 +54,9 @@ bdd_manager::ref bdd_manager::exists(ref f, const dyn_bitset& vars) {
     }
     const uint64_t key = f;
     if (auto it = quant_cache_.find(key); it != quant_cache_.end()) return it->second;
-    const auto& n = nodes_[f];
+    // By value: the recursion allocates nodes, which can reallocate nodes_
+    // under a reference (heap-use-after-free caught by the ASan CI job).
+    const node n = nodes_[f];
     ref lo = exists(n.lo, vars);
     ref hi = exists(n.hi, vars);
     ref out = vars.test(n.var) ? apply_or(lo, hi) : make(n.var, lo, hi);
@@ -73,7 +75,8 @@ bdd_manager::ref bdd_manager::rename(ref f, const std::vector<uint32_t>& map) {
     }
     const uint64_t key = f;
     if (auto it = rename_cache_.find(key); it != rename_cache_.end()) return it->second;
-    const auto& n = nodes_[f];
+    // By value: rename() allocates via make(), which can reallocate nodes_.
+    const node n = nodes_[f];
     ref lo = rename(n.lo, map);
     ref hi = rename(n.hi, map);
     ref out = make(map.at(n.var), lo, hi);

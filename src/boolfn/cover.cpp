@@ -100,10 +100,8 @@ std::string cover::to_string(const std::vector<std::string>& names) const {
     return out;
 }
 
-namespace {
+namespace detail {
 
-/// Expands @p c by dropping literals (in @p order) while it stays disjoint
-/// from every OFF minterm.
 cube expand_against_off(cube c, const std::vector<dyn_bitset>& off,
                         const std::vector<std::size_t>& order) {
     for (std::size_t v : order) {
@@ -121,6 +119,10 @@ cube expand_against_off(cube c, const std::vector<dyn_bitset>& off,
     }
     return c;
 }
+
+}  // namespace detail
+
+namespace {
 
 /// Precomputed OFF-set geometry for the <= 64-variable fast path of minterm
 /// expansion.  Shared across every ON minterm of one minimisation.
@@ -195,11 +197,13 @@ cube expand_against_off_small(const dyn_bitset& m, std::size_t nvars, off_index&
     return out;
 }
 
-/// Greedy irredundant cover of the ON minterms by the candidate cubes:
-/// essentials first, then maximum uncovered gain.  Coverage is precomputed
-/// as one bitset of minterm indices per candidate, so every greedy round is
-/// a popcount sweep instead of re-evaluating covers(); the selection (gains,
-/// literal tie-breaks, index tie-breaks) is unchanged.
+}  // namespace
+
+namespace detail {
+
+// Coverage is precomputed as one bitset of minterm indices per candidate, so
+// every greedy round is a popcount sweep instead of re-evaluating covers();
+// the selection (gains, literal tie-breaks, index tie-breaks) is unchanged.
 std::vector<cube> greedy_cover(const std::vector<cube>& candidates,
                                const std::vector<dyn_bitset>& on) {
     std::vector<dyn_bitset> cand_bits(candidates.size());
@@ -251,7 +255,7 @@ std::vector<cube> greedy_cover(const std::vector<cube>& candidates,
     return out;
 }
 
-}  // namespace
+}  // namespace detail
 
 cover minimize_heuristic(const sop_spec& spec, unsigned passes) {
     cover best;
@@ -278,12 +282,12 @@ cover minimize_heuristic(const sop_spec& spec, unsigned passes) {
         std::unordered_set<std::size_t> seen;
         for (const auto& m : spec.on) {
             cube c = small ? expand_against_off_small(m, spec.nvars, *ix, order)
-                           : expand_against_off(cube::minterm(m), spec.off, order);
+                           : detail::expand_against_off(cube::minterm(m), spec.off, order);
             if (seen.insert(c.hash()).second) expanded.push_back(std::move(c));
         }
         cover candidate;
         candidate.nvars = spec.nvars;
-        candidate.cubes = greedy_cover(expanded, spec.on);
+        candidate.cubes = detail::greedy_cover(expanded, spec.on);
         const std::size_t cost = candidate.cubes.size() * 1000 + candidate.literal_count();
         if (cost < best_cost) {
             best_cost = cost;

@@ -100,4 +100,24 @@ struct exact_limits {
 /// True iff the cover includes every ON minterm and excludes every OFF one.
 [[nodiscard]] bool verify_cover(const cover& c, const sop_spec& spec);
 
+// ---- minimiser building blocks (shared with boolfn/incremental_cover) ------
+// The espresso-flavoured passes are built from two kernels that the
+// incremental cover engine reuses for its targeted repairs; they live here so
+// the repair path cannot drift from the minimiser's semantics.
+
+namespace detail {
+
+/// Expands @p c by dropping literals (in @p order) while it stays disjoint
+/// from every OFF minterm.
+[[nodiscard]] cube expand_against_off(cube c, const std::vector<dyn_bitset>& off,
+                                      const std::vector<std::size_t>& order);
+
+/// Greedy irredundant cover of the ON minterms by the candidate cubes:
+/// essentials first, then maximum uncovered gain (ties towards fewer
+/// literals, then lower index).
+[[nodiscard]] std::vector<cube> greedy_cover(const std::vector<cube>& candidates,
+                                             const std::vector<dyn_bitset>& on);
+
+}  // namespace detail
+
 }  // namespace asynth

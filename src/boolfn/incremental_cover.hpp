@@ -1,0 +1,96 @@
+// Incremental two-level covers: restrict-and-repair maintenance of a
+// minimised cover under a drifting ON/OFF specification, plus cheap sound
+// literal bounds that avoid running the minimiser at all.
+//
+// The Fig. 9 search re-minimises a signal whenever a candidate reduction
+// changes its next-state spec, and that exact re-minimisation is the
+// wall-clock floor of the whole exploration (ROADMAP: "reduce remains
+// minimisation-bound at scale").  The cost function (paper Def. 5.2) only
+// needs a *ranking* of candidates, though, so most candidates never need an
+// exact literal count -- a bound that proves "this move cannot beat the
+// beam's admission cost" suffices.  This header provides the two tools the
+// dominance filter in src/explore is built from:
+//
+//  * incremental_cover -- a mutable cube set that follows the spec: rebase()
+//    keeps every cube still disjoint from the new OFF-set, repairs the
+//    violated ones by narrowing (targeted literal re-insertion), expands
+//    fresh cubes only for ON minterms that fell out of coverage, and finishes
+//    with the minimiser's own greedy irredundant pass.  The repaired cover is
+//    a *valid* cover of the new spec, so its literal count is a sound upper
+//    bound on the optimum -- typically within a literal or two of a
+//    from-scratch minimisation at a fraction of the cost.
+//
+//  * bound_literals() -- sound lower/upper bounds on the minimum literal
+//    count of ANY valid cover.  The lower bound is a forced-literal clique
+//    argument: an OFF minterm at Hamming distance 1 from an ON minterm m
+//    forces a specific literal into every cube covering m, and ON minterms
+//    whose forced literals disagree can never share a cube, so a greedy
+//    clique of pairwise-incompatible ON minterms yields a per-cube literal
+//    sum no cover can beat.  Cost is O(|ON| * |OFF| + |ON|^2) word
+//    operations -- no expansion, no covering.
+//
+// Soundness contract (pinned by tests/test_boolfn.cpp against a brute-force
+// literal-optimal cover): lower <= L_min <= upper, where L_min is the
+// minimum literal count over all covers of the spec.  Note the heuristic
+// minimiser may return MORE than `upper` literals (it optimises cube count
+// first); the dominance filter therefore only ever prunes on the lower
+// bound, never on the upper (see src/explore/engine.cpp).
+#pragma once
+
+#include "boolfn/cover.hpp"
+
+namespace asynth {
+
+/// Sound bounds on the minimum SOP literal count over all covers of a spec.
+struct literal_bounds {
+    std::size_t lower = 0;  ///< no valid cover has fewer literals
+    std::size_t upper = 0;  ///< some valid cover has exactly this many
+};
+
+/// What one rebase() pass did (observability + tests).
+struct repair_stats {
+    std::size_t kept = 0;      ///< cubes still valid against the new OFF-set
+    std::size_t repaired = 0;  ///< violated cubes fixed by narrowing
+    std::size_t dropped = 0;   ///< violated cubes no narrowing could fix
+    std::size_t added = 0;     ///< fresh expansions for uncovered ON minterms
+};
+
+/// A mutable cover that follows a drifting specification.  Seed it with a
+/// minimised cover, then rebase() it against each new spec; cubes() is always
+/// a valid cover of the most recent spec (verify_cover()-clean).
+class incremental_cover {
+public:
+    incremental_cover() = default;
+    /// Adopts @p seed, assumed valid for the spec of the first rebase()'s
+    /// predecessor (an invalid seed is handled too -- offending cubes are
+    /// simply repaired or dropped on the next rebase()).
+    explicit incremental_cover(cover seed) : c_(std::move(seed)) {}
+
+    /// Restrict-and-repair against @p spec:
+    ///  1. cubes disjoint from every OFF minterm are kept verbatim;
+    ///  2. violated cubes are narrowed -- for each OFF minterm hit, set a
+    ///     don't-care variable to a literal every covered ON minterm agrees
+    ///     on -- and dropped only when no such variable exists;
+    ///  3. ON minterms left uncovered get a fresh expand-against-OFF cube;
+    ///  4. one greedy irredundant pass (the minimiser's own) drops cubes made
+    ///     redundant by the repairs.
+    repair_stats rebase(const sop_spec& spec);
+
+    [[nodiscard]] const cover& cubes() const noexcept { return c_; }
+    [[nodiscard]] std::size_t literal_count() const { return c_.literal_count(); }
+
+private:
+    cover c_;
+};
+
+/// Cold-start bounds: the lower bound is the forced-literal clique argument
+/// described above; the upper bound is the trivial minterm cover |ON|*nvars
+/// (every ON minterm as its own full cube).
+[[nodiscard]] literal_bounds bound_literals(const sop_spec& spec);
+
+/// Warm-start bounds: @p warm is a cover that was valid for a *previous*
+/// spec; it is restrict-and-repaired against @p spec to obtain a much
+/// tighter upper bound.  The lower bound is identical to the cold variant.
+[[nodiscard]] literal_bounds bound_literals(const sop_spec& spec, const cover& warm);
+
+}  // namespace asynth

@@ -32,6 +32,23 @@ enum class search_engine : uint8_t {
     incremental,
 };
 
+/// How the incremental engine obtains the literal term of Def. 5.2 when
+/// scoring candidates.  Both modes produce bit-identical search results --
+/// the dominance filter only ever discards candidates it can *prove* (via a
+/// sound lower bound) cannot enter the beam; every admitted candidate is
+/// scored by the same heuristic minimisation either way.  The reference
+/// engine always scores exactly and ignores this knob.
+enum class minimizer_mode : uint8_t {
+    /// Every validity-checked candidate is exactly minimised (the oracle the
+    /// dominance path is tested against).
+    exact,
+    /// Candidates are bounded first (boolfn/incremental_cover): the beam-width
+    /// best upper bounds are exactly scored to establish the admission cost,
+    /// and candidates whose optimistic bound is strictly worse are discarded
+    /// without ever running the minimiser.
+    incremental,
+};
+
 /// Knobs of the Fig. 9 exploration.
 struct search_options {
     /// Beam width: candidates kept per level (the paper's size_frontier).
@@ -45,6 +62,9 @@ struct search_options {
     std::vector<std::pair<sg_event, sg_event>> keep_concurrent;
     /// Engine selection for the beam strategy (CLI: --engine).
     search_engine engine = search_engine::incremental;
+    /// Candidate-scoring strategy of the incremental engine (CLI:
+    /// --minimizer).  Results are identical; only wall-clock changes.
+    minimizer_mode minimizer = minimizer_mode::incremental;
     /// Worker threads for the incremental engine's frontier expander; <= 1
     /// runs serially.  Results are identical for every value (the expander
     /// merges in a deterministic order); only wall-clock changes.
@@ -58,6 +78,13 @@ struct search_result {
     std::size_t explored = 0;       ///< distinct SGs evaluated
     std::size_t levels = 0;         ///< exploration depth reached
     std::vector<double> level_best; ///< best cost per level (trace)
+    /// Candidates the dominance filter discarded without exact minimisation
+    /// (counted inside `explored`; always 0 for minimizer_mode::exact and
+    /// for the reference engine).  Purely observability -- two runs differing
+    /// only in `minimizer` return identical results apart from this field,
+    /// and with jobs > 1 this one field may vary run-to-run (benign memo
+    /// races shift how much work the filter skips, never what is selected).
+    std::size_t pruned = 0;
 };
 
 /// Runs the Fig. 9 exploration from @p initial.

@@ -145,11 +145,13 @@ sop_spec assemble_spec(const context& ctx, uint32_t signal,
 std::size_t minimise_literals(const context& ctx, const sop_spec& spec, const sig_key& key,
                               literal_memo* memo) {
     if (memo) {
-        if (auto hit = memo->find(key)) return *hit;
+        if (auto hit = memo->find(key); hit && hit->literals) return *hit->literals;
     }
-    const std::size_t literals =
-        minimize_heuristic(spec, ctx.params.minimize_passes).literal_count();
-    if (memo) memo->insert(key, literals);
+    cover c = minimize_heuristic(spec, ctx.params.minimize_passes);
+    const std::size_t literals = c.literal_count();
+    // The cover is stored too: it seeds the restrict-and-repair upper bounds
+    // of the dominance filter (move.cpp) for child specs of this key.
+    if (memo) memo->insert_exact(key, literals, std::make_shared<const cover>(std::move(c)));
     return literals;
 }
 
@@ -191,8 +193,9 @@ analysis_cache build_cache(const context& ctx, const subgraph& g, literal_memo* 
         entry.estimated = ctx.sig_events[s].estimated;
         if (!entry.estimated) continue;
         entry.key = detail::signal_key(ctx, s, ordered, nullptr, rows);
-        if (auto hit = memo ? memo->find(entry.key) : std::nullopt)
-            entry.literals = *hit;
+        auto hit = memo ? memo->find(entry.key) : std::nullopt;
+        if (hit && hit->literals)
+            entry.literals = *hit->literals;
         else
             entry.literals = detail::minimise_literals(
                 ctx, detail::assemble_spec(ctx, s, ordered, nullptr, rows), entry.key, memo);

@@ -29,12 +29,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "boolfn/cover.hpp"
+#include "boolfn/incremental_cover.hpp"
 #include "core/cost.hpp"
 #include "sg/analysis.hpp"
 #include "sg/state_graph.hpp"
@@ -106,20 +108,43 @@ struct analysis_cache {
 
 [[nodiscard]] context make_context(const state_graph& base, const cost_params& params);
 
-/// Search-global memo: spec identity -> minimised literal count.  Thread-safe
-/// (the parallel expander scores moves concurrently); the stored value is a
-/// pure function of the key, so lookup order cannot affect results.
+/// One memoised fact about a spec key.  Entries are monotone: a key starts
+/// empty, may gain cheap `bounds` from a dominance pass, and is upgraded to
+/// `literals` + `cubes` the first time the exact path minimises it.  Every
+/// stored value is a pure function of the key, so lookup/upgrade order cannot
+/// affect search results.
+struct memo_entry {
+    /// Exact heuristic literal count, once the key has been minimised.
+    std::optional<std::size_t> literals;
+    /// The minimised cover itself -- the warm-start parent for future
+    /// restrict-and-repair bounds.  Non-null iff `literals` is set.
+    std::shared_ptr<const cover> cubes;
+    /// Cheap lower/upper bounds from boolfn/bound_literals, when a dominance
+    /// pass bounded the key before (or instead of) minimising it.
+    std::optional<literal_bounds> bounds;
+};
+
+/// Search-global memo: spec identity -> literal facts (exact counts, covers,
+/// dominance bounds).  Thread-safe (the parallel expander scores moves
+/// concurrently).
 class literal_memo {
 public:
-    [[nodiscard]] std::optional<std::size_t> find(const sig_key& key) {
+    [[nodiscard]] std::optional<memo_entry> find(const sig_key& key) {
         std::lock_guard<std::mutex> lock(m_);
         auto it = map_.find(combine(key));
         if (it == map_.end()) return std::nullopt;
         return it->second;
     }
-    void insert(const sig_key& key, std::size_t literals) {
+    void insert_exact(const sig_key& key, std::size_t literals,
+                      std::shared_ptr<const cover> cubes) {
         std::lock_guard<std::mutex> lock(m_);
-        map_.emplace(combine(key), literals);
+        auto& e = map_[combine(key)];
+        e.literals = literals;
+        e.cubes = std::move(cubes);
+    }
+    void insert_bounds(const sig_key& key, literal_bounds bounds) {
+        std::lock_guard<std::mutex> lock(m_);
+        map_[combine(key)].bounds = bounds;
     }
 
 private:
@@ -129,7 +154,7 @@ private:
         hash128_combine(k, key.off.lo);
         return k;
     }
-    std::unordered_map<hash128, std::size_t> map_;
+    std::unordered_map<hash128, memo_entry> map_;
     std::mutex m_;
 };
 

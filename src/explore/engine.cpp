@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <unordered_set>
 
 #include "batch/pool.hpp"
@@ -26,19 +27,25 @@ struct move_ref {
     const er_component* b = nullptr;
 };
 
-/// Runs body(0..n-1), on the work-stealing pool when jobs > 1.  Each body
-/// writes only its own slot, so results are identical for every job count.
-/// Tiny task batches (e.g. the <= size_frontier survivor derivations) stay
-/// serial: spawning a thread costs more than a handful of move scores.
+/// Runs body(0..n-1), on the search's persistent work-stealing pool when one
+/// exists.  Each body writes only its own slot, so results are identical for
+/// every job count.  @p min_parallel sets when a batch is worth waking the
+/// pooled workers for: cheap ~10us tasks (bounds, applies) stay serial below
+/// 16, while exact-minimisation batches (milliseconds per task) parallelise
+/// from 2 tasks up.
 template <typename Body>
-void run_tasks(std::size_t jobs, std::size_t n, Body&& body) {
-    if (jobs <= 1 || n < 16) {
+void run_tasks(batch::work_stealing_pool* pool, std::size_t n, Body&& body,
+               std::size_t min_parallel = 16) {
+    if (!pool || n < min_parallel) {
         for (std::size_t i = 0; i < n; ++i) body(i);
         return;
     }
-    batch::work_stealing_pool pool(std::min(jobs, n), n);
-    pool.run(body);
+    pool->run(n, body);
 }
+
+/// Exact-scoring batches parallelise aggressively: one finish_score can run a
+/// full heuristic minimisation, which dwarfs the pool wake-up cost.
+constexpr std::size_t kParallelExact = 2;
 
 }  // namespace
 
@@ -59,6 +66,13 @@ search_result reduce_concurrency_incremental(const subgraph& initial,
     const state_graph& base = initial.base();
     const context ctx = make_context(base, opt.cost);
     literal_memo memo;
+
+    // One persistent pool per search (ROADMAP item): the per-level phases
+    // dispatch several small batches each, and constructing a fresh pool per
+    // batch spent more time spawning threads than scoring moves.
+    std::optional<batch::work_stealing_pool> pool_storage;
+    if (opt.jobs > 1) pool_storage.emplace(opt.jobs);
+    batch::work_stealing_pool* pool = pool_storage ? &*pool_storage : nullptr;
 
     search_result res;
     res.best = initial;
@@ -96,7 +110,7 @@ search_result reduce_concurrency_incremental(const subgraph& initial,
 
         // ---- phase 1: apply + validity-check every move (parallel).
         std::vector<std::optional<applied_move>> applied(moves.size());
-        run_tasks(opt.jobs, moves.size(), [&](std::size_t i) {
+        run_tasks(pool, moves.size(), [&](std::size_t i) {
             const move_ref& m = moves[i];
             applied[i] = apply_move(ctx, frontier[m.node].g, frontier[m.node].cache, *m.a, *m.b);
             if (applied[i] && !opt.keep_concurrent.empty() &&
@@ -117,17 +131,112 @@ search_result reduce_concurrency_incremental(const subgraph& initial,
         if (unique.empty()) break;
 
         // ---- phase 3: delta-score the survivors of dedupe (parallel).
+        // `admitted` lists the candidates holding an exact score afterwards;
+        // with the exact minimizer that is everyone, with the incremental
+        // minimizer the dominance filter discards candidates that provably
+        // cannot enter the beam without ever minimising them.
         std::vector<move_score> scores(unique.size());
-        run_tasks(opt.jobs, unique.size(), [&](std::size_t k) {
-            const move_ref& m = moves[unique[k]];
-            scores[k] = score_move(ctx, frontier[m.node].g, frontier[m.node].cache,
-                                   *applied[unique[k]], memo);
-        });
+        std::vector<uint32_t> admitted;
+        if (opt.minimizer == minimizer_mode::exact) {
+            run_tasks(pool, unique.size(), [&](std::size_t k) {
+                const move_ref& m = moves[unique[k]];
+                scores[k] = score_move(ctx, frontier[m.node].g, frontier[m.node].cache,
+                                       *applied[unique[k]], memo);
+            });
+            admitted.resize(unique.size());
+            std::iota(admitted.begin(), admitted.end(), 0u);
+        } else {
+            // ---- phase 3a: bound every candidate (parallel, cheap).
+            std::vector<move_eval> evals(unique.size());
+            run_tasks(pool, unique.size(), [&](std::size_t k) {
+                const move_ref& m = moves[unique[k]];
+                evals[k] = bound_move(ctx, frontier[m.node].g, frontier[m.node].cache,
+                                      *applied[unique[k]], memo);
+            });
+
+            // ---- phase 3b: exactly score the beam-width most promising
+            // candidates (smallest upper bound, signature tie-break) to
+            // establish the admission cost.  Seeding by the upper bound only
+            // affects how tight the threshold is, never which candidates the
+            // beam finally selects.
+            std::vector<uint32_t> by_hi(unique.size());
+            std::iota(by_hi.begin(), by_hi.end(), 0u);
+            std::stable_sort(by_hi.begin(), by_hi.end(), [&](uint32_t x, uint32_t y) {
+                if (evals[x].value_hi != evals[y].value_hi)
+                    return evals[x].value_hi < evals[y].value_hi;
+                return applied[unique[x]]->sig < applied[unique[y]]->sig;
+            });
+            const std::size_t nseed = std::min(by_hi.size(), opt.size_frontier);
+            run_tasks(
+                pool, nseed,
+                [&](std::size_t i) {
+                    const uint32_t k = by_hi[i];
+                    scores[k] = finish_score(ctx, frontier[moves[unique[k]].node].cache,
+                                             *applied[unique[k]], std::move(evals[k]), memo);
+                },
+                kParallelExact);
+            admitted.assign(by_hi.begin(), by_hi.begin() + static_cast<std::ptrdiff_t>(nseed));
+
+            // ---- phase 3c: dominance prune.  A candidate whose optimistic
+            // cost is strictly worse than `size_frontier` exact scores cannot
+            // be among the `size_frontier` best (ties keep their signature
+            // chance, so only strict inequality prunes).  The remaining
+            // candidates are visited in ascending optimistic cost and scored
+            // in chunks; each chunk tightens the admission cost (the
+            // size_frontier-th smallest exact value so far), so the first
+            // candidate above it ends the level -- everything after is
+            // provably out (the list is sorted by the very bound we prune
+            // on).  The chunk size is a constant, but with jobs > 1 the
+            // exactly-scored set (and so `res.pruned`) can still vary
+            // run-to-run: sibling moves race benignly to bound a shared key
+            // from different warm covers, and the last writer's upper bound
+            // seeds the sort.  The *selection* never varies -- pruning only
+            // ever consults sound lower bounds against exact scores.
+            std::vector<uint32_t> rest(by_hi.begin() + static_cast<std::ptrdiff_t>(nseed),
+                                       by_hi.end());
+            std::stable_sort(rest.begin(), rest.end(), [&](uint32_t x, uint32_t y) {
+                if (evals[x].value_lo != evals[y].value_lo)
+                    return evals[x].value_lo < evals[y].value_lo;
+                return applied[unique[x]]->sig < applied[unique[y]]->sig;
+            });
+            std::vector<double> kbest;  // ascending, capped at size_frontier
+            for (uint32_t k : admitted) kbest.push_back(scores[k].cost.value);
+            std::sort(kbest.begin(), kbest.end());
+            constexpr std::size_t chunk_cap = 16;
+            std::vector<uint32_t> chunk;
+            std::size_t i = 0;
+            while (i < rest.size() && evals[rest[i]].value_lo <= kbest.back()) {
+                chunk.clear();
+                while (i < rest.size() && chunk.size() < chunk_cap &&
+                       evals[rest[i]].value_lo <= kbest.back())
+                    chunk.push_back(rest[i++]);
+                run_tasks(
+                    pool, chunk.size(),
+                    [&](std::size_t j) {
+                        const uint32_t k = chunk[j];
+                        scores[k] = finish_score(ctx, frontier[moves[unique[k]].node].cache,
+                                                 *applied[unique[k]], std::move(evals[k]), memo);
+                    },
+                    kParallelExact);
+                for (uint32_t k : chunk) {
+                    const double v = scores[k].cost.value;
+                    if (v < kbest.back()) {
+                        kbest.insert(std::lower_bound(kbest.begin(), kbest.end(), v), v);
+                        kbest.pop_back();
+                    }
+                }
+                admitted.insert(admitted.end(), chunk.begin(), chunk.end());
+            }
+            std::sort(admitted.begin(), admitted.end());
+            res.pruned += unique.size() - admitted.size();
+        }
         res.explored += unique.size();
 
         // ---- phase 4: deterministic beam selection -- cost, then signature.
-        std::vector<uint32_t> order(unique.size());
-        std::iota(order.begin(), order.end(), 0u);
+        // Restricting the sort to the admitted set is exact: every pruned
+        // candidate was proved strictly worse than `size_frontier` admitted
+        // ones, so the selected prefix is identical to the full sort's.
+        std::vector<uint32_t> order = admitted;
         std::stable_sort(order.begin(), order.end(), [&](uint32_t x, uint32_t y) {
             if (scores[x].cost.value != scores[y].cost.value)
                 return scores[x].cost.value < scores[y].cost.value;
@@ -143,14 +252,18 @@ search_result reduce_concurrency_incremental(const subgraph& initial,
         }
 
         // ---- phase 5: survivors derive their caches and become the frontier.
+        // Beam-width batches of ms-scale derivations: parallel from 2 up.
         std::vector<node> next(order.size());
-        run_tasks(opt.jobs, order.size(), [&](std::size_t k) {
-            const move_ref& m = moves[unique[order[k]]];
-            const applied_move& am = *applied[unique[order[k]]];
-            next[k].g = am.child;
-            next[k].cache = derive_cache(ctx, frontier[m.node].g, frontier[m.node].cache, am,
-                                         scores[order[k]]);
-        });
+        run_tasks(
+            pool, order.size(),
+            [&](std::size_t k) {
+                const move_ref& m = moves[unique[order[k]]];
+                const applied_move& am = *applied[unique[order[k]]];
+                next[k].g = am.child;
+                next[k].cache = derive_cache(ctx, frontier[m.node].g, frontier[m.node].cache, am,
+                                             scores[order[k]]);
+            },
+            kParallelExact);
         frontier = std::move(next);
     }
     return res;

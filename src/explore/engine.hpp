@@ -11,11 +11,18 @@
 //  * candidate moves are applied with delta validity checks and delta-scored
 //    against the parent's cache (move.hpp) -- a candidate that prunes no
 //    state re-minimises at most one signal instead of all of them;
+//  * with search_options::minimizer == incremental (the default) candidates
+//    are dominance-filtered: cheap literal bounds (boolfn/incremental_cover)
+//    run first, and a candidate provably unable to enter the beam is
+//    discarded without exact minimisation -- selection stays bit-identical
+//    to the exact path because only strictly-dominated candidates are
+//    dropped (see the admission logic in engine.cpp);
 //  * a 128-bit transposition table replaces the collision-prone
 //    std::size_t `explored` set;
 //  * with search_options::jobs > 1 the per-level apply/score work fans out
-//    over the batch work-stealing pool; the expander merges in enumeration
-//    order, so results are independent of the job count.
+//    over one persistent batch work-stealing pool per search; the expander
+//    merges in enumeration order, so results are independent of the job
+//    count.
 #pragma once
 
 #include "core/search.hpp"

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdint>
 
 #include "core/reduce.hpp"
 
@@ -115,14 +116,12 @@ std::optional<applied_move> apply_move(const context& ctx, const subgraph& g,
     return am;
 }
 
-move_score score_move(const context& ctx, const subgraph& parent, const analysis_cache& cache,
-                      const applied_move& am, literal_memo& memo) {
-    (void)parent;
-    move_score out;
-    const detail::row_view child_rows{&ctx, &cache.rows, &am.disturbed, &am.disturbed_rows};
+namespace {
 
-    // ---- Delta(csc_pairs): only code groups containing a removed or
-    // disturbed state can change their conflict-pair count.
+/// Delta(csc_pairs): only code groups containing a removed or disturbed
+/// state can change their conflict-pair count.
+std::size_t delta_csc_pairs(const context& ctx, const analysis_cache& cache,
+                            const applied_move& am, const detail::row_view& child_rows) {
     std::vector<uint32_t> affected;
     for (auto sv : am.removed_states.ones()) affected.push_back(cache.group_of[sv]);
     for (uint32_t d : am.disturbed) affected.push_back(cache.group_of[d]);
@@ -135,16 +134,94 @@ move_score score_move(const context& ctx, const subgraph& parent, const analysis
         csc += detail::group_conflicts(ctx, cache.groups[gi].states, &am.removed_states,
                                        child_rows);
     }
+    return csc;
+}
+
+/// The child's code-group order (ascending minimum surviving member -- the
+/// derive_nextstate()/check_csc() first-encounter order).  Deterministic in
+/// (cache, am), so the bounder and the finisher rebuild the identical order.
+std::vector<const code_group*> child_group_order(const analysis_cache& cache,
+                                                 const applied_move& am) {
+    std::vector<const code_group*> ordered;
+    if (am.removed_states.none()) {
+        // No pruning: the code groups are unchanged.
+        ordered.reserve(cache.groups.size());
+        for (const auto& grp : cache.groups) ordered.push_back(&grp);
+        return ordered;
+    }
+    // Pruning may drop codes (larger DC-set) anywhere and can reorder the
+    // first-encounter sequence; rebuild it from the surviving members.
+    std::vector<std::pair<uint32_t, const code_group*>> order;
+    order.reserve(cache.groups.size());
+    for (const auto& grp : cache.groups) {
+        for (uint32_t s : grp.states) {
+            if (!am.removed_states.test(s)) {
+                order.emplace_back(s, &grp);
+                break;
+            }
+        }
+    }
+    std::sort(order.begin(), order.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    ordered.reserve(order.size());
+    for (const auto& [min_state, grp] : order) ordered.push_back(grp);
+    return ordered;
+}
+
+/// The canonical changed-signal enumeration both the exact scorer and the
+/// dominance bounder share (one source, so their orders cannot drift): calls
+/// visit(signal, key) for every estimated signal whose spec key differs from
+/// the parent's.  @p ordered is child_group_order(cache, am).
+template <typename Visit>
+void for_each_changed_signal(const context& ctx, const analysis_cache& cache,
+                             const applied_move& am, const detail::row_view& child_rows,
+                             const std::vector<const code_group*>& ordered, Visit&& visit) {
+    auto visit_if_changed = [&](uint32_t x) {
+        const sig_key key = detail::signal_key(ctx, x, ordered, &am.removed_states, child_rows);
+        if (key == cache.signals[x].key) return;  // identical spec: reuse count
+        visit(x, key);
+    };
+
+    if (am.removed_states.none()) {
+        // Only the delayed event's signal changed its excitation anywhere.
+        visit_if_changed(static_cast<uint32_t>(ctx.base->events()[am.delayed_event].signal));
+    } else {
+        // Pruning can change any signal's spec: re-key every estimated one.
+        for (uint32_t x = 0; x < ctx.sig_events.size(); ++x)
+            if (ctx.sig_events[x].estimated) visit_if_changed(x);
+    }
+}
+
+cost_breakdown combine_cost(const context& ctx, std::size_t states, std::size_t csc,
+                            std::size_t literals) {
+    cost_breakdown c;
+    c.states = states;
+    c.csc_pairs = csc;
+    c.literals = literals;
+    c.value = ctx.params.w * static_cast<double>(literals) +
+              (1.0 - ctx.params.w) * ctx.params.csc_weight * static_cast<double>(csc);
+    return c;
+}
+
+}  // namespace
+
+move_score score_move(const context& ctx, const subgraph& parent, const analysis_cache& cache,
+                      const applied_move& am, literal_memo& memo) {
+    (void)parent;
+    move_score out;
+    const detail::row_view child_rows{&ctx, &cache.rows, &am.disturbed, &am.disturbed_rows};
+
+    const std::size_t csc = delta_csc_pairs(ctx, cache, am, child_rows);
 
     // ---- Delta(literals): recompute a signal's spec key only when the move
     // can have changed it, re-minimise only when the key actually differs.
     std::size_t literals = cache.cost.literals;
-    auto update_signal = [&](uint32_t x, const std::vector<const code_group*>& ordered) {
-        const sig_key key = detail::signal_key(ctx, x, ordered, &am.removed_states, child_rows);
-        if (key == cache.signals[x].key) return;  // identical spec: reuse count
+    const std::vector<const code_group*> ordered = child_group_order(cache, am);
+    for_each_changed_signal(ctx, cache, am, child_rows, ordered, [&](uint32_t x,
+                                                                     const sig_key& key) {
         std::size_t lits;
-        if (auto hit = memo.find(key)) {
-            lits = *hit;
+        if (auto hit = memo.find(key); hit && hit->literals) {
+            lits = *hit->literals;
         } else {
             lits = detail::minimise_literals(
                 ctx, detail::assemble_spec(ctx, x, ordered, &am.removed_states, child_rows), key,
@@ -153,45 +230,92 @@ move_score score_move(const context& ctx, const subgraph& parent, const analysis
         literals -= cache.signals[x].literals;
         literals += lits;
         out.updates.push_back({x, key, lits});
-    };
+    });
 
-    if (am.removed_states.none()) {
-        // No pruning: the code groups are unchanged and only the delayed
-        // event's signal changed its excitation anywhere.
-        std::vector<const code_group*> ordered;
-        ordered.reserve(cache.groups.size());
-        for (const auto& grp : cache.groups) ordered.push_back(&grp);
-        const auto sig =
-            static_cast<uint32_t>(ctx.base->events()[am.delayed_event].signal);
-        update_signal(sig, ordered);
-    } else {
-        // Pruning may drop codes (larger DC-set) anywhere and can reorder the
-        // first-encounter sequence; rebuild the child's group order (ascending
-        // minimum surviving member) and re-key every estimated signal.
-        std::vector<std::pair<uint32_t, const code_group*>> order;
-        order.reserve(cache.groups.size());
-        for (const auto& grp : cache.groups) {
-            for (uint32_t s : grp.states) {
-                if (!am.removed_states.test(s)) {
-                    order.emplace_back(s, &grp);
-                    break;
-                }
+    out.cost = combine_cost(ctx, am.child.live_state_count(), csc, literals);
+    return out;
+}
+
+move_eval bound_move(const context& ctx, const subgraph& parent, const analysis_cache& cache,
+                     const applied_move& am, literal_memo& memo) {
+    (void)parent;
+    move_eval ev;
+    const detail::row_view child_rows{&ctx, &cache.rows, &am.disturbed, &am.disturbed_rows};
+
+    ev.csc = delta_csc_pairs(ctx, cache, am, child_rows);
+    ev.states = am.child.live_state_count();
+
+    // Bracketed literal delta.  Signed accumulation: an intermediate sum may
+    // dip below zero even though the final total cannot.
+    auto lo = static_cast<std::int64_t>(cache.cost.literals);
+    auto hi = lo;
+    const std::vector<const code_group*> ordered = child_group_order(cache, am);
+    for_each_changed_signal(ctx, cache, am, child_rows, ordered, [&](uint32_t x,
+                                                                     const sig_key& key) {
+        move_eval::changed_signal ch;
+        ch.signal = x;
+        ch.key = key;
+        const auto cached = static_cast<std::int64_t>(cache.signals[x].literals);
+        if (auto hit = memo.find(key); hit && hit->literals) {
+            ch.resolved = true;
+            ch.literals = *hit->literals;
+            lo += static_cast<std::int64_t>(ch.literals) - cached;
+            hi += static_cast<std::int64_t>(ch.literals) - cached;
+        } else {
+            if (hit && hit->bounds) {
+                ch.bounds = *hit->bounds;  // a sibling move bounded this key
+            } else {
+                // First sight of this key anywhere: assemble its spec once
+                // and bound it, warm-starting the upper bound on the parent's
+                // minimised cover for this signal (always memoised when the
+                // engine drives us).
+                const sop_spec spec =
+                    detail::assemble_spec(ctx, x, ordered, &am.removed_states, child_rows);
+                std::shared_ptr<const cover> warm;
+                if (auto parent_hit = memo.find(cache.signals[x].key);
+                    parent_hit && parent_hit->cubes)
+                    warm = parent_hit->cubes;
+                ch.bounds = warm ? bound_literals(spec, *warm) : bound_literals(spec);
+                memo.insert_bounds(key, ch.bounds);
             }
+            lo += static_cast<std::int64_t>(ch.bounds.lower) - cached;
+            hi += static_cast<std::int64_t>(ch.bounds.upper) - cached;
         }
-        std::sort(order.begin(), order.end(),
-                  [](const auto& x, const auto& y) { return x.first < y.first; });
-        std::vector<const code_group*> ordered;
-        ordered.reserve(order.size());
-        for (const auto& [min_state, grp] : order) ordered.push_back(grp);
-        for (uint32_t x = 0; x < ctx.sig_events.size(); ++x)
-            if (ctx.sig_events[x].estimated) update_signal(x, ordered);
-    }
+        ev.changed.push_back(std::move(ch));
+    });
 
-    out.cost.states = am.child.live_state_count();
-    out.cost.csc_pairs = csc;
-    out.cost.literals = literals;
-    out.cost.value = ctx.params.w * static_cast<double>(literals) +
-                     (1.0 - ctx.params.w) * ctx.params.csc_weight * static_cast<double>(csc);
+    ev.lits_lo = static_cast<std::size_t>(std::max<std::int64_t>(0, lo));
+    ev.lits_hi = static_cast<std::size_t>(std::max<std::int64_t>(0, hi));
+    ev.value_lo = combine_cost(ctx, ev.states, ev.csc, ev.lits_lo).value;
+    ev.value_hi = combine_cost(ctx, ev.states, ev.csc, ev.lits_hi).value;
+    return ev;
+}
+
+move_score finish_score(const context& ctx, const analysis_cache& cache, const applied_move& am,
+                        move_eval eval, literal_memo& memo) {
+    move_score out;
+    const detail::row_view child_rows{&ctx, &cache.rows, &am.disturbed, &am.disturbed_rows};
+    // Group order rebuilt lazily: every unresolved signal may already be an
+    // exact memo hit by now (a sibling seed minimised the same key).
+    std::vector<const code_group*> ordered;
+    std::size_t literals = cache.cost.literals;
+    for (auto& ch : eval.changed) {
+        std::size_t lits;
+        if (ch.resolved) {
+            lits = ch.literals;
+        } else if (auto hit = memo.find(ch.key); hit && hit->literals) {
+            lits = *hit->literals;
+        } else {
+            if (ordered.empty()) ordered = child_group_order(cache, am);
+            lits = detail::minimise_literals(
+                ctx, detail::assemble_spec(ctx, ch.signal, ordered, &am.removed_states, child_rows),
+                ch.key, &memo);
+        }
+        literals -= cache.signals[ch.signal].literals;
+        literals += lits;
+        out.updates.push_back({ch.signal, ch.key, lits});
+    }
+    out.cost = combine_cost(ctx, eval.states, eval.csc, literals);
     return out;
 }
 

@@ -67,6 +67,55 @@ struct move_score {
                                     const analysis_cache& cache, const applied_move& am,
                                     literal_memo& memo);
 
+/// Partial (bounded) evaluation of one applied move -- the cheap first phase
+/// of the dominance filter.  The CSC term is exact (it is a counting delta);
+/// the literal term is bracketed instead of minimised: signals whose spec key
+/// kept the parent's value contribute exactly, and each changed signal
+/// contributes either an exact memo hit or [lower, upper] bounds from
+/// boolfn/bound_literals warm-started on the parent cover.  value_lo is a
+/// sound optimistic cost -- no exact score of this move can be smaller -- so
+/// a candidate whose value_lo is strictly worse than `size_frontier`
+/// already-exact scores can be discarded without ever minimising.  value_hi
+/// is only a seeding heuristic (the heuristic minimiser may exceed it) and
+/// must never be used to prune.
+struct move_eval {
+    std::size_t csc = 0;     ///< exact Delta-adjusted csc_pairs of the child
+    std::size_t states = 0;  ///< child live states
+    /// Bracketed literal total over all estimated signals.
+    std::size_t lits_lo = 0, lits_hi = 0;
+    double value_lo = 0.0;  ///< cost with lits_lo (sound lower bound)
+    double value_hi = 0.0;  ///< cost with lits_hi (seeding heuristic only)
+    /// Changed-key signals in the exact scorer's canonical order.  Specs are
+    /// deliberately NOT materialised here: a pruned candidate never assembles
+    /// one, and finish_score() rebuilds the (deterministic) group order from
+    /// the parent cache for the few candidates that survive.
+    struct changed_signal {
+        uint32_t signal = 0;
+        sig_key key;
+        bool resolved = false;      ///< exact literal count already known
+        std::size_t literals = 0;   ///< valid when resolved
+        literal_bounds bounds;      ///< valid when !resolved
+    };
+    std::vector<changed_signal> changed;
+};
+
+/// Bounded evaluation of @p am against the parent's cache.  Bounds for new
+/// keys are memoised in @p memo (and reused from it), so sibling moves that
+/// converge to the same spec bound it once -- and assemble its minterm lists
+/// at most once.
+[[nodiscard]] move_eval bound_move(const context& ctx, const subgraph& parent,
+                                   const analysis_cache& cache, const applied_move& am,
+                                   literal_memo& memo);
+
+/// Resolves a bounded evaluation into the exact score.  Bit-for-bit equal to
+/// score_move() on the same (cache, am) pair (pinned in
+/// tests/test_explore.cpp): the unresolved signals run the identical memoised
+/// heuristic minimisation, in the identical order, over identically assembled
+/// specs.
+[[nodiscard]] move_score finish_score(const context& ctx, const analysis_cache& cache,
+                                      const applied_move& am, move_eval eval,
+                                      literal_memo& memo);
+
 /// Derives the child's full cache from the parent's: clean ER components and
 /// signal entries are copied, dirty ones recomputed; the CSC structure and
 /// enabled rows are rebuilt.  Exact: equals build_cache(ctx, am.child).

@@ -1,9 +1,11 @@
 #include "logic/synthesis.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "boolfn/incremental_cover.hpp"
 #include "util/error.hpp"
 
 namespace asynth {
@@ -125,6 +127,11 @@ synthesis_result synthesize(const subgraph& g, const synthesis_options& opt) {
         signal_impl impl;
         impl.signal = sig;
         impl.function = minimize(ns.spec, opt.exact);
+        // The dominance bounds of boolfn/incremental_cover floor every valid
+        // cover; cross-checking them against each synthesised function keeps
+        // the search's pruning argument honest on every circuit the
+        // Release-with-asserts sanitizer CI job builds.
+        assert(bound_literals(ns.spec).lower <= impl.function.literal_count());
 
         // Classify.
         if (impl.function.cubes.empty()) {

@@ -1,12 +1,15 @@
 // Batch engine: job-count independence of the per-spec records, poisoned
-// specs failing in isolation, the record projection of pipeline results and
-// the schema stability of the JSON report.
+// specs failing in isolation, the record projection of pipeline results, the
+// schema stability of the JSON report, and the persistent work-stealing
+// pool's batch-reuse contract.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
 #include <vector>
 
 #include "batch/batch.hpp"
+#include "batch/pool.hpp"
 #include "benchmarks/corpus.hpp"
 #include "benchmarks/generate.hpp"
 #include "petri/astg_io.hpp"
@@ -67,6 +70,30 @@ void expect_records_equal(const batch::spec_record& a, const batch::spec_record&
 }
 
 }  // namespace
+
+TEST(pool, persistent_pool_runs_many_batches) {
+    // One pool, many run() calls of varying size (the exploration engine's
+    // usage: several small batches per search level): every index of every
+    // batch must run exactly once, including sizes below, at and above the
+    // worker count, and empty batches.
+    batch::work_stealing_pool pool(4);
+    EXPECT_EQ(pool.workers(), 4u);
+    for (std::size_t tasks : {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{64},
+                              std::size_t{7}, std::size_t{1000}}) {
+        std::vector<std::atomic<int>> hits(tasks);
+        pool.run(tasks, [&](std::size_t i) { hits[i].fetch_add(1); });
+        for (std::size_t i = 0; i < tasks; ++i)
+            ASSERT_EQ(hits[i].load(), 1) << "batch size " << tasks << " index " << i;
+    }
+}
+
+TEST(pool, single_worker_pool_is_serial) {
+    batch::work_stealing_pool pool(1);
+    std::vector<std::size_t> order;
+    pool.run(8, [&](std::size_t i) { order.push_back(i); });  // no race: 1 worker
+    ASSERT_EQ(order.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
 
 TEST(batch, records_independent_of_job_count) {
     auto specs = small_workload();

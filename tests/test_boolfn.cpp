@@ -1,8 +1,11 @@
 // Cube/cover algebra and the two minimisers, cross-checked against brute
-// force truth tables on random functions.
+// force truth tables on random functions; plus the incremental cover engine
+// (restrict-and-repair, literal bounds) against a brute-force
+// literal-optimal cover.
 #include <gtest/gtest.h>
 
 #include "boolfn/cover.hpp"
+#include "boolfn/incremental_cover.hpp"
 #include "util/hash.hpp"
 
 using namespace asynth;
@@ -142,3 +145,164 @@ TEST_P(minimize_random, heuristic_and_exact_are_correct) {
 }
 
 INSTANTIATE_TEST_SUITE_P(seeds, minimize_random, ::testing::Range<uint64_t>(0, 40));
+
+// ---- incremental covers + literal bounds -----------------------------------
+
+namespace {
+
+/// Minimum literal count over ALL valid covers of @p spec, by exhaustive
+/// branch and bound over every cube of the (tiny) variable universe.  This is
+/// the quantity literal_bounds brackets -- note it can be *smaller* than
+/// minimize_exact's literal count, which optimises cube count first.
+std::size_t optimal_literal_count(const sop_spec& spec) {
+    if (spec.on.empty()) return 0;
+    // All 3^n cubes that avoid the OFF-set and cover at least one ON minterm.
+    std::vector<cube> valid;
+    std::vector<uint64_t> covers_on;  // bitmask over spec.on per valid cube
+    std::vector<int> digits(spec.nvars, 0);
+    for (;;) {
+        cube c(spec.nvars);
+        for (std::size_t v = 0; v < spec.nvars; ++v)
+            if (digits[v] != 0) c.set_literal(v, digits[v] == 1);
+        bool hits_off = false;
+        for (const auto& o : spec.off)
+            if (c.covers(o)) {
+                hits_off = true;
+                break;
+            }
+        if (!hits_off) {
+            uint64_t mask = 0;
+            for (std::size_t m = 0; m < spec.on.size(); ++m)
+                if (c.covers(spec.on[m])) mask |= uint64_t{1} << m;
+            if (mask != 0) {
+                valid.push_back(c);
+                covers_on.push_back(mask);
+            }
+        }
+        std::size_t v = 0;
+        while (v < spec.nvars && digits[v] == 2) digits[v++] = 0;
+        if (v == spec.nvars) break;
+        ++digits[v];
+    }
+    const uint64_t all = spec.on.size() >= 64 ? ~uint64_t{0}
+                                              : (uint64_t{1} << spec.on.size()) - 1;
+    std::size_t best = SIZE_MAX;
+    // DFS on the first uncovered minterm, bounded by the best literal total.
+    auto dfs = [&](auto&& self, uint64_t covered, std::size_t lits) -> void {
+        if (lits >= best) return;
+        if ((covered & all) == all) {
+            best = lits;
+            return;
+        }
+        const auto pick = static_cast<std::size_t>(
+            std::countr_zero(~covered & all));
+        for (std::size_t c = 0; c < valid.size(); ++c)
+            if (covers_on[c] & (uint64_t{1} << pick))
+                self(self, covered | covers_on[c], lits + valid[c].literal_count());
+    };
+    dfs(dfs, 0, 0);
+    return best;
+}
+
+/// Drops a pseudo-random subset of ON/OFF minterms -- the shape of spec drift
+/// the search produces (pruned states leave the reachable set, so codes move
+/// to the don't-care set).
+sop_spec restrict_spec(const sop_spec& spec, uint64_t seed, double p_drop = 0.3) {
+    xorshift64 rng(seed);
+    sop_spec out;
+    out.nvars = spec.nvars;
+    for (const auto& m : spec.on)
+        if (!rng.next_bool(p_drop)) out.on.push_back(m);
+    for (const auto& m : spec.off)
+        if (!rng.next_bool(p_drop)) out.off.push_back(m);
+    return out;
+}
+
+}  // namespace
+
+TEST(bounds, empty_sides_cost_nothing) {
+    sop_spec none;
+    none.nvars = 4;
+    none.off.push_back(point(4, 5));
+    EXPECT_EQ(bound_literals(none).lower, 0u);  // constant 0
+    EXPECT_EQ(bound_literals(none).upper, 0u);
+    sop_spec taut;
+    taut.nvars = 4;
+    taut.on.push_back(point(4, 5));
+    EXPECT_EQ(bound_literals(taut).lower, 0u);  // the universal cube
+    EXPECT_EQ(bound_literals(taut).upper, 0u);
+}
+
+TEST(bounds, forced_literals_are_detected) {
+    // ON = {000}, OFF = {100, 010}: distance-1 OFF minterms force a' and b'
+    // into every cube covering 000 -> lower >= 2.
+    sop_spec s;
+    s.nvars = 3;
+    s.on.push_back(point(3, 0b000));
+    s.off.push_back(point(3, 0b001));
+    s.off.push_back(point(3, 0b010));
+    const auto b = bound_literals(s);
+    EXPECT_EQ(b.lower, 2u);
+    EXPECT_EQ(optimal_literal_count(s), 2u);
+    EXPECT_GE(b.upper, 2u);
+}
+
+class bounds_random : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(bounds_random, bracket_the_literal_optimum) {
+    const uint64_t seed = GetParam();
+    const std::size_t n = 3 + seed % 2;  // 3..4 variables (brute force stays tiny)
+    auto spec = random_spec(n, seed * 1031 + 7);
+    if (spec.on.empty()) return;
+    const std::size_t optimum = optimal_literal_count(spec);
+    const auto cold = bound_literals(spec);
+    EXPECT_LE(cold.lower, optimum) << "seed " << seed;
+    EXPECT_GE(cold.upper, optimum) << "seed " << seed;
+    // Sound against every valid cover, in particular both minimisers'.
+    EXPECT_LE(cold.lower, minimize_heuristic(spec, 2).literal_count()) << "seed " << seed;
+    EXPECT_LE(cold.lower, minimize_exact(spec).literal_count()) << "seed " << seed;
+
+    // Warm-start: repair the cover of a *drifted* predecessor spec; the
+    // bracket must still hold and the upper bound must not loosen.
+    auto warm = minimize_heuristic(random_spec(n, seed * 919 + 3), 2);
+    const auto warmed = bound_literals(spec, warm);
+    EXPECT_EQ(warmed.lower, cold.lower) << "seed " << seed;
+    EXPECT_GE(warmed.upper, optimum) << "seed " << seed;
+    EXPECT_LE(warmed.upper, cold.upper) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, bounds_random, ::testing::Range<uint64_t>(0, 30));
+
+class rebase_random : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(rebase_random, repaired_cover_is_valid_and_accounted) {
+    const uint64_t seed = GetParam();
+    const std::size_t n = 3 + seed % 4;  // 3..6 variables
+    auto before = random_spec(n, seed * 577 + 11);
+    if (before.on.empty()) return;
+    incremental_cover ic(minimize_heuristic(before, 2));
+    const std::size_t seeded = ic.cubes().cubes.size();
+
+    // Drift 1: a pure restriction (minterms leave both sides).  No kept cube
+    // can turn invalid, so nothing is repaired, dropped or added.
+    auto restricted = restrict_spec(before, seed * 13 + 1);
+    auto st = ic.rebase(restricted);
+    EXPECT_TRUE(verify_cover(ic.cubes(), restricted)) << "seed " << seed;
+    EXPECT_EQ(st.kept, seeded) << "seed " << seed;
+    EXPECT_EQ(st.repaired, 0u) << "seed " << seed;
+    EXPECT_EQ(st.dropped, 0u) << "seed " << seed;
+    EXPECT_EQ(st.added, 0u) << "seed " << seed;
+    EXPECT_LE(ic.literal_count(), n * restricted.on.size()) << "seed " << seed;
+
+    // Drift 2: an unrelated spec (worst case -- wholesale invalidation).
+    // The repaired result must still be a valid cover, and the stats must
+    // account for every seeded cube.
+    auto after = random_spec(n, seed * 7919 + 5);
+    const std::size_t base = ic.cubes().cubes.size();
+    st = ic.rebase(after);
+    EXPECT_TRUE(verify_cover(ic.cubes(), after)) << "seed " << seed;
+    EXPECT_EQ(st.kept + st.repaired + st.dropped, base) << "seed " << seed;
+    if (after.on.empty()) EXPECT_TRUE(ic.cubes().cubes.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(seeds, rebase_random, ::testing::Range<uint64_t>(0, 30));

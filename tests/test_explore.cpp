@@ -6,7 +6,10 @@
 //  * derived (delta) caches equal full rebuilds after arbitrary move chains;
 //  * the whole search is equivalent on every embedded corpus spec, the spec
 //    suite and generated workloads -- identical best subgraph, best cost,
-//    exploration count, depth and per-level trace;
+//    exploration count, depth and per-level trace -- and the dominance
+//    -filtered scorer (--minimizer incremental) equals the exact oracle path
+//    corpus-wide, with bound_move/finish_score matching score_move move by
+//    move;
 //  * results are independent of the expander's job count; and the signature
 //    tie-break makes beam selection reproducible (pinning the stable-sort
 //    satellite fix in the reference engine too).
@@ -200,17 +203,95 @@ TEST_P(engine_equivalence, incremental_equals_reference) {
     auto inc = explore::reduce_concurrency_incremental(g, so);
     expect_equal_results(ref, inc, name);
 
+    // The dominance-filtered scorer (the default) against the exact oracle
+    // path: identical winners, costs, exploration counts and traces.
+    search_options so_exact = so;
+    so_exact.minimizer = minimizer_mode::exact;
+    auto exact = explore::reduce_concurrency_incremental(g, so_exact);
+    expect_equal_results(exact, inc, name + "/minimizer");
+    EXPECT_EQ(exact.pruned, 0u) << name;
+
     // A second configuration (CSC-biased, narrow beam) for coverage of ties.
     search_options so2 = so;
     so2.cost.w = 0.2;
     so2.size_frontier = 2;
     expect_equal_results(reduce_concurrency(g, so2),
                          explore::reduce_concurrency_incremental(g, so2), name + "/w02");
+    search_options so2_exact = so2;
+    so2_exact.minimizer = minimizer_mode::exact;
+    expect_equal_results(explore::reduce_concurrency_incremental(g, so2_exact),
+                         explore::reduce_concurrency_incremental(g, so2),
+                         name + "/w02-minimizer");
 }
 
 // 8 corpus + 8 suite + 3 generated = 19 specs (pinned by
 // engine_equivalence_coverage.range_matches_spec_count above).
 INSTANTIATE_TEST_SUITE_P(corpus, engine_equivalence, ::testing::Range<std::size_t>(0, 19));
+
+TEST(move, bound_and_finish_match_score) {
+    // Along greedy move chains: bound_move's optimistic cost must floor the
+    // exact score, finish_score(bound_move(...)) must equal score_move(...)
+    // bit for bit (same cost, same updates), and the CSC term is exact in
+    // both.  A separate memo drives the bound path so a warm score-side memo
+    // cannot mask a bound-side bug.
+    for (const auto& [name, spec] : equivalence_specs()) {
+        auto base = make_sg(spec);
+        if (base.state_count() > 600) continue;
+        auto g = subgraph::full(base);
+        cost_params p;
+        p.w = 0.5;
+        auto ctx = explore::make_context(base, p);
+        explore::literal_memo score_memo, bound_memo;
+        auto cache = explore::build_cache(ctx, g, &bound_memo);
+        for (int step = 0; step < 4; ++step) {
+            auto comps = excitation_regions(g);
+            std::optional<explore::applied_move> am;
+            for (const auto& a : comps) {
+                if (base.is_input_event(a.event)) continue;
+                for (const auto& b : comps) {
+                    if (&a == &b || a.event == b.event) continue;
+                    am = explore::apply_move(ctx, g, cache, a, b);
+                    if (am) break;
+                }
+                if (am) break;
+            }
+            if (!am) break;
+            auto score = explore::score_move(ctx, g, cache, *am, score_memo);
+            auto eval = explore::bound_move(ctx, g, cache, *am, bound_memo);
+            EXPECT_EQ(eval.csc, score.cost.csc_pairs) << name << " step " << step;
+            EXPECT_EQ(eval.states, score.cost.states) << name << " step " << step;
+            EXPECT_LE(eval.lits_lo, score.cost.literals) << name << " step " << step;
+            EXPECT_LE(eval.value_lo, score.cost.value) << name << " step " << step;
+            auto fin = explore::finish_score(ctx, cache, *am, std::move(eval), bound_memo);
+            EXPECT_EQ(fin.cost.value, score.cost.value) << name << " step " << step;
+            EXPECT_EQ(fin.cost.csc_pairs, score.cost.csc_pairs) << name << " step " << step;
+            EXPECT_EQ(fin.cost.literals, score.cost.literals) << name << " step " << step;
+            ASSERT_EQ(fin.updates.size(), score.updates.size()) << name << " step " << step;
+            for (std::size_t u = 0; u < fin.updates.size(); ++u) {
+                EXPECT_EQ(fin.updates[u].signal, score.updates[u].signal) << name;
+                EXPECT_TRUE(fin.updates[u].key == score.updates[u].key) << name;
+                EXPECT_EQ(fin.updates[u].literals, score.updates[u].literals) << name;
+            }
+            auto derived = explore::derive_cache(ctx, g, cache, *am, fin);
+            g = am->child;
+            cache = std::move(derived);
+        }
+    }
+}
+
+TEST(engine, dominance_filter_actually_prunes) {
+    // On a spec with a wide candidate set the default minimizer must discard
+    // a nonzero number of candidates unminimised -- otherwise the filter is
+    // dead code -- while returning the exact path's results (pinned corpus
+    // -wide by engine_equivalence).
+    auto base = make_sg(benchmarks::mmu_controller());
+    auto g = subgraph::full(base);
+    search_options so;
+    so.cost.w = 0.5;
+    auto inc = explore::reduce_concurrency_incremental(g, so);
+    EXPECT_GT(inc.pruned, 0u);
+    EXPECT_LT(inc.pruned, inc.explored);
+}
 
 TEST(engine, results_independent_of_job_count) {
     auto base = make_sg(benchmarks::mmu_controller());

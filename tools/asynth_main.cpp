@@ -54,11 +54,15 @@ void print_usage(std::FILE* to) {
                  "\n"
                  "flow options:\n"
                  "  --strategy <s>        none | beam | full   (default: beam, the Fig. 9 search)\n"
-                 "  --engine <e>          reference | incremental beam engine (default: incremental;\n"
-                 "                        both return identical results, incremental is faster)\n"
+                 "  --engine <e>          reference | incremental beam engine (default:\n"
+                 "                        incremental; identical results, incremental is faster)\n"
+                 "  --minimizer <m>       exact | incremental candidate scoring (default:\n"
+                 "                        incremental = dominance-filtered bounds; identical\n"
+                 "                        results, faster; see docs/CLI.md)\n"
                  "  --search-jobs <n>     incremental-engine scoring threads; 0 = all hardware\n"
-                 "                        cores (default 1; results are identical for every value)\n"
-                 "  --w <x>               cost weight W in [0,1]; 0 biases CSC, 1 logic (default 0.5)\n"
+                 "                        cores (default 1; identical results for every value)\n"
+                 "  --w <x>               cost weight W in [0,1]; 0 biases CSC, 1 logic\n"
+                 "                        (default 0.5)\n"
                  "  --frontier <n>        beam frontier size (default 4)\n"
                  "  --max-levels <n>      beam depth limit (default 128)\n"
                  "  --phases <2|4>        handshake expansion protocol (default 4)\n"
@@ -75,14 +79,19 @@ void print_usage(std::FILE* to) {
                  "\n"
                  "batch subcommand (corpus sweep on a work-stealing thread pool):\n"
                  "  --jobs <n>            worker threads; 0 = all hardware cores (default 0)\n"
-                 "  --engine <e>          reference | incremental beam engine (default: incremental)\n"
+                 "  --engine <e>          reference | incremental beam engine (default:\n"
+                 "                        incremental)\n"
+                 "  --minimizer <m>       exact | incremental candidate scoring (default:\n"
+                 "                        incremental)\n"
                  "  --seed <n>            first seed of the generated workload (default 1)\n"
                  "  --count <n>           number of generated random specs (default 64)\n"
                  "  --size <n>            handshake calls per generated spec (default 4)\n"
                  "  --concurrency <x>     generator concurrency degree in [0,1] (default 0.5)\n"
-                 "  --choice <x>          generator free-choice probability in [0,1] (default 0.15)\n"
+                 "  --choice <x>          generator free-choice probability in [0,1]\n"
+                 "                        (default 0.15)\n"
                  "  --no-corpus           sweep only the generated workload\n"
-                 "  --report <file>       write the corpus report as JSON (BENCH_pipeline.json format)\n"
+                 "  --report <file>       write the corpus report as JSON\n"
+                 "                        (BENCH_pipeline.json format)\n"
                  "  -q, --quiet           suppress the per-spec table\n");
 }
 
@@ -125,6 +134,20 @@ void print_usage(std::FILE* to) {
     return false;
 }
 
+/// Parses a --minimizer value; prints a diagnostic and returns false on typos.
+[[nodiscard]] bool parse_minimizer(const char* s, minimizer_mode& out) {
+    if (std::strcmp(s, "exact") == 0) {
+        out = minimizer_mode::exact;
+        return true;
+    }
+    if (std::strcmp(s, "incremental") == 0) {
+        out = minimizer_mode::incremental;
+        return true;
+    }
+    std::fprintf(stderr, "asynth: unknown minimizer '%s' (exact | incremental)\n", s);
+    return false;
+}
+
 /// `asynth batch`: embedded corpus + generated workload through run_batch().
 /// Exit code 0 only when every spec completed (a CSC "no circuit" verdict
 /// still counts as completed -- the verdict is the result).
@@ -161,6 +184,9 @@ int run_batch_cli(int argc, char** argv) {
             if (!parse_size("--jobs", need_value(i, "--jobs"), opt.jobs)) return 2;
         } else if (arg == "--engine") {
             if (!parse_engine(need_value(i, "--engine"), opt.pipeline.search.engine)) return 2;
+        } else if (arg == "--minimizer") {
+            if (!parse_minimizer(need_value(i, "--minimizer"), opt.pipeline.search.minimizer))
+                return 2;
         } else if (arg == "--seed") {
             std::size_t v = 0;
             if (!parse_size("--seed", need_value(i, "--seed"), v)) return 2;
@@ -266,6 +292,8 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--engine") {
             if (!parse_engine(need_value(i, "--engine"), opt.search.engine)) return 2;
+        } else if (arg == "--minimizer") {
+            if (!parse_minimizer(need_value(i, "--minimizer"), opt.search.minimizer)) return 2;
         } else if (arg == "--search-jobs") {
             if (!parse_size("--search-jobs", need_value(i, "--search-jobs"), opt.search.jobs))
                 return 2;

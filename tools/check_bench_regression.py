@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
-"""Guard against reduce-stage performance regressions in CI.
+"""Guard against pipeline-stage performance regressions in CI.
 
-Compares one pipeline stage's total wall-clock between a baseline
+Compares one or more pipeline stages' total wall-clock between a baseline
 BENCH_pipeline.json (checked in at the repo root) and a freshly generated
 report, over the *intersection* of spec names (the baseline sweeps more specs
-than the CI smoke run).
+than the CI smoke run).  Repeat --stage to guard several stages in one run
+(the nightly workflow watches `reduce` and `logic`); the exit code reports
+the worst verdict across them.
 
 Raw milliseconds are not comparable across machines, so by default the stage
 total is normalised by a calibration total -- the sum of the `expand` and
@@ -64,12 +66,14 @@ def main():
                                  formatter_class=argparse.RawDescriptionHelpFormatter)
     ap.add_argument("--baseline", required=True, help="checked-in BENCH_pipeline.json")
     ap.add_argument("--current", required=True, help="freshly generated report")
-    ap.add_argument("--stage", default="reduce", help="stage to guard (default: reduce)")
+    ap.add_argument("--stage", action="append", default=None,
+                    help="stage to guard; repeat for several (default: reduce)")
     ap.add_argument("--max-regress-pct", type=float, default=25.0,
                     help="maximum allowed regression in percent (default: 25)")
     ap.add_argument("--absolute", action="store_true",
                     help="compare raw milliseconds instead of calibrated ratios")
     args = ap.parse_args()
+    stages = args.stage or ["reduce"]
 
     base = load_specs(args.baseline)
     cur = load_specs(args.current)
@@ -77,32 +81,37 @@ def main():
     if not common:
         die("error: baseline and current share no spec names")
 
-    base_stage = stage_total(base, common, args.stage)
-    cur_stage = stage_total(cur, common, args.stage)
-    if base_stage <= 0.0:
-        die(f"error: baseline has no {args.stage}_ms samples over the common specs")
-
-    if args.absolute:
-        base_metric, cur_metric, unit = base_stage, cur_stage, "ms"
-    else:
+    if not args.absolute:
         base_cal = sum(stage_total(base, common, s) for s in CALIBRATION_STAGES)
         cur_cal = sum(stage_total(cur, common, s) for s in CALIBRATION_STAGES)
         if base_cal <= 0.0 or cur_cal <= 0.0:
             die("error: calibration stages missing; rerun with --absolute")
-        base_metric, cur_metric = base_stage / base_cal, cur_stage / cur_cal
-        unit = f"x {'+'.join(CALIBRATION_STAGES)}"
 
-    change_pct = 100.0 * (cur_metric - base_metric) / base_metric
-    print(f"{args.stage} over {len(common)} common specs: "
-          f"baseline {base_metric:.3f} {unit}, current {cur_metric:.3f} {unit} "
-          f"({change_pct:+.1f}%)")
+    failed = False
+    for stage in stages:
+        base_stage = stage_total(base, common, stage)
+        cur_stage = stage_total(cur, common, stage)
+        if base_stage <= 0.0:
+            die(f"error: baseline has no {stage}_ms samples over the common specs")
 
-    if change_pct > args.max_regress_pct:
-        print(f"FAIL: {args.stage} regressed {change_pct:.1f}% "
-              f"(budget {args.max_regress_pct:.0f}%)")
-        return 1
-    print(f"OK: within the {args.max_regress_pct:.0f}% budget")
-    return 0
+        if args.absolute:
+            base_metric, cur_metric, unit = base_stage, cur_stage, "ms"
+        else:
+            base_metric, cur_metric = base_stage / base_cal, cur_stage / cur_cal
+            unit = f"x {'+'.join(CALIBRATION_STAGES)}"
+
+        change_pct = 100.0 * (cur_metric - base_metric) / base_metric
+        print(f"{stage} over {len(common)} common specs: "
+              f"baseline {base_metric:.3f} {unit}, current {cur_metric:.3f} {unit} "
+              f"({change_pct:+.1f}%)")
+
+        if change_pct > args.max_regress_pct:
+            print(f"FAIL: {stage} regressed {change_pct:.1f}% "
+                  f"(budget {args.max_regress_pct:.0f}%)")
+            failed = True
+        else:
+            print(f"OK: {stage} within the {args.max_regress_pct:.0f}% budget")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

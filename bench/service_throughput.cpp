@@ -1,0 +1,133 @@
+// Synthesis-service throughput: requests/second through service::engine
+// (the transport-free core of `asynth serve`) with a cold versus a warm
+// result store, at 1, half and all hardware cores.
+//
+// "Cold" re-opens a fresh store directory every iteration, so each request
+// pays full synthesis plus the record write; "warm" pre-fills the store once
+// and every request is a content-addressed hit -- the amortisation the store
+// exists for.  The off/cold/warm split at a fixed job count isolates the
+// store's own cost: `off` vs `cold` is the write+lookup overhead, `cold` vs
+// `warm` is the synthesis work saved per request.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "batch/pool.hpp"
+#include "benchmarks/generate.hpp"
+#include "petri/astg_io.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using namespace asynth;
+namespace fs = std::filesystem;
+
+/// A fixed 16-request workload (size-3 handshake specs, ~mmu scale), built
+/// once; each element is a ready-to-execute synth request.
+const std::vector<service::request>& workload() {
+    static const std::vector<service::request> reqs = [] {
+        benchmarks::generator_options opt;
+        opt.size = 3;
+        std::vector<service::request> out;
+        for (const auto& spec : benchmarks::generate_workload(1, 16, opt)) {
+            service::request r;
+            r.op = "synth";
+            r.spec_name = spec.name;
+            r.spec_text = write_astg(spec.net);
+            r.options = pipeline_options{};
+            out.push_back(std::move(r));
+        }
+        return out;
+    }();
+    return reqs;
+}
+
+std::string bench_dir(const char* tag) {
+    return (fs::temp_directory_path() /
+            (std::string("asynth_bench_store_") + tag + "_" + std::to_string(::getpid())))
+        .string();
+}
+
+/// Runs every request of the workload once over a pool of `jobs` workers.
+void run_requests(service::engine& eng, std::size_t jobs) {
+    const auto& reqs = workload();
+    batch::work_stealing_pool pool(jobs);
+    pool.run(reqs.size(), [&](std::size_t i) {
+        const std::string resp = eng.execute(reqs[i], 0.0);
+        benchmark::DoNotOptimize(resp.data());
+    });
+}
+
+enum class mode { off, cold, warm };
+
+void bm_service_throughput(benchmark::State& state, mode m) {
+    const auto jobs = static_cast<std::size_t>(state.range(0));
+    const std::string dir = bench_dir(m == mode::cold ? "cold" : "warm");
+
+    service::service_options opt;
+    opt.jobs = jobs;
+    if (m != mode::off) opt.store_dir = dir;
+
+    // Warm: one engine, store pre-filled by a priming pass outside the loop.
+    fs::remove_all(dir);
+    std::optional<service::engine> warm_engine;
+    service::engine_stats primed{};
+    if (m == mode::warm) {
+        warm_engine.emplace(opt);
+        run_requests(*warm_engine, jobs);
+        primed = warm_engine->stats();  // baseline: exclude the priming misses
+    }
+
+    for (auto _ : state) {
+        if (m == mode::warm) {
+            run_requests(*warm_engine, jobs);
+        } else {
+            // off/cold: a fresh engine (and for cold a fresh store) per
+            // iteration, so every request synthesises.
+            state.PauseTiming();
+            if (m == mode::cold) fs::remove_all(dir);
+            service::engine eng(opt);
+            state.ResumeTiming();
+            run_requests(eng, jobs);
+        }
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * workload().size()));
+    if (m == mode::warm) {
+        // Hit rate of the *timed* iterations only (the priming pass's
+        // misses are subtracted out).
+        const auto s = warm_engine->stats();
+        const auto hits = s.store_hits - primed.store_hits;
+        const auto misses = s.store_misses - primed.store_misses;
+        state.counters["hit_pct"] = 100.0 * static_cast<double>(hits) /
+                                    static_cast<double>(std::max<std::uint64_t>(1, hits + misses));
+    }
+    fs::remove_all(dir);
+}
+
+void job_counts(benchmark::internal::Benchmark* b) {
+    const auto hw = static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+    b->Arg(1);
+    if (hw / 2 > 1) b->Arg(hw / 2);
+    if (hw > 1 && hw != hw / 2) b->Arg(hw);
+    b->Unit(benchmark::kMillisecond)->UseRealTime();
+}
+
+BENCHMARK_CAPTURE(bm_service_throughput, store_off, mode::off)->Apply(job_counts);
+BENCHMARK_CAPTURE(bm_service_throughput, store_cold, mode::cold)->Apply(job_counts);
+BENCHMARK_CAPTURE(bm_service_throughput, store_warm, mode::warm)->Apply(job_counts);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::printf("service throughput over %zu requests, %u hardware cores\n",
+                workload().size(), std::thread::hardware_concurrency());
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -7,6 +7,7 @@
 
 #include "batch/pool.hpp"
 #include "perf/timing.hpp"
+#include "petri/astg_io.hpp"
 
 namespace asynth::batch {
 
@@ -26,6 +27,7 @@ void aggregate(batch_report& rep) {
         rep.completed += s.completed ? 1 : 0;
         rep.synthesized += s.synthesized ? 1 : 0;
         rep.csc_solved += s.csc_solved ? 1 : 0;
+        rep.store_hits += s.store_hit ? 1 : 0;
         rep.total_states += s.states;
         rep.total_arcs += s.arcs;
         rep.total_explored += s.explored;
@@ -137,6 +139,37 @@ spec_record record_of(const std::string& name, const pipeline_result& r) {
     return out;
 }
 
+spec_record record_of_stored(const std::string& name, const store::stored_record& rec) {
+    spec_record out;
+    out.name = name;
+    out.completed = rec.completed;
+    out.synthesized = rec.synthesized;
+    out.failed_stage = rec.failed_stage;
+    out.message = rec.message;
+    out.states = rec.states;
+    out.arcs = rec.arcs;
+    out.signals = rec.signals;
+    out.explored = rec.explored;
+    out.csc_solved = rec.csc_solved;
+    out.csc_signals = rec.csc_signals;
+    out.initial_cost = rec.initial_cost;
+    out.reduced_cost = rec.reduced_cost;
+    out.literals = rec.literals;
+    out.area = rec.area;
+    out.cycle = rec.cycle;
+    out.seconds = rec.seconds;
+    // Stage names round-trip through the enum; a name this build does not
+    // know (newer producer) is dropped rather than misattributed.
+    for (const auto& [stage, seconds] : rec.timings)
+        for (uint8_t si = 0; si <= static_cast<uint8_t>(pipeline_stage::recover); ++si)
+            if (stage == stage_name(static_cast<pipeline_stage>(si))) {
+                out.timings.push_back({static_cast<pipeline_stage>(si), seconds});
+                break;
+            }
+    out.store_hit = true;
+    return out;
+}
+
 batch_report run_batch(const std::vector<benchmarks::named_spec>& specs,
                        const batch_options& opt) {
     batch_report rep;
@@ -146,6 +179,10 @@ batch_report run_batch(const std::vector<benchmarks::named_spec>& specs,
     jobs = std::max<std::size_t>(1, std::min(jobs, std::max<std::size_t>(specs.size(), 1)));
     rep.jobs = jobs;
 
+    // One fingerprint per sweep: every spec runs under the same options.
+    const std::string fingerprint =
+        opt.store.enabled() ? store::options_fingerprint(opt.pipeline) : std::string();
+
     stopwatch wall;
     if (!specs.empty()) {
         work_stealing_pool pool(jobs);
@@ -154,6 +191,22 @@ batch_report run_batch(const std::vector<benchmarks::named_spec>& specs,
             // belt-and-braces catch keeps one poisoned spec (e.g. resource
             // exhaustion outside a stage) from sinking the whole sweep.
             try {
+                if (opt.store.enabled()) {
+                    const auto key = store::key_of(write_astg(specs[i].net), fingerprint);
+                    if (auto hit = opt.store.get(key)) {
+                        rep.specs[i] = record_of_stored(specs[i].name, *hit);
+                        return;
+                    }
+                    auto result = run_pipeline(specs[i].net, opt.pipeline);
+                    // Only *completed* runs are cached: a crash-shaped failure
+                    // (OOM, budget blowout) should be retried next sweep, not
+                    // replayed from disk forever.  CSC "no circuit" verdicts
+                    // complete and are cached -- the verdict is the result.
+                    if (result.completed)
+                        opt.store.put(key, store::record_of(result, fingerprint));
+                    rep.specs[i] = record_of(specs[i].name, result);
+                    return;
+                }
                 rep.specs[i] = record_of(specs[i].name, run_pipeline(specs[i].net, opt.pipeline));
             } catch (const std::exception& e) {
                 spec_record bad;
@@ -166,13 +219,23 @@ batch_report run_batch(const std::vector<benchmarks::named_spec>& specs,
     }
     rep.wall_seconds = wall.seconds();
     aggregate(rep);
+    rep.store_misses = opt.store.enabled() ? rep.count - rep.store_hits : 0;
+    return rep;
+}
+
+batch_report make_report(std::vector<spec_record> specs, std::size_t jobs, double wall_seconds) {
+    batch_report rep;
+    rep.specs = std::move(specs);
+    rep.jobs = jobs;
+    rep.wall_seconds = wall_seconds;
+    aggregate(rep);
     return rep;
 }
 
 std::string report_json(const batch_report& r) {
     std::string out = "{\n  ";
     json_object top{out};
-    top.field("schema_version", std::size_t{1});
+    top.field("schema_version", std::size_t{2});
     top.field("tool", std::string("asynth batch"));
     top.field("jobs", r.jobs);
     top.field("count", r.count);
@@ -189,6 +252,13 @@ std::string report_json(const batch_report& r) {
     top.field("total_csc_signals", r.total_csc_signals);
     top.field("total_literals", r.total_literals);
     top.field("total_area", r.total_area);
+    // schema_version 2 additions: result-store efficiency and (service only)
+    // the request queue-wait distribution.
+    top.field("store_hits", r.store_hits);
+    top.field("store_misses", r.store_misses);
+    top.field("queue_wait_p50_ms", r.queue_wait_p50_ms);
+    top.field("queue_wait_p90_ms", r.queue_wait_p90_ms);
+    top.field("queue_wait_max_ms", r.queue_wait_max_ms);
 
     out += ",\n  \"stage_percentiles\": [";
     for (std::size_t i = 0; i < r.stages.size(); ++i) {
@@ -229,6 +299,7 @@ std::string report_json(const batch_report& r) {
         o.field("area", s.area);
         o.field("cycle", s.cycle);
         o.field("seconds", s.seconds);
+        o.field("store_hit", s.store_hit);
         for (const auto& t : s.timings) {
             std::string k = std::string(stage_name(t.stage)) + "_ms";
             o.field(k.c_str(), t.seconds * 1e3);
@@ -248,10 +319,10 @@ std::string report_text(const batch_report& r) {
     out += line;
     for (const auto& s : r.specs) {
         const char* verdict = !s.completed ? "FAILED" : (s.synthesized ? "ok" : "no circuit");
-        std::snprintf(line, sizeof line, "%-16s %7zu %7zu %6zu %8.0f %8.1f %9.2f  %s%s%s\n",
+        std::snprintf(line, sizeof line, "%-16s %7zu %7zu %6zu %8.0f %8.1f %9.2f  %s%s%s%s\n",
                       s.name.c_str(), s.states, s.explored, s.csc_signals, s.area, s.cycle,
-                      s.seconds * 1e3, verdict, s.failed_stage.empty() ? "" : " at ",
-                      s.failed_stage.c_str());
+                      s.seconds * 1e3, verdict, s.store_hit ? " (store)" : "",
+                      s.failed_stage.empty() ? "" : " at ", s.failed_stage.c_str());
         out += line;
     }
     std::snprintf(line, sizeof line,
@@ -260,6 +331,11 @@ std::string report_text(const batch_report& r) {
                   r.count, r.completed, r.synthesized, r.failed, r.total_states, r.jobs,
                   r.wall_seconds, r.cpu_seconds, r.specs_per_second);
     out += line;
+    if (r.store_hits + r.store_misses > 0) {
+        std::snprintf(line, sizeof line, "store: %zu hits, %zu misses\n", r.store_hits,
+                      r.store_misses);
+        out += line;
+    }
     return out;
 }
 

@@ -10,9 +10,19 @@
 // apart from the timing fields.
 //
 // report_json() serialises the report in a schema-stable layout
-// (schema_version 1) written as BENCH_pipeline.json by `asynth batch
+// (schema_version 2) written as BENCH_pipeline.json by `asynth batch
 // --report`; the checked-in BENCH_pipeline.json at the repo root is the perf
-// baseline subsequent PRs measure against.
+// baseline subsequent PRs measure against.  Version 2 adds the result-store
+// hit/miss aggregates and the service's queue-wait percentiles on top of
+// version 1; tools/check_bench_regression.py reads both.
+//
+// With batch_options::store set (CLI: --store DIR), the sweep is *resumable*:
+// each spec is first looked up in the content-addressed result store
+// (store/result_store.hpp) under its canonical-text + options key, hits are
+// reported from the stored record without re-running the pipeline, and
+// misses are synthesised and written back -- so a killed sweep re-run over
+// the same corpus skips everything it already finished, and batch and the
+// synthesis service share one corpus of results.
 #pragma once
 
 #include <cstddef>
@@ -21,6 +31,7 @@
 
 #include "benchmarks/corpus.hpp"
 #include "pipeline/pipeline.hpp"
+#include "store/result_store.hpp"
 
 namespace asynth::batch {
 
@@ -30,6 +41,10 @@ struct batch_options {
     /// Worker threads; 0 picks std::thread::hardware_concurrency().  The
     /// per-spec records do not depend on this value (only the timings do).
     std::size_t jobs = 0;
+    /// Result store consulted/filled by the sweep; the default handle is
+    /// disabled (every spec synthesised, nothing written).  Open one with
+    /// store::result_store::open() to make sweeps resumable.
+    store::result_store store;
 };
 
 /// Serialisation-friendly projection of one pipeline_result.
@@ -50,8 +65,13 @@ struct spec_record {
     std::size_t literals = 0;   ///< estimated SOP literals of the reduced SG
     double area = -1.0;         ///< circuit area in area units (-1: no circuit)
     double cycle = 0.0;         ///< critical-cycle length, model time units
-    double seconds = 0.0;       ///< pipeline wall-clock total
+    /// Pipeline wall-clock total.  For a store hit this (and `timings`) is
+    /// the *producing* run's cost -- what the record says synthesis took --
+    /// not this sweep's lookup time; the sweep-level wall_seconds carries
+    /// the actual elapsed time.
+    double seconds = 0.0;
     std::vector<stage_timing> timings;  ///< per-stage wall-clock seconds
+    bool store_hit = false;     ///< record served from the result store
 };
 
 /// Wall-clock distribution of one pipeline stage across the sweep.
@@ -81,6 +101,15 @@ struct batch_report {
     std::size_t total_csc_signals = 0;  ///< sum of inserted state signals
     std::size_t total_literals = 0;  ///< sum of reduced-SG literal estimates
     double total_area = 0.0;         ///< sum of areas over synthesized specs
+    std::size_t store_hits = 0;      ///< specs served from the result store
+    std::size_t store_misses = 0;    ///< specs synthesised (store open but cold)
+    /// Per-request queue-wait distribution, milliseconds.  Filled by the
+    /// synthesis service (service/service.hpp), which aggregates its request
+    /// accounting through this same report; always 0 for batch sweeps, where
+    /// nothing queues behind a socket.
+    double queue_wait_p50_ms = 0.0;
+    double queue_wait_p90_ms = 0.0;
+    double queue_wait_max_ms = 0.0;
     std::vector<stage_stats> stages; ///< per-stage percentiles, stage order
     std::vector<spec_record> specs;  ///< one record per spec, input order
 };
@@ -89,15 +118,28 @@ struct batch_report {
 /// callers that drive run_pipeline themselves).
 [[nodiscard]] spec_record record_of(const std::string& name, const pipeline_result& r);
 
+/// Flattens a stored record (a result-store hit) into the same row shape,
+/// with store_hit set; shared with the service's reporting.
+[[nodiscard]] spec_record record_of_stored(const std::string& name,
+                                           const store::stored_record& rec);
+
 /// Runs the pipeline over every spec on a work-stealing pool and aggregates.
 /// A spec that fails -- structured pipeline error or a stray exception --
 /// yields a failed record without affecting the rest of the sweep.
 [[nodiscard]] batch_report run_batch(const std::vector<benchmarks::named_spec>& specs,
                                      const batch_options& opt = {});
 
-/// Schema-stable JSON serialisation of the report (schema_version 1): fixed
+/// Aggregates already-collected rows into a report (counts, stage
+/// percentiles, specs/second).  The synthesis service drains through this so
+/// its report and report_json(BENCH_pipeline.json) stay one schema.
+[[nodiscard]] batch_report make_report(std::vector<spec_record> specs, std::size_t jobs,
+                                       double wall_seconds);
+
+/// Schema-stable JSON serialisation of the report (schema_version 2): fixed
 /// key order, aggregate block first, then stage percentiles, then one object
-/// per spec.  This is the BENCH_pipeline.json format.
+/// per spec.  This is the BENCH_pipeline.json format.  v2 = v1 plus
+/// store_hits/store_misses, the queue_wait_* percentiles and per-spec
+/// store_hit flags; v1 readers that index specs[] keep working.
 [[nodiscard]] std::string report_json(const batch_report& r);
 
 /// Compact per-spec table plus the aggregate line, for terminal output.

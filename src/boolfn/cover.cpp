@@ -387,7 +387,8 @@ struct bnb_state {
 
 }  // namespace
 
-cover minimize_exact(const sop_spec& spec, const exact_limits& lim, bool* was_exact) {
+cover minimize_exact(const sop_spec& spec, const exact_limits& lim, bool* was_exact,
+                     const cover* heuristic_seed) {
     if (was_exact) *was_exact = true;
     cover out;
     out.nvars = spec.nvars;
@@ -427,13 +428,26 @@ cover minimize_exact(const sop_spec& spec, const exact_limits& lim, bool* was_ex
         for (std::size_t p = 0; p < unique.size(); ++p)
             if (unique[p].covers(spec.on[m])) bnb.covers_of[m].push_back(p);
 
-    // Seed the bound with the heuristic solution.
-    cover heur = minimize_heuristic(spec);
+    // Seed the bound with the heuristic solution -- or with the caller's
+    // warm-start cover, skipping the re-minimisation.  The bound only prunes
+    // partial selections already at least as costly as the incumbent, and the
+    // incumbent update is strict (<), so the first depth-first solution of
+    // minimal cost wins under *any* valid seed: a completed search returns
+    // the identical cover warm or cold.
+    const bool seeded = heuristic_seed && verify_cover(*heuristic_seed, spec);
+    cover heur = seeded ? *heuristic_seed : minimize_heuristic(spec);
     bnb.best_cost = heur.cubes.size() * 1000 + heur.literal_count() + 1;
 
     std::vector<std::size_t> chosen;
     std::vector<int> covered(spec.on.size(), 0);
     bnb.search(chosen, covered, spec.on.size());
+    // The bound-independence argument above only holds for a *completed*
+    // search: an aborted one returns whatever the node budget reached, which
+    // the seed's (possibly different) bound can shift, and the abort
+    // fallbacks below would hand back the seed itself instead of the cold
+    // path's own heuristic.  Re-running cold on this rare path keeps
+    // minimize_exact bit-identical with and without a seed on every input.
+    if (seeded && bnb.aborted) return minimize_exact(spec, lim, was_exact, nullptr);
     if (bnb.aborted && bnb.best.empty()) {
         if (was_exact) *was_exact = false;
         return heur;

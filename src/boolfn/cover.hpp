@@ -94,8 +94,18 @@ struct exact_limits {
 /// Exact minimiser (all primes + branch-and-bound set cover).  Falls back to
 /// the heuristic result when the limits are exceeded; `*was_exact` reports
 /// which happened.
+///
+/// @p heuristic_seed, when non-null and a valid cover of @p spec, substitutes
+/// for the internal minimize_heuristic() call that seeds the branch-and-bound
+/// incumbent -- the warm-start hook the logic stage feeds from the search's
+/// literal_memo.  The result is identical for every valid seed: a completed
+/// set cover is bound-independent (the incumbent update is strict), and a
+/// search that hits the node budget is re-run cold, so only the saved
+/// heuristic pass -- never the answer -- depends on the seed.  An invalid
+/// seed is ignored.
 [[nodiscard]] cover minimize_exact(const sop_spec& spec, const exact_limits& lim = {},
-                                   bool* was_exact = nullptr);
+                                   bool* was_exact = nullptr,
+                                   const cover* heuristic_seed = nullptr);
 
 /// True iff the cover includes every ON minterm and excludes every OFF one.
 [[nodiscard]] bool verify_cover(const cover& c, const sop_spec& spec);

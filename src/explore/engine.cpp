@@ -65,7 +65,11 @@ search_result reduce_concurrency_incremental(const subgraph& initial,
 
     const state_graph& base = initial.base();
     const context ctx = make_context(base, opt.cost);
-    literal_memo memo;
+    // Heap-allocated so the result can hand the memo (exact covers per spec
+    // key) onward: the pipeline's logic stage warm-starts its exact
+    // minimisation from the winning candidate's covers (see pipeline.cpp).
+    auto memo_ptr = std::make_shared<literal_memo>();
+    literal_memo& memo = *memo_ptr;
 
     // One persistent pool per search (ROADMAP item): the per-level phases
     // dispatch several small batches each, and constructing a fresh pool per
@@ -77,6 +81,7 @@ search_result reduce_concurrency_incremental(const subgraph& initial,
     search_result res;
     res.best = initial;
     res.explored = 1;
+    res.memo = memo_ptr;
 
     std::vector<node> frontier(1);
     frontier[0].g = initial;

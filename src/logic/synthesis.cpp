@@ -126,7 +126,14 @@ synthesis_result synthesize(const subgraph& g, const synthesis_options& opt) {
 
         signal_impl impl;
         impl.signal = sig;
-        impl.function = minimize(ns.spec, opt.exact);
+        if (opt.exact && opt.warm_cover) {
+            ++res.warm_lookups;
+            std::shared_ptr<const cover> warm = opt.warm_cover(ns.spec);
+            if (warm) ++res.warm_hits;
+            impl.function = minimize_exact(ns.spec, {}, nullptr, warm.get());
+        } else {
+            impl.function = minimize(ns.spec, opt.exact);
+        }
         // The dominance bounds of boolfn/incremental_cover floor every valid
         // cover; cross-checking them against each synthesised function keeps
         // the search's pruning argument honest on every circuit the

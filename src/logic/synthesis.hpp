@@ -17,6 +17,8 @@
 // exactly as in Table 1.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -71,12 +73,25 @@ struct circuit {
 struct synthesis_options {
     gate_library lib;
     bool exact = true;  ///< use the exact minimiser for final equations
+    /// Optional warm-start source for the exact minimiser: given a signal's
+    /// next-state spec, returns an already-minimised heuristic cover of the
+    /// *same* spec (or null).  The pipeline wires this to the Fig. 9 search's
+    /// literal_memo (keyed by explore::key_of_spec), closing the ROADMAP
+    /// "logic re-enumerates from scratch" item: on a key match the exact
+    /// set cover is seeded with the memoised cover instead of re-running the
+    /// heuristic minimiser.  Results are unchanged -- the seed only prunes
+    /// (see minimize_exact) and an invalid cover is ignored -- pinned by the
+    /// cold-vs-warm equivalence test in tests/test_logic.cpp.  Ignored when
+    /// !exact.
+    std::function<std::shared_ptr<const cover>(const sop_spec&)> warm_cover;
 };
 
 struct synthesis_result {
     bool ok = false;
     std::string message;  ///< failure diagnostic (e.g. CSC conflict)
     circuit ckt;
+    std::size_t warm_lookups = 0;  ///< warm_cover consultations (one per signal)
+    std::size_t warm_hits = 0;     ///< consultations that returned a cover
 };
 
 [[nodiscard]] synthesis_result synthesize(const subgraph& g, const synthesis_options& opt);

@@ -1,0 +1,64 @@
+// Unix-domain-socket daemon around service::engine, plus the matching
+// one-shot client -- the transports behind `asynth serve` / `asynth client`.
+//
+// Protocol: line-delimited JSON over SOCK_STREAM (docs/SERVICE.md).  Each
+// request line gets exactly one response line; a connection may pipeline any
+// number of requests and responses come back as each finishes (correlate
+// with the echoed "id" -- concurrent requests of one connection may complete
+// out of order).
+//
+// Threading model (one daemon = three kinds of thread):
+//
+//   main        poll() over the listen socket, every connection and two
+//               self-pipes; owns all fds, parses lines, answers the cheap
+//               ops (ping/stats) inline and queues synth requests;
+//   dispatcher  pops the bounded queue in batches and fans them out over a
+//               persistent batch::work_stealing_pool;
+//   workers     run engine::execute() and write the response back under the
+//               connection's write mutex.
+//
+// The queue is bounded (service_options::queue_capacity): when it is full
+// the daemon answers `{"ok":false,"error":"queue full"}` *immediately*
+// instead of reading ever more requests into memory -- backpressure is the
+// client's signal to retry, and an overload can never OOM the daemon.
+//
+// Graceful drain: SIGTERM/SIGINT (or an op:"shutdown" request) stops
+// accepting connections and new synth work, lets everything queued or in
+// flight finish and flush, writes the --report file if asked, removes the
+// socket and exits 0.  Because the store commits each record the moment it
+// is synthesised (temp-file + rename, store/result_store.hpp), killing the
+// daemon *hard* (SIGKILL) mid-request loses only the in-flight work; the
+// store is never corrupted -- the robustness tests in tests/test_store.cpp
+// pin the on-disk half of that claim.
+#pragma once
+
+#include <string>
+
+#include "service/service.hpp"
+
+namespace asynth::service {
+
+struct server_options {
+    service_options service;
+    std::string socket_path = "asynth.sock";  ///< bind path (<= ~100 bytes)
+    std::string report_file;  ///< drain report (BENCH_pipeline.json schema); "" = none
+    bool verbose = true;      ///< lifecycle lines on stdout
+};
+
+/// Runs the daemon until a drain trigger; returns a process exit code
+/// (0 = clean drain, 1 = setup failure such as an unbindable socket).
+[[nodiscard]] int run_server(const server_options& opt);
+
+struct client_options {
+    std::string socket_path = "asynth.sock";
+    double connect_timeout_seconds = 5.0;    ///< retry window while the daemon boots
+    double response_timeout_seconds = 600.0; ///< synthesis can legitimately take minutes
+};
+
+/// Sends one request line and receives one response line.  Returns 0 when
+/// the response says ok:true, 1 when it says ok:false, 2 on connect/timeout/
+/// transport errors (@p response then holds a diagnostic, not JSON).
+[[nodiscard]] int run_client(const client_options& opt, const std::string& request_line,
+                             std::string& response);
+
+}  // namespace asynth::service

@@ -40,6 +40,27 @@ inline void hash128_combine(hash128& h, uint64_t v) noexcept {
     h.lo = splitmix64(h.lo + 0x6a09e667f3bcc909ULL + (v << 1 | v >> 63));
 }
 
+/// 128-bit hash of a byte string: 8-byte little-endian chunks chained with
+/// hash128_combine, the tail zero-padded, the length folded in last (so
+/// "ab"+"c" and "abc" cannot collide by construction).  Used as the content
+/// address of the result store and as record payload checksums.
+inline hash128 hash128_bytes(const char* data, std::size_t size) noexcept {
+    hash128 h;
+    std::size_t i = 0;
+    for (; i + 8 <= size; i += 8) {
+        uint64_t w = 0;
+        for (std::size_t b = 0; b < 8; ++b)
+            w |= static_cast<uint64_t>(static_cast<unsigned char>(data[i + b])) << (8 * b);
+        hash128_combine(h, w);
+    }
+    uint64_t tail = 0;
+    for (std::size_t b = 0; i + b < size; ++b)
+        tail |= static_cast<uint64_t>(static_cast<unsigned char>(data[i + b])) << (8 * b);
+    hash128_combine(h, tail);
+    hash128_combine(h, static_cast<uint64_t>(size));
+    return h;
+}
+
 template <typename T>
 void hash_combine_value(std::size_t& seed, const T& v) noexcept {
     hash_combine(seed, std::hash<T>{}(v));

@@ -183,9 +183,15 @@ TEST(batch, report_json_is_schema_stable) {
     // documented keys in a fixed order.
     EXPECT_EQ(json.front(), '{');
     EXPECT_EQ(json[json.size() - 2], '}');
-    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
     EXPECT_NE(json.find("\"tool\": \"asynth batch\""), std::string::npos);
     EXPECT_NE(json.find("\"specs_per_second\": "), std::string::npos);
+    // schema_version 2: store efficiency + queue-wait aggregates are always
+    // present (zero for a storeless sweep) so readers can rely on the keys.
+    EXPECT_NE(json.find("\"store_hits\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"store_misses\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"queue_wait_p90_ms\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"store_hit\": false"), std::string::npos);
     EXPECT_NE(json.find("\"stage_percentiles\": ["), std::string::npos);
     EXPECT_NE(json.find("\"specs\": ["), std::string::npos);
     EXPECT_LT(json.find("\"schema_version\""), json.find("\"stage_percentiles\""));

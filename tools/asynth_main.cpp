@@ -9,10 +9,17 @@
 // workload on a work-stealing thread pool and can serialise the corpus-level
 // report as BENCH_pipeline.json (see docs/CLI.md for the full reference):
 //
+// The `serve` subcommand runs the same engine as a long-lived daemon behind
+// a Unix-domain socket with a content-addressed result store in front
+// (docs/SERVICE.md), and `client` scripts requests against it:
+//
 //   asynth --corpus fig1
 //   asynth --strategy full --w 0.2 spec.g
 //   asynth --corpus lr --out reduced.g
 //   asynth batch --count 64 --jobs 0 --report BENCH_pipeline.json
+//   asynth batch --store results/ --count 64     # resumable sweep
+//   asynth serve --socket svc.sock --store results/
+//   asynth client --socket svc.sock --corpus lr
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +36,7 @@
 #include "benchmarks/generate.hpp"
 #include "petri/astg_io.hpp"
 #include "pipeline/pipeline.hpp"
+#include "service/server.hpp"
 
 namespace {
 
@@ -39,6 +47,8 @@ void print_usage(std::FILE* to) {
                  "usage: asynth [options] <spec.g>\n"
                  "       asynth [options] --corpus <name>\n"
                  "       asynth batch [batch options]\n"
+                 "       asynth serve [serve options]\n"
+                 "       asynth client [client options] [<spec.g>]\n"
                  "\n"
                  "Runs the full synthesis pipeline: parse -> handshake expansion -> state\n"
                  "graph -> concurrency-reduction search (Fig. 9) -> CSC resolution -> logic\n"
@@ -90,9 +100,35 @@ void print_usage(std::FILE* to) {
                  "  --choice <x>          generator free-choice probability in [0,1]\n"
                  "                        (default 0.15)\n"
                  "  --no-corpus           sweep only the generated workload\n"
+                 "  --store <dir>         consult/fill a content-addressed result store;\n"
+                 "                        finished specs are skipped on re-runs\n"
                  "  --report <file>       write the corpus report as JSON\n"
                  "                        (BENCH_pipeline.json format)\n"
-                 "  -q, --quiet           suppress the per-spec table\n");
+                 "  -q, --quiet           suppress the per-spec table\n"
+                 "\n"
+                 "serve subcommand (long-running daemon; see docs/SERVICE.md):\n"
+                 "  --socket <path>       Unix-domain socket to bind (default asynth.sock)\n"
+                 "  --store <dir>         content-addressed result store (default: off)\n"
+                 "  --jobs <n>            synthesis workers; 0 = all hardware cores\n"
+                 "                        (default 0)\n"
+                 "  --queue <n>           bounded request queue capacity (default 64);\n"
+                 "                        overflow answers {\"error\":\"queue full\"}\n"
+                 "  --report <file>       write a batch-format report on drain\n"
+                 "  -q, --quiet           suppress lifecycle output\n"
+                 "  SIGTERM/SIGINT (or an op:\"shutdown\" request) drain gracefully:\n"
+                 "  queued work finishes, responses flush, exit code 0.\n"
+                 "\n"
+                 "client subcommand (one request per invocation, line-JSON protocol):\n"
+                 "  --socket <path>       daemon socket (default asynth.sock)\n"
+                 "  --op <op>             synth | stats | ping | shutdown (default synth)\n"
+                 "  <spec.g> | --corpus <name>   specification for op synth\n"
+                 "  --name <label>        spec label in the daemon's report\n"
+                 "  --id <n>              correlation id echoed in the response\n"
+                 "  --w <x> | --strategy <s>     per-request option overrides\n"
+                 "  --no-store            bypass the daemon's result store\n"
+                 "  --timeout <s>         response timeout seconds (default 600)\n"
+                 "  -q, --quiet           print nothing; the exit code is the verdict\n"
+                 "  exit codes: 0 ok, 1 request failed, 2 transport/usage error\n");
 }
 
 [[nodiscard]] bool parse_double(const char* s, double& out) {
@@ -157,7 +193,7 @@ int run_batch_cli(int argc, char** argv) {
     uint64_t seed = 1;
     std::size_t count = 64;
     bool use_corpus = true, quiet = false;
-    std::string report_file;
+    std::string report_file, store_dir;
 
     auto need_value = [&](int& i, const char* flag) -> const char* {
         if (i + 1 >= argc) {
@@ -210,6 +246,8 @@ int run_batch_cli(int argc, char** argv) {
             if (!parse_unit("--choice", need_value(i, "--choice"), gen.choice)) return 2;
         } else if (arg == "--no-corpus") {
             use_corpus = false;
+        } else if (arg == "--store") {
+            store_dir = need_value(i, "--store");
         } else if (arg == "--report") {
             report_file = need_value(i, "--report");
         } else if (arg == "-q" || arg == "--quiet") {
@@ -218,6 +256,15 @@ int run_batch_cli(int argc, char** argv) {
             std::fprintf(stderr, "asynth batch: unknown option '%s' (see --help)\n", arg.c_str());
             return 2;
         }
+    }
+
+    if (!store_dir.empty()) {
+        opt.store = store::result_store::open(store_dir);
+        // A store that cannot be opened degrades to a cold sweep; that must
+        // be loud (the user asked for resumability) but not fatal.
+        if (!opt.store.enabled())
+            std::fprintf(stderr, "asynth batch: %s (continuing without a store)\n",
+                         opt.store.message().c_str());
     }
 
     std::vector<benchmarks::named_spec> specs;
@@ -251,10 +298,161 @@ int run_batch_cli(int argc, char** argv) {
     return report.failed == 0 ? 0 : 1;
 }
 
+/// `asynth serve`: the synthesis daemon (service/server.hpp).
+int run_serve_cli(int argc, char** argv) {
+    service::server_options opt;
+    auto need_value = [&](int& i, const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "asynth serve: %s requires a value\n", flag);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            print_usage(stdout);
+            return 0;
+        } else if (arg == "--socket") {
+            opt.socket_path = need_value(i, "--socket");
+        } else if (arg == "--store") {
+            opt.service.store_dir = need_value(i, "--store");
+        } else if (arg == "--jobs") {
+            if (!parse_size("--jobs", need_value(i, "--jobs"), opt.service.jobs)) return 2;
+        } else if (arg == "--queue") {
+            if (!parse_size("--queue", need_value(i, "--queue"), opt.service.queue_capacity))
+                return 2;
+            if (opt.service.queue_capacity == 0) {
+                std::fprintf(stderr, "asynth serve: --queue must be at least 1\n");
+                return 2;
+            }
+        } else if (arg == "--report") {
+            opt.report_file = need_value(i, "--report");
+        } else if (arg == "-q" || arg == "--quiet") {
+            opt.verbose = false;
+        } else {
+            std::fprintf(stderr, "asynth serve: unknown option '%s' (see --help)\n", arg.c_str());
+            return 2;
+        }
+    }
+    return service::run_server(opt);
+}
+
+/// `asynth client`: builds one protocol line, sends it, prints the response.
+int run_client_cli(int argc, char** argv) {
+    service::client_options opt;
+    std::string op = "synth", corpus_name, input_file, name;
+    std::size_t id = 0;
+    bool quiet = false, no_store = false;
+    double w = -1.0;
+    std::string strategy;
+
+    auto need_value = [&](int& i, const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "asynth client: %s requires a value\n", flag);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            print_usage(stdout);
+            return 0;
+        } else if (arg == "--socket") {
+            opt.socket_path = need_value(i, "--socket");
+        } else if (arg == "--op") {
+            op = need_value(i, "--op");
+        } else if (arg == "--corpus") {
+            corpus_name = need_value(i, "--corpus");
+        } else if (arg == "--name") {
+            name = need_value(i, "--name");
+        } else if (arg == "--id") {
+            if (!parse_size("--id", need_value(i, "--id"), id)) return 2;
+        } else if (arg == "--w") {
+            if (!parse_double(need_value(i, "--w"), w) || w < 0 || w > 1) {
+                std::fprintf(stderr, "asynth client: --w expects a number in [0,1]\n");
+                return 2;
+            }
+        } else if (arg == "--strategy") {
+            strategy = need_value(i, "--strategy");
+        } else if (arg == "--no-store") {
+            no_store = true;
+        } else if (arg == "--timeout") {
+            double t = 0;
+            if (!parse_double(need_value(i, "--timeout"), t) || !(t > 0)) {
+                std::fprintf(stderr, "asynth client: --timeout expects seconds > 0\n");
+                return 2;
+            }
+            opt.response_timeout_seconds = t;
+        } else if (arg == "-q" || arg == "--quiet") {
+            quiet = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "asynth client: unknown option '%s' (see --help)\n",
+                         arg.c_str());
+            return 2;
+        } else if (input_file.empty()) {
+            input_file = arg;
+        } else {
+            std::fprintf(stderr, "asynth client: more than one input file\n");
+            return 2;
+        }
+    }
+
+    service::json_line line;
+    line.field("op", op);
+    if (id != 0) line.field("id", static_cast<std::uint64_t>(id));
+    if (op == "synth") {
+        std::string spec_text;
+        if (input_file.empty() == corpus_name.empty()) {
+            std::fprintf(stderr,
+                         "asynth client: op synth needs exactly one of <spec.g> or --corpus\n");
+            return 2;
+        }
+        if (!corpus_name.empty()) {
+            const benchmarks::corpus_entry* entry = nullptr;
+            for (const auto& e : benchmarks::corpus_table())
+                if (corpus_name == e.name) entry = &e;
+            if (!entry) {
+                std::fprintf(stderr, "asynth client: unknown corpus entry '%s'\n",
+                             corpus_name.c_str());
+                return 2;
+            }
+            spec_text = write_astg(entry->make());
+            if (name.empty()) name = corpus_name;
+        } else {
+            std::ifstream in(input_file);
+            if (!in) {
+                std::fprintf(stderr, "asynth client: cannot open '%s'\n", input_file.c_str());
+                return 2;
+            }
+            std::ostringstream text;
+            text << in.rdbuf();
+            spec_text = text.str();
+        }
+        line.field("spec", spec_text);
+        if (!name.empty()) line.field("name", name);
+        if (w >= 0.0) line.field("w", w);
+        if (!strategy.empty()) line.field("strategy", strategy);
+        if (no_store) line.field("no_store", true);
+    }
+
+    std::string response;
+    const int code = service::run_client(opt, std::move(line).finish(), response);
+    if (code == 2) {
+        std::fprintf(stderr, "asynth client: %s\n", response.c_str());
+        return 2;
+    }
+    if (!quiet) std::printf("%s\n", response.c_str());
+    return code;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     if (argc > 1 && std::strcmp(argv[1], "batch") == 0) return run_batch_cli(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0) return run_serve_cli(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "client") == 0) return run_client_cli(argc, argv);
     pipeline_options opt;
     std::string input_file, corpus_name, out_file, dot_file;
     bool quiet = false, print_spec = false;

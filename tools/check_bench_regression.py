@@ -6,7 +6,10 @@ BENCH_pipeline.json (checked in at the repo root) and a freshly generated
 report, over the *intersection* of spec names (the baseline sweeps more specs
 than the CI smoke run).  Repeat --stage to guard several stages in one run
 (the nightly workflow watches `reduce` and `logic`); the exit code reports
-the worst verdict across them.
+the worst verdict across them.  Report schema_versions 1 and 2 are both
+accepted (v2 only adds store/queue aggregates above the specs[] this reads).
+Do NOT feed it a store-warmed report: a hit's timings describe the producing
+run, not this machine.
 
 Raw milliseconds are not comparable across machines, so by default the stage
 total is normalised by a calibration total -- the sum of the `expand` and
@@ -38,15 +41,22 @@ def die(message):
     sys.exit(2)
 
 
+SUPPORTED_SCHEMAS = (1, 2)  # v2 adds store hit/miss + queue-wait aggregates;
+                            # the per-spec layout this tool reads is shared.
+
+
 def load_specs(path):
     try:
         with open(path) as f:
             report = json.load(f)
     except (OSError, ValueError) as e:
         die(f"error: cannot read {path}: {e}")
+    if report.get("schema_version") not in SUPPORTED_SCHEMAS:
+        die(f"error: {path} has schema_version {report.get('schema_version')!r} "
+            f"(supported: {SUPPORTED_SCHEMAS})")
     specs = report.get("specs")
     if not isinstance(specs, list) or not specs:
-        die(f"error: {path} has no specs[] (schema_version 1 expected)")
+        die(f"error: {path} has no specs[]")
     return {s["name"]: s for s in specs if "name" in s}
 
 

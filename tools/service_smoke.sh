@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the synthesis service: start `asynth serve` with a
+# result store, fire N concurrent client requests twice (distinct specs per
+# request), assert the second pass is >= 90% store hits, then SIGTERM the
+# daemon and assert it drains cleanly (exit 0, socket removed).
+#
+# Usage: service_smoke.sh <asynth-binary> <workdir> [concurrency]
+#
+# The same script backs the CTest `service_smoke` target (concurrency 4) and
+# the CI service-smoke job (concurrency 8, store uploaded as an artifact).
+set -u
+
+ASYNTH=${1:?usage: service_smoke.sh <asynth-binary> <workdir> [concurrency]}
+WORKDIR=${2:?usage: service_smoke.sh <asynth-binary> <workdir> [concurrency]}
+N=${3:-8}
+
+fail() { echo "service_smoke: FAIL: $*" >&2; exit 1; }
+
+# Absolutise the binary: the script cds into WORKDIR (callers may pass
+# ./build/asynth).
+[ -x "$ASYNTH" ] || fail "not an executable: $ASYNTH"
+ASYNTH=$(cd "$(dirname "$ASYNTH")" && pwd)/$(basename "$ASYNTH")
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR" || fail "cannot create $WORKDIR"
+cd "$WORKDIR" || fail "cannot enter $WORKDIR"
+SOCKET=svc.sock   # relative: AF_UNIX paths are length-limited
+
+# Eight distinct specs: the embedded corpus, cycled if N > 8.
+CORPUS=(fig1 lr qmodule lr_full fig6 par par_manual mmu)
+
+"$ASYNTH" serve --socket "$SOCKET" --store store --jobs 2 --queue 64 \
+    --report serve_report.json > serve.log 2>&1 &
+SERVER_PID=$!
+trap 'kill -9 $SERVER_PID 2>/dev/null' EXIT
+
+run_pass() {  # $1 = pass index; writes resp_<pass>_<i>.json
+    local pass=$1 pids=() i rc=0
+    for ((i = 0; i < N; i++)); do
+        "$ASYNTH" client --socket "$SOCKET" --corpus "${CORPUS[i % 8]}" \
+            --id $((pass * 1000 + i)) > "resp_${pass}_${i}.json" &
+        pids+=($!)
+    done
+    for p in "${pids[@]}"; do wait "$p" || rc=1; done
+    return $rc
+}
+
+run_pass 1 || fail "first pass had failing requests"
+run_pass 2 || fail "second pass had failing requests"
+
+# Every response must be completed; the second pass must be >= 90% hits.
+hits=0
+for ((i = 0; i < N; i++)); do
+    grep -q '"completed":true' "resp_1_${i}.json" || fail "pass 1 request $i not completed: $(cat "resp_1_${i}.json")"
+    grep -q '"completed":true' "resp_2_${i}.json" || fail "pass 2 request $i not completed: $(cat "resp_2_${i}.json")"
+    grep -q '"store":"hit"' "resp_2_${i}.json" && hits=$((hits + 1))
+done
+[ $((hits * 10)) -ge $((N * 9)) ] || fail "second pass: only $hits/$N store hits (need >= 90%)"
+
+# Stats must agree that the store served the second pass.
+"$ASYNTH" client --socket "$SOCKET" --op stats > stats.json || fail "stats request failed"
+grep -q '"store_enabled":true' stats.json || fail "store not enabled: $(cat stats.json)"
+
+# Graceful drain on SIGTERM: exit code 0, socket gone, drain line logged.
+kill -TERM $SERVER_PID
+SERVER_RC=-1
+for _ in $(seq 1 100); do
+    if ! kill -0 $SERVER_PID 2>/dev/null; then wait $SERVER_PID; SERVER_RC=$?; break; fi
+    sleep 0.1
+done
+trap - EXIT
+[ "$SERVER_RC" = "0" ] || fail "server exit code $SERVER_RC after SIGTERM (log: $(cat serve.log))"
+[ ! -e "$SOCKET" ] || fail "socket not removed on drain"
+grep -q "drained cleanly" serve.log || fail "no clean-drain line in serve.log: $(cat serve.log)"
+[ -s serve_report.json ] || fail "drain report not written"
+grep -q '"schema_version": 2' serve_report.json || fail "drain report is not schema v2"
+
+# The store survives the daemon and is shared across tools: a batch sweep
+# over the embedded corpus against the same store must hit every spec the
+# service already synthesised (batch and service use one key discipline).
+"$ASYNTH" batch --count 0 --store store --report batch_resume.json -q \
+    || fail "batch resume against the service store failed"
+want=$((N < 8 ? N : 8))
+got=$(grep -o '"store_hits": [0-9]*' batch_resume.json | head -1 | grep -o '[0-9]*$')
+[ "${got:-0}" -ge "$want" ] || fail "batch resume: $got corpus hits (need >= $want)"
+
+echo "service_smoke: OK ($hits/$N second-pass hits; $got batch-resume hits; artifacts in $WORKDIR)"
+exit 0

@@ -34,6 +34,21 @@ inline fragment call_fragment(stg& net, int32_t channel) {
     return fragment{{send}, {recv}};
 }
 
+/// A modulo-@p repeats counter step: `repeats` sequential calls on the ONE
+/// channel @p channel (c! ; c? ; c!/2 ; c?/2 ; ...).  add_transition assigns
+/// the instance numbers, so the same signal carries several distinguishable
+/// transition pairs -- the multi-instance shape the single-call corpus never
+/// produces.
+inline fragment counter_fragment(stg& net, int32_t channel, int repeats) {
+    fragment acc = call_fragment(net, channel);
+    for (int i = 1; i < repeats; ++i) {
+        fragment step = call_fragment(net, channel);
+        net.connect(acc.exits.front(), step.entries.front());
+        acc.exits = std::move(step.exits);
+    }
+    return acc;
+}
+
 /// Marked-graph sequence: every exit of @p a feeds every entry of @p b
 /// through its own implicit place (fork/join-correct for multi-boundary
 /// sides).

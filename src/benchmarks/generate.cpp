@@ -5,40 +5,196 @@
 
 #include "benchmarks/fragment_builder.hpp"
 #include "petri/astg_io.hpp"
+#include "util/error.hpp"
 #include "util/hash.hpp"
 
 namespace asynth::benchmarks {
 
+void validate_generator_options(const generator_options& opt) {
+    auto probability = [](double v, const char* knob) {
+        // !(in range) also catches NaN.
+        if (!(v >= 0.0 && v <= 1.0))
+            throw error(std::string("generator: ") + knob +
+                        " must be a probability in [0, 1], got " + std::to_string(v));
+    };
+    require(opt.size >= 1, "generator: size must be >= 1, got " + std::to_string(opt.size));
+    require(opt.max_width >= 1,
+            "generator: max_width must be >= 1, got " + std::to_string(opt.max_width));
+    require(opt.max_fanout >= 2,
+            "generator: max_fanout must be >= 2, got " + std::to_string(opt.max_fanout));
+    probability(opt.concurrency, "concurrency");
+    probability(opt.choice, "choice");
+    probability(opt.arbitration, "arbitration");
+    probability(opt.counter, "counter");
+    require(opt.min_choice_ways >= 2, "generator: min_choice_ways must be >= 2, got " +
+                                          std::to_string(opt.min_choice_ways));
+    require(opt.min_choice_ways <= opt.max_fanout,
+            "generator: min_choice_ways " + std::to_string(opt.min_choice_ways) +
+                " exceeds max_fanout " + std::to_string(opt.max_fanout) +
+                "; a select can never have that many branches");
+    int select_cost = 2 + 2 * opt.min_choice_ways;  // 2 sequencers + k guards + k branches
+    if (opt.choice >= 1.0 && opt.size < select_cost)
+        throw error("generator: choice = 1 demands a select, but a " +
+                    std::to_string(opt.min_choice_ways) + "-way select costs " +
+                    std::to_string(select_cost) + " channels and size is only " +
+                    std::to_string(opt.size));
+    if (opt.choice > 0.0 && opt.min_choice_ways > 2 && opt.size < select_cost)
+        throw error("generator: min_choice_ways " + std::to_string(opt.min_choice_ways) +
+                    " needs size >= " + std::to_string(select_cost) +
+                    " for any select to fit, got size " + std::to_string(opt.size));
+    if (opt.arbitration > 0.0 && opt.size < 4)
+        throw error(
+            "generator: arbitration needs size >= 4 (two one-call branches plus two critical "
+            "channels), got size " +
+            std::to_string(opt.size));
+    if (opt.arbitration > 0.0 && opt.max_width < 2)
+        throw error(
+            "generator: arbitration branches contend concurrently and need max_width >= 2, got "
+            "max_width " +
+            std::to_string(opt.max_width));
+}
+
+int spec_node::channels() const {
+    switch (k) {
+        case kind::call:
+        case kind::counter:
+            return 1;
+        default:
+            break;
+    }
+    int sum = 0;
+    for (const auto& c : children) sum += c.channels();
+    if (k == kind::choice) sum += 2 + static_cast<int>(children.size());
+    if (k == kind::arbitration) sum += static_cast<int>(children.size());
+    return sum;
+}
+
+bool spec_node::contains(kind kk) const {
+    if (k == kk) return true;
+    for (const auto& c : children)
+        if (c.contains(kk)) return true;
+    return false;
+}
+
 namespace {
 
-// Composition primitives (fragment, call/seq/par, trigger wrapping) are the
-// shared ones from fragment_builder.hpp; choice nodes below are normalised
-// to single-entry/single-exit so fragments always compose safely with
-// all-to-all implicit places.
 using detail::fragment;
+using node_kind = spec_node::kind;
 
-struct generator {
-    stg net;
+// ---- layer 1: PRNG decisions -> spec_node tree ----------------------------
+//
+// The draw sequence for legacy options is load-bearing: BENCH_pipeline.json
+// baselines and the pinned generator tests identify specs by (seed, options),
+// so every draw the pre-recipe implementation made is preserved verbatim and
+// every NEW knob short-circuits its draw away when disabled (the `opt.x > 0
+// &&` guards below consume no PRNG state at the 0.0 defaults).
+struct recipe_builder {
     xorshift64 rng;
-    int next_call = 0;    // active call channels a0, a1, ...
-    int next_guard = 0;   // passive select-guard channels s0, s1, ...
-    int next_seq = 0;     // choice-bracketing sequencer channels q0, q1, ...
-    int next_place = 0;   // explicit split/merge places
     const generator_options& opt;
 
-    explicit generator(uint64_t seed, const generator_options& o)
+    explicit recipe_builder(uint64_t seed, const generator_options& o)
         // Same seed-conditioning constant as random_handshake_spec so the two
         // generators never alias each other's streams.
         : rng(seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL), opt(o) {}
 
-    /// An active handshake call on a fresh channel: a! ; a?.
+    /// Splits @p total into exactly @p parts random shares (each >= 1).
+    std::vector<int> split_into(int total, int parts) {
+        std::vector<int> sizes(static_cast<std::size_t>(parts), 1);
+        for (int extra = total - parts; extra > 0; --extra)
+            ++sizes[rng.next_below(sizes.size())];
+        return sizes;
+    }
+
+    /// Picks a branch count in [kmin, max_k] (one draw unless forced).
+    int pick_ways(int max_k, int kmin) {
+        if (max_k <= kmin) return kmin;
+        return kmin + static_cast<int>(rng.next_below(static_cast<uint64_t>(max_k - kmin + 1)));
+    }
+
+    /// Builds a tree spending exactly @p budget channels, never exceeding
+    /// @p width simultaneously active calls: a parallel or arbitration node
+    /// splits the width among its children, a sequence or choice hands the
+    /// full width to each child (choice branches are alternatives, not
+    /// concurrent).
+    spec_node body(int budget, int width) {
+        if (budget <= 1) {
+            spec_node leaf;
+            if (opt.counter > 0.0 && rng.next_bool(opt.counter)) {
+                leaf.k = node_kind::counter;
+                leaf.repeats = 2 + static_cast<int>(rng.next_below(3));  // 2..4 steps
+            }
+            return leaf;
+        }
+        int fanout = std::max(2, opt.max_fanout);
+        int kmin = std::max(2, opt.min_choice_ways);
+
+        // A k-way arbitration costs one critical channel per branch on top of
+        // the k one-call-minimum branch bodies, so it needs budget >= 2k; its
+        // branches contend concurrently, so it also needs width >= 2.
+        if (opt.arbitration > 0.0 && budget >= 4 && width >= 2 && rng.next_bool(opt.arbitration)) {
+            int max_k = std::min({fanout, budget / 2, width});
+            int k = pick_ways(max_k, 2);
+            auto shares = split_into(budget - k, k);
+            spec_node n;
+            n.k = node_kind::arbitration;
+            n.children.reserve(shares.size());
+            for (std::size_t i = 0; i < shares.size(); ++i) {
+                int child_width = width / k + (static_cast<int>(i) < width % k ? 1 : 0);
+                n.children.push_back(body(shares[i], child_width));
+            }
+            return n;
+        }
+
+        // A k-branch select costs 2 sequencers + k guards on top of its
+        // branch bodies (k channels minimum), so it needs budget >= 2 + 2k.
+        if (budget >= 2 + 2 * kmin && rng.next_bool(opt.choice)) {
+            int max_k = std::min(fanout, (budget - 2) / 2);
+            int k = pick_ways(max_k, kmin);
+            auto shares = split_into(budget - 2 - k, k);
+            spec_node n;
+            n.k = node_kind::choice;
+            n.children.reserve(shares.size());
+            for (int s : shares) n.children.push_back(body(s, width));
+            return n;
+        }
+
+        int parts = 2 + static_cast<int>(rng.next_below(static_cast<uint64_t>(fanout - 1)));
+        parts = std::min(parts, budget);
+        auto shares = split_into(budget, parts);
+        bool parallel = width >= parts && rng.next_bool(opt.concurrency);
+        spec_node n;
+        n.k = parallel ? node_kind::parallel : node_kind::sequence;
+        n.children.reserve(shares.size());
+        for (std::size_t i = 0; i < shares.size(); ++i) {
+            int child_width = width;
+            if (parallel) {
+                // Divide the width budget; the first children absorb the rest.
+                child_width = width / parts + (static_cast<int>(i) < width % parts ? 1 : 0);
+            }
+            n.children.push_back(body(shares[i], child_width));
+        }
+        return n;
+    }
+};
+
+// ---- layer 2: spec_node tree -> stg (pure, no PRNG) -----------------------
+
+struct materializer {
+    stg net;
+    int next_call = 0;     // active call channels a0, a1, ...
+    int next_counter = 0;  // counter channels c0, c1, ...
+    int next_guard = 0;    // passive select-guard channels s0, s1, ...
+    int next_seq = 0;      // choice-bracketing sequencer channels q0, q1, ...
+    int next_mutex = 0;    // arbitration critical-section channels m0, m1, ...
+    int next_place = 0;    // explicit select split/merge places
+    int next_arb = 0;      // explicit arbitration mutex places
+
+    /// An active handshake call on a fresh channel: c! ; c?.
     fragment call(const char* prefix, int& counter) {
         auto c = static_cast<int32_t>(
             net.add_signal(prefix + std::to_string(counter++), signal_kind::channel));
         return detail::call_fragment(net, c);
     }
-
-    fragment leaf() { return call("a", next_call); }
 
     fragment seq2(fragment a, fragment b) {
         return detail::seq_fragments(net, std::move(a), std::move(b));
@@ -76,70 +232,83 @@ struct generator {
         return fragment{std::move(in.entries), std::move(out.exits)};
     }
 
-    /// Splits @p total into exactly @p parts random shares (each >= 1).
-    std::vector<int> split_into(int total, int parts) {
-        std::vector<int> sizes(static_cast<std::size_t>(parts), 1);
-        for (int extra = total - parts; extra > 0; --extra)
-            ++sizes[rng.next_below(sizes.size())];
-        return sizes;
-    }
-
-    /// Builds a body spending exactly @p budget channels, never exceeding
-    /// @p width simultaneously active calls: a parallel node splits the
-    /// width among its children, a sequence or choice hands the full width
-    /// to each child (choice branches are alternatives, not concurrent).
-    fragment body(int budget, int width) {
-        if (budget <= 1) return leaf();
-        int fanout = std::max(2, opt.max_fanout);
-
-        // A k-branch select costs 2 sequencers + k guards on top of its
-        // branch bodies (k channels minimum), so it needs budget >= 2 + 2k.
-        if (budget >= 6 && rng.next_bool(opt.choice)) {
-            int max_k = std::min(fanout, (budget - 2) / 2);
-            int k = max_k <= 2 ? 2
-                               : 2 + static_cast<int>(rng.next_below(
-                                         static_cast<uint64_t>(max_k - 1)));
-            auto shares = split_into(budget - 2 - k, k);
-            std::vector<fragment> branches;
-            branches.reserve(shares.size());
-            for (int s : shares) branches.push_back(body(s, width));
-            return choice(std::move(branches));
+    /// Arbitrated mutual exclusion over @p bodies: each branch trails into a
+    /// critical-section call on a private channel m_i, and all the m_i! send
+    /// transitions consume from ONE shared marked mutex place (returned by
+    /// m_i? on exit).  The place's consumers are output requests, so which
+    /// branch enters first is resolved dynamically at run time -- a
+    /// non-free-choice structure that is deliberately not speed-independent.
+    fragment arbitration(std::vector<fragment> bodies) {
+        uint32_t mutex = net.add_place("arb" + std::to_string(next_arb++) + "_mutex", 1);
+        fragment acc;
+        for (std::size_t i = 0; i < bodies.size(); ++i) {
+            auto m = static_cast<int32_t>(
+                net.add_signal("m" + std::to_string(next_mutex++), signal_kind::channel));
+            fragment critical = detail::call_fragment(net, m);
+            net.add_arc_pt(mutex, critical.entries.front());
+            net.add_arc_tp(critical.exits.front(), mutex);
+            fragment branch = seq2(std::move(bodies[i]), std::move(critical));
+            acc = i == 0 ? std::move(branch) : par2(std::move(acc), std::move(branch));
         }
-
-        int parts = 2 + static_cast<int>(rng.next_below(static_cast<uint64_t>(fanout - 1)));
-        parts = std::min(parts, budget);
-        auto shares = split_into(budget, parts);
-        bool parallel = width >= parts && rng.next_bool(opt.concurrency);
-        std::vector<fragment> children;
-        children.reserve(shares.size());
-        for (std::size_t i = 0; i < shares.size(); ++i) {
-            int child_width = width;
-            if (parallel) {
-                // Divide the width budget; the first children absorb the rest.
-                child_width = width / parts + (static_cast<int>(i) < width % parts ? 1 : 0);
-            }
-            children.push_back(body(shares[i], child_width));
-        }
-        fragment acc = std::move(children.front());
-        for (std::size_t i = 1; i < children.size(); ++i)
-            acc = parallel ? par2(std::move(acc), std::move(children[i]))
-                           : seq2(std::move(acc), std::move(children[i]));
         return acc;
     }
 
-    /// Wraps the body in the passive trigger loop t? ; body ; t!.
-    stg finish(fragment f, std::string name) {
-        return detail::finish_trigger(std::move(net), std::move(f), std::move(name));
+    /// Children-first depth-first materialisation; the traversal order IS the
+    /// channel naming order, so equal trees yield byte-identical nets.
+    fragment build(const spec_node& n) {
+        switch (n.k) {
+            case node_kind::call:
+                return call("a", next_call);
+            case node_kind::counter: {
+                auto c = static_cast<int32_t>(net.add_signal(
+                    "c" + std::to_string(next_counter++), signal_kind::channel));
+                return detail::counter_fragment(net, c, std::max(1, n.repeats));
+            }
+            case node_kind::choice:
+            case node_kind::arbitration: {
+                std::vector<fragment> branches;
+                branches.reserve(n.children.size());
+                for (const auto& c : n.children) branches.push_back(build(c));
+                return n.k == node_kind::choice ? choice(std::move(branches))
+                                                : arbitration(std::move(branches));
+            }
+            case node_kind::sequence:
+            case node_kind::parallel: {
+                std::vector<fragment> children;
+                children.reserve(n.children.size());
+                for (const auto& c : n.children) children.push_back(build(c));
+                fragment acc = std::move(children.front());
+                for (std::size_t i = 1; i < children.size(); ++i)
+                    acc = n.k == node_kind::parallel ? par2(std::move(acc), std::move(children[i]))
+                                                     : seq2(std::move(acc), std::move(children[i]));
+                return acc;
+            }
+        }
+        throw error("generator: unreachable spec_node kind");
     }
 };
 
 }  // namespace
 
+spec_node generate_recipe(uint64_t seed, const generator_options& opt) {
+    validate_generator_options(opt);
+    recipe_builder b(seed, opt);
+    return b.body(opt.size, opt.max_width);
+}
+
+stg build_spec(const spec_node& root, const std::string& name) {
+    require(!(root.children.empty() && root.k != spec_node::kind::call &&
+              root.k != spec_node::kind::counter),
+            "generator: composite spec_node with no children");
+    materializer m;
+    auto f = m.build(root);
+    return detail::finish_trigger(std::move(m.net), std::move(f), name);
+}
+
 stg generate_stg(uint64_t seed, const generator_options& opt) {
-    generator g(seed, opt);
-    auto f = g.body(std::max(1, opt.size), std::max(1, opt.max_width));
-    return g.finish(std::move(f),
-                    "gen_s" + std::to_string(seed) + "_n" + std::to_string(std::max(1, opt.size)));
+    spec_node root = generate_recipe(seed, opt);
+    return build_spec(root,
+                      "gen_s" + std::to_string(seed) + "_n" + std::to_string(opt.size));
 }
 
 std::string generate_astg(uint64_t seed, const generator_options& opt) {

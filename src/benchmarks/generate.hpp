@@ -1,28 +1,52 @@
 // Deterministic random-STG workload generator.
 //
 // Produces channel-level specifications far larger than the paper's figures
-// by composing handshake fragments into marked-graph (sequence, fork/join)
-// and free-choice (environment-resolved select) structures:
+// by composing handshake fragments into marked-graph (sequence, fork/join),
+// free-choice (environment-resolved select) and non-free-choice (arbitrated
+// mutual exclusion) structures:
 //
-//   * leaf      -- an active handshake call  a!  ;  a?
-//   * sequence  -- marked-graph chaining of sub-bodies
-//   * parallel  -- marked-graph fork/join of sub-bodies
-//   * choice    -- a free-choice place whose branches each start with a
-//                  passive request  s_i?  (the *environment* picks the
-//                  branch, so the choice stays speed-independent); the
-//                  node is bracketed by two sequencer calls so the split
-//                  place always receives exactly one token and the merge
-//                  place always feeds exactly one consumer (safety)
+//   * leaf        -- an active handshake call  a!  ;  a?
+//   * counter     -- a modulo-n step sequence: n sequential calls on ONE
+//                    shared channel (the spec's only multi-instance events;
+//                    n in [2, 4]); costs one channel like a plain call
+//   * sequence    -- marked-graph chaining of sub-bodies
+//   * parallel    -- marked-graph fork/join of sub-bodies
+//   * choice      -- a free-choice place whose k >= min_choice_ways branches
+//                    each start with a passive request  s_i?  (the
+//                    *environment* picks the branch, so the choice stays
+//                    speed-independent); the node is bracketed by two
+//                    sequencer calls so the split place always receives
+//                    exactly one token and the merge place always feeds
+//                    exactly one consumer (safety)
+//   * arbitration -- k parallel branches whose trailing critical-section
+//                    calls contend for one shared marked mutex place.  The
+//                    place's consumers are *output* request edges, so which
+//                    branch wins is resolved dynamically at run time -- the
+//                    only non-free-choice, non-speed-independent structure
+//                    the generator emits, and exactly the behaviour the
+//                    handshake-only corpus never reaches
 //
 // The whole body hangs off one passive trigger channel t (t? body t!), like
 // the Tangram-style specs of src/benchmarks/corpus.cpp, so every generated
 // net is expandable, safe and consistently encodable -- tests/test_generate
-// checks this property over a seed x size sweep.
+// checks this property over a seed x size x family sweep.
 //
-// Everything is driven by the repository's xorshift64 PRNG: the same
-// (seed, options) pair yields byte-identical write_astg() text on every
-// platform, which is what makes BENCH_pipeline.json runs comparable
-// across machines and PRs.
+// Generation is split into two deterministic layers so that callers (the
+// differential fuzz harness, src/fuzz/) can *shrink* a failing spec by
+// structural surgery instead of guessing seeds:
+//
+//   generate_recipe(seed, opt)  -- all PRNG decisions; returns a spec_node tree
+//   build_spec(recipe, name)    -- pure materialisation of a tree into an stg
+//
+// generate_stg() is exactly their composition, and stays byte-identical to
+// the pre-recipe implementation for every legacy (seed, options) pair: new
+// family knobs only consume PRNG draws when enabled, so BENCH_pipeline.json
+// workloads keep their identity across this refactor.
+//
+// Impossible family/budget combinations are *rejected* with an asynth::error
+// (validate_generator_options) instead of silently degrading to a smaller or
+// simpler spec -- a caller who asked for arbitration in a budget that can
+// never afford one gets told, not quietly handed a plain handshake net.
 #pragma once
 
 #include <cstdint>
@@ -37,12 +61,14 @@ namespace asynth::benchmarks {
 /// Shape knobs of one generated specification.
 struct generator_options {
     /// Channel budget of the body.  Every construct pays its way: a handshake
-    /// call costs 1 channel, a k-branch select costs 2 sequencers + k guards
-    /// on top of its branches.  The generated net therefore has exactly
-    /// size + 1 channels (body + trigger), i.e. 2*(size+1) signals after
-    /// 4-phase expansion -- this is the signal-count knob.  Reachable states
-    /// grow roughly 6x per channel (maximal reset concurrency), so size is
-    /// also the primary runtime dial.
+    /// call or counter costs 1 channel, a k-branch select costs 2 sequencers
+    /// + k guards on top of its branches, a k-way arbitration costs k
+    /// critical channels on top of its branches.  The generated net
+    /// therefore has exactly size + 1 channels (body + trigger), i.e.
+    /// 2*(size+1) signals after 4-phase expansion -- this is the
+    /// signal-count knob.  Reachable states grow roughly 6x per channel
+    /// (maximal reset concurrency), so size is also the primary runtime
+    /// dial.  Must be >= 1.
     int size = 4;
     /// Concurrency degree: probability that a composition node runs its
     /// children in parallel rather than in sequence, in [0, 1].
@@ -52,20 +78,85 @@ struct generator_options {
     /// in this number -- each concurrent 4-phase handshake multiplies the
     /// state space -- so the cap, not `size`, is what bounds SG growth;
     /// raise it deliberately to study the polynomial-vs-exponential scaling
-    /// axis (Baudru & Morin, PAPERS.md).
+    /// axis (Baudru & Morin, PAPERS.md).  Must be >= 1.
     int max_width = 3;
     /// Probability that a composition node becomes a free-choice select
-    /// instead of a seq/par block, in [0, 1].  A select costs one passive
-    /// guard channel per branch plus two sequencer channels, so it can only
-    /// appear where the remaining budget is >= 6 (selects never fire at the
-    /// default size 4; raise size to exercise free choice).
+    /// instead of a seq/par block, in [0, 1].  A k-branch select costs one
+    /// passive guard channel per branch plus two sequencer channels, so it
+    /// can only appear where the remaining budget is >= 2 + 2k (>= 6 for
+    /// two-way selects: they never fire at the default size 4; raise size to
+    /// exercise free choice).  choice >= 1 with a budget that can never
+    /// afford a single select is rejected (validate_generator_options); a
+    /// probabilistic 0 < choice < 1 merely may not fire, as documented since
+    /// the knob was introduced.
     double choice = 0.15;
     /// Maximum children of one composition node (>= 2).
     int max_fanout = 3;
+    /// Probability that a composition node becomes a k-way arbitration
+    /// instead of a seq/par block, in [0, 1].  An arbitration needs budget
+    /// >= 4 (two branches of one call each plus two critical channels) and
+    /// width >= 2 (the branches run concurrently); any nonzero value with a
+    /// size or max_width that can never afford one is rejected.
+    double arbitration = 0.0;
+    /// Probability that a leaf becomes a modulo-n counter (n sequential
+    /// calls on one shared channel, n in [2, 4]) instead of a single call,
+    /// in [0, 1].  Costs one channel; always affordable.
+    double counter = 0.0;
+    /// Lower bound on select branches (>= 2).  Values > 2 demand multi-way
+    /// choice: every select then has >= min_choice_ways branches, and the
+    /// combination is rejected unless max_fanout >= min_choice_ways and
+    /// (when choice > 0) size >= 2 + 2*min_choice_ways, so a demanded
+    /// multi-way family can actually appear.
+    int min_choice_ways = 2;
 };
 
-/// Generates one specification.  Deterministic in (seed, opt); the model
-/// name encodes both ("gen_s<seed>_n<size>").
+/// Validates @p opt; throws asynth::error naming the offending knob when the
+/// options are malformed (out-of-range or NaN values) or demand a family the
+/// budget can provably never produce.  Called by generate_recipe().
+void validate_generator_options(const generator_options& opt);
+
+/// One node of a generated specification's structure tree.  The tree is the
+/// shrinkable identity of a spec: build_spec() materialises it into the stg,
+/// assigning channel names in deterministic depth-first order, and the fuzz
+/// harness (src/fuzz/shrink.hpp) edits trees -- dropping branches, hoisting
+/// children, shortening counters -- to minimise failing specs.
+struct spec_node {
+    enum class kind : uint8_t {
+        call,         ///< one active handshake call on a fresh channel
+        counter,      ///< `repeats` sequential calls on one fresh channel
+        sequence,     ///< children chained with fork/join-correct places
+        parallel,     ///< children composed as a boundary union
+        choice,       ///< free-choice select; children are the branch bodies
+        arbitration,  ///< mutex-contended branches; children are the bodies
+    };
+    kind k = kind::call;
+    /// counter only: sequential calls on the shared channel (>= 2; a value
+    /// of 1 is a plain call and is normalised to one by the shrinker).
+    int repeats = 2;
+    std::vector<spec_node> children;  ///< composite nodes only
+
+    /// Channel budget this subtree spends (the `size` accounting): call and
+    /// counter cost 1, choice adds 2 sequencers + one guard per branch,
+    /// arbitration adds one critical channel per branch.
+    [[nodiscard]] int channels() const;
+    /// Does this subtree contain a node of kind @p kk?
+    [[nodiscard]] bool contains(kind kk) const;
+};
+
+/// All PRNG decisions of one generated specification: deterministic in
+/// (seed, opt), spending exactly opt.size channels.  Throws asynth::error on
+/// invalid options (validate_generator_options).
+[[nodiscard]] spec_node generate_recipe(uint64_t seed, const generator_options& opt = {});
+
+/// Materialises @p root into a channel STG wrapped in the passive trigger
+/// loop, with model name @p name.  Pure: equal trees yield byte-identical
+/// write_astg() text.  Channel naming is depth-first creation order -- calls
+/// a0, a1, ..., counters c0, ..., select guards s0, ... with sequencers
+/// q0, ..., arbitration critical channels m0, ..., trigger t last.
+[[nodiscard]] stg build_spec(const spec_node& root, const std::string& name);
+
+/// Generates one specification: build_spec(generate_recipe(seed, opt)).  The
+/// model name encodes seed and size ("gen_s<seed>_n<size>").
 [[nodiscard]] stg generate_stg(uint64_t seed, const generator_options& opt = {});
 
 /// The same specification as canonical astg (.g) text -- byte-identical for

@@ -1,0 +1,108 @@
+#include "fuzz/shrink.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace asynth::fuzz {
+
+namespace {
+
+using benchmarks::spec_node;
+using node_kind = spec_node::kind;
+
+bool is_leaf(const spec_node& n) {
+    return n.k == node_kind::call || n.k == node_kind::counter;
+}
+
+spec_node* at(spec_node& root, const std::vector<std::size_t>& path) {
+    spec_node* n = &root;
+    for (std::size_t i : path) n = &n->children[i];
+    return n;
+}
+
+/// One tree-surgery step at a path.  Ordered most-aggressive-first within a
+/// node: cutting a whole subtree down to a call removes more than hoisting a
+/// child, which removes more than dropping one branch or one counter step.
+struct cut {
+    enum class op : uint8_t { to_call, hoist, drop, shorten } o = op::to_call;
+    std::vector<std::size_t> path;
+    std::size_t child = 0;  ///< hoist/drop target
+};
+
+/// All cuts of @p root, preorder (root first, so the biggest subtrees are
+/// tried first) and most-aggressive-first per node.
+void enumerate(const spec_node& n, std::vector<std::size_t>& path, std::vector<cut>& out) {
+    if (n.k == node_kind::counter) {
+        // repeats 2 -> a call (to_call); longer counters lose one step first.
+        if (n.repeats > 2) out.push_back({cut::op::shorten, path, 0});
+        out.push_back({cut::op::to_call, path, 0});
+        return;
+    }
+    if (!is_leaf(n)) {
+        out.push_back({cut::op::to_call, path, 0});
+        for (std::size_t i = 0; i < n.children.size(); ++i)
+            out.push_back({cut::op::hoist, path, i});
+        // Dropping keeps the node kind, so two children must survive for
+        // choice/arbitration to stay well-formed; a 2-child drop is the same
+        // result as hoisting the sibling, already enumerated above.
+        if (n.children.size() > 2)
+            for (std::size_t i = 0; i < n.children.size(); ++i)
+                out.push_back({cut::op::drop, path, i});
+    }
+    for (std::size_t i = 0; i < n.children.size(); ++i) {
+        path.push_back(i);
+        enumerate(n.children[i], path, out);
+        path.pop_back();
+    }
+}
+
+spec_node apply(const spec_node& root, const cut& c) {
+    spec_node copy = root;
+    spec_node* n = at(copy, c.path);
+    switch (c.o) {
+        case cut::op::to_call:
+            *n = spec_node{};
+            break;
+        case cut::op::shorten:
+            --n->repeats;
+            break;
+        case cut::op::hoist:
+            *n = std::move(n->children[c.child]);
+            break;
+        case cut::op::drop:
+            n->children.erase(n->children.begin() + static_cast<std::ptrdiff_t>(c.child));
+            break;
+    }
+    return copy;
+}
+
+}  // namespace
+
+benchmarks::spec_node shrink_recipe(
+    benchmarks::spec_node failing,
+    const std::function<bool(const benchmarks::spec_node&)>& still_fails,
+    std::size_t max_evaluations, shrink_stats* stats) {
+    shrink_stats local;
+    bool progressed = true;
+    while (progressed && local.evaluations < max_evaluations) {
+        progressed = false;
+        std::vector<cut> cuts;
+        std::vector<std::size_t> path;
+        enumerate(failing, path, cuts);
+        for (const cut& c : cuts) {
+            if (local.evaluations >= max_evaluations) break;
+            spec_node candidate = apply(failing, c);
+            ++local.evaluations;
+            if (still_fails(candidate)) {
+                failing = std::move(candidate);
+                ++local.accepted;
+                progressed = true;
+                break;  // restart enumeration from the smaller tree
+            }
+        }
+    }
+    if (stats) *stats = local;
+    return failing;
+}
+
+}  // namespace asynth::fuzz

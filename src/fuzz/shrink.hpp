@@ -1,0 +1,43 @@
+// Greedy structural minimisation of a failing generator recipe.
+//
+// The fuzz harness works on spec_node trees (benchmarks/generate.hpp), not on
+// nets: a counterexample is shrunk by surgery on the tree -- replacing whole
+// subtrees with a single call, hoisting one child over its parent, dropping
+// choice/arbitration branches, shortening counters -- and re-checking the
+// materialised spec against the oracle after every cut.  Working above the
+// net keeps every candidate well-formed by construction (no dangling places
+// or half-deleted handshakes), which is what makes naive greedy shrinking
+// safe here.
+//
+// The algorithm is first-accept-with-restart: candidates are enumerated in a
+// deterministic most-aggressive-first order (cut the biggest subtree first),
+// the first candidate that still fails the oracle becomes the new tree, and
+// enumeration restarts from it.  Every accepted step strictly decreases the
+// (channels, counter steps, nodes) measure, so the loop terminates without
+// the evaluation cap; the cap only bounds oracle cost on stubborn inputs.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "benchmarks/generate.hpp"
+
+namespace asynth::fuzz {
+
+/// What one shrink run did (reporting/tests).
+struct shrink_stats {
+    std::size_t evaluations = 0;  ///< predicate calls made
+    std::size_t accepted = 0;     ///< shrink steps taken
+};
+
+/// Minimises @p failing while @p still_fails holds.  The predicate receives a
+/// candidate recipe and must return true when the (materialised) spec still
+/// reproduces the mismatch; predicates should treat their own exceptions as
+/// "does not fail" so shrinking never escapes the original bug class.
+/// Deterministic: equal inputs and predicate behaviour yield equal output.
+[[nodiscard]] benchmarks::spec_node shrink_recipe(
+    benchmarks::spec_node failing,
+    const std::function<bool(const benchmarks::spec_node&)>& still_fails,
+    std::size_t max_evaluations = 400, shrink_stats* stats = nullptr);
+
+}  // namespace asynth::fuzz

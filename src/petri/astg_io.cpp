@@ -223,80 +223,99 @@ std::string write_astg(const stg& net) {
                       net.place_post(p).size() == 1;
     // The parser numbers transitions and places by first sight in the text,
     // so for the written text to be a fixpoint of write_astg(parse_astg(.))
-    // the sections must be emitted in exactly that first-encounter order.
-    // Compute it by simulating the reader over the current emission order and
-    // re-sorting until stable (converges in a couple of passes).
-    const std::size_t nt = net.transitions().size();
-    std::vector<uint32_t> t_order(nt), p_order(places.size());
-    for (uint32_t t = 0; t < nt; ++t) t_order[t] = t;
-    for (uint32_t p = 0; p < places.size(); ++p) p_order[p] = p;
-    std::vector<uint32_t> t_rank(nt), p_rank(places.size());
-    for (int pass = 0; pass < 8; ++pass) {
-        uint32_t next = 0;
-        t_rank.assign(nt, UINT32_MAX);
-        p_rank.assign(places.size(), UINT32_MAX);
-        auto see_t = [&](uint32_t t) {
-            if (t_rank[t] == UINT32_MAX) t_rank[t] = next++;
-        };
-        auto see_p = [&](uint32_t p) {
-            if (p_rank[p] == UINT32_MAX) p_rank[p] = next++;
-        };
-        for (uint32_t t : t_order) {
-            if (net.transitions()[t].post.empty()) continue;
-            see_t(t);
-            for (uint32_t p : net.transitions()[t].post) {
+    // the lines must be emitted in exactly that first-encounter order.  Build
+    // the order directly with a worklist mirroring the reader: always emit
+    // the line of the earliest-sighted transition that still needs one and
+    // record the names its line introduces, seeding disconnected components
+    // from internal table order.  Reparsing the result reproduces the same
+    // sight order, so the text is stable after a single write (an iterative
+    // sort-until-stable scheme here can cycle and stop on a non-fixpoint --
+    // the fuzzer's text-roundtrip oracle caught exactly that).
+    const auto& transitions = net.transitions();
+    const std::size_t nt = transitions.size();
+    std::vector<uint32_t> t_sight, p_sight;
+    std::vector<bool> t_seen(nt, false), p_seen(places.size(), false);
+    auto see_t = [&](uint32_t t) {
+        if (!t_seen[t]) {
+            t_seen[t] = true;
+            t_sight.push_back(t);
+        }
+    };
+    auto see_p = [&](uint32_t p) {
+        if (!p_seen[p]) {
+            p_seen[p] = true;
+            p_sight.push_back(p);
+        }
+    };
+    std::vector<uint32_t> t_lines;
+    {
+        std::size_t cursor = 0;
+        std::vector<bool> emitted(nt, false);
+        uint32_t seed = 0;
+        for (;;) {
+            while (cursor < t_sight.size() &&
+                   (emitted[t_sight[cursor]] || transitions[t_sight[cursor]].post.empty()))
+                ++cursor;
+            uint32_t t;
+            if (cursor < t_sight.size()) {
+                t = t_sight[cursor];
+            } else {
+                while (seed < nt && (t_seen[seed] || transitions[seed].post.empty())) ++seed;
+                if (seed == nt) break;
+                t = seed;
+                see_t(t);
+            }
+            emitted[t] = true;
+            t_lines.push_back(t);
+            for (uint32_t p : transitions[t].post) {
                 see_p(p);
                 if (implicit[p]) see_t(net.place_post(p)[0]);
             }
         }
-        for (uint32_t p : p_order) {
-            if (implicit[p] || net.place_post(p).empty()) continue;
-            see_p(p);
+    }
+    std::vector<uint32_t> p_lines;
+    {
+        std::size_t cursor = 0;
+        std::vector<bool> emitted(places.size(), false);
+        uint32_t seed = 0;
+        auto needs_line = [&](uint32_t p) { return !implicit[p] && !net.place_post(p).empty(); };
+        for (;;) {
+            while (cursor < p_sight.size() &&
+                   (emitted[p_sight[cursor]] || !needs_line(p_sight[cursor])))
+                ++cursor;
+            uint32_t p;
+            if (cursor < p_sight.size()) {
+                p = p_sight[cursor];
+            } else {
+                while (seed < places.size() && (p_seen[seed] || !needs_line(seed))) ++seed;
+                if (seed == places.size()) break;
+                p = seed;
+                see_p(p);
+            }
+            emitted[p] = true;
+            p_lines.push_back(p);
             for (uint32_t t : net.place_post(p)) see_t(t);
         }
-        for (uint32_t p : p_order) {
-            if (places[p].tokens == 0) continue;
-            see_p(p);
-            if (implicit[p]) {
-                see_t(net.place_pre(p)[0]);
-                see_t(net.place_post(p)[0]);
-            }
-        }
-        auto resort = [](std::vector<uint32_t>& order, const std::vector<uint32_t>& rank) {
-            std::stable_sort(order.begin(), order.end(),
-                             [&](uint32_t a, uint32_t b) { return rank[a] < rank[b]; });
-        };
-        auto t_prev = t_order, p_prev = p_order;
-        resort(t_order, t_rank);
-        resort(p_order, p_rank);
-        if (t_order == t_prev && p_order == p_prev) break;
     }
 
-    for (uint32_t t : t_order) {
+    for (uint32_t t : t_lines) {
         std::string line = net.transition_name(t);
-        bool has_succ = false;
-        for (uint32_t p : net.transitions()[t].post) {
+        for (uint32_t p : transitions[t].post) {
             if (implicit[p]) {
                 line += " " + net.transition_name(net.place_post(p)[0]);
             } else {
                 line += " " + places[p].name;
             }
-            has_succ = true;
         }
-        if (has_succ) out << line << "\n";
+        out << line << "\n";
     }
-    for (uint32_t p : p_order) {
-        if (implicit[p]) continue;
+    for (uint32_t p : p_lines) {
         std::string line = places[p].name;
-        bool has_succ = false;
-        for (uint32_t t : net.place_post(p)) {
-            line += " " + net.transition_name(t);
-            has_succ = true;
-        }
-        if (has_succ) out << line << "\n";
+        for (uint32_t t : net.place_post(p)) line += " " + net.transition_name(t);
+        out << line << "\n";
     }
     out << ".marking {";
-    for (uint32_t p : p_order) {
+    for (uint32_t p = 0; p < places.size(); ++p) {
         if (places[p].tokens == 0) continue;
         // A marked place with no arcs would appear only here and the text
         // would not reparse ("marking of unknown place"); fail loudly at
@@ -304,6 +323,12 @@ std::string write_astg(const stg& net) {
         require(!net.place_pre(p).empty() || !net.place_post(p).empty(),
                 "write_astg: marked place '" + places[p].name +
                     "' has no arcs and cannot be represented in .g");
+    }
+    // Every marked place has arcs (checked above), so it was sighted while
+    // its lines were emitted; iterating the sight order keeps the marking
+    // section consistent with the parser's place numbering.
+    for (uint32_t p : p_sight) {
+        if (places[p].tokens == 0) continue;
         if (implicit[p]) {
             out << " <" << net.transition_name(net.place_pre(p)[0]) << ","
                 << net.transition_name(net.place_post(p)[0]) << ">";

@@ -57,8 +57,21 @@ bool run_stage(pipeline_result& rep, pipeline_stage stage, Body&& body) {
 
 /// Stages after the spec has been provided/parsed.  Fills `rep` in place.
 void continue_pipeline(pipeline_result& rep, const pipeline_options& opt) {
-    if (!run_stage(rep, pipeline_stage::expand,
-                   [&] { rep.expanded = expand_handshakes(rep.spec, opt.expand); }))
+    if (!run_stage(rep, pipeline_stage::expand, [&] {
+            // Canonicalise first: write_astg emits one canonical text (sorted
+            // arcs) per net, and parsing it back renumbers transitions and
+            // places in that text's order.  Nets built in different
+            // construction orders share the canonical text but not the
+            // internal numbering, and every downstream deterministic
+            // tie-break (beam ordering, CSC insertion, recovery) keys off the
+            // numbering.  Running all entry points through this fixpoint
+            // makes the result a pure function of (canonical text, options):
+            // the in-memory and text entries agree by construction, and the
+            // result store's content addressing (options ++ canonical text)
+            // is sound.
+            rep.spec = parse_astg(write_astg(rep.spec));
+            rep.expanded = expand_handshakes(rep.spec, opt.expand);
+        }))
         return;
 
     if (!run_stage(rep, pipeline_stage::state_graph, [&] {

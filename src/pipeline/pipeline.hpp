@@ -17,9 +17,14 @@
 // pair in the result, so callers -- the asynth CLI, tests, future services --
 // can report failures without a try/catch of their own.
 //
-// Thread safety: run_pipeline is a pure function of (spec, options) -- the
-// batch engine (batch/batch.hpp) runs many calls concurrently on a thread
-// pool.  Each result owns its artefacts (the base SG rides behind a
+// Thread safety: run_pipeline is a pure function of (spec, options) -- in
+// fact of (write_astg(spec), options): the expand stage canonicalises the
+// spec through a write_astg/parse_astg round trip first, so nets built in
+// different construction orders (and hence with different internal
+// transition/place numbering) yield bit-identical results whenever their
+// canonical texts match.  That equivalence is what makes the result store's
+// content addressing (store/result_store.hpp) sound.  The batch engine
+// (batch/batch.hpp) runs many calls concurrently on a thread pool.  Each result owns its artefacts (the base SG rides behind a
 // shared_ptr so `reduced` stays valid across moves); share a result across
 // threads only for reading.
 #pragma once

@@ -62,7 +62,12 @@ private:
         skip_ws();
         if (peek_token("(")) {
             require_token("(");
+            // Recursive descent burns a few stack frames per '(': bound the
+            // depth so adversarial input (the fuzz corpus replays arbitrary
+            // text) gets a parse error instead of a stack overflow.
+            if (++depth_ > max_depth) fail("parentheses nested deeper than 64 levels");
             fragment inner = expr();
+            --depth_;
             require_token(")");
             return inner;
         }
@@ -120,8 +125,11 @@ private:
         throw parse_error(line, msg + " (at offset " + std::to_string(pos_) + ")");
     }
 
+    static constexpr int max_depth = 64;
+
     std::string_view text_;
     std::size_t pos_ = 0;
+    int depth_ = 0;
     stg net_;
 };
 

@@ -1,0 +1,19 @@
+# asynth-fuzz counterexample (minimised)
+# oracle: csp-frontend
+# profile: deep
+# family: plain
+# diagnosis: pinned: sequence/parallel tree vs its rendered CSP text
+# replay: asynth fuzz --replay cex_csp_frontend_seqpar.g
+.model shrunk
+.channels a0 a1 a2 t
+.graph
+a0! a0?
+a0? a1! a2!
+a1! a1?
+a2! a2?
+a1? t!
+a2? t!
+t! t?
+t? a0!
+.marking { <t!,t?> }
+.end

@@ -1,0 +1,22 @@
+# asynth-fuzz counterexample (minimised)
+# oracle: engines
+# profile: deep
+# family: arbiter
+# diagnosis: pinned: minimal non-free-choice arbitration shape through both engines
+# replay: asynth fuzz --replay cex_engines_arbiter.g
+.model shrunk
+.channels a0 a1 m0 m1 t
+.graph
+a0! a0?
+a0? m0!
+m0! m0?
+m0? arb0_mutex t!
+t! t?
+t? a0! a1!
+a1! a1?
+a1? m1!
+m1! m1?
+m1? arb0_mutex t!
+arb0_mutex m0! m1!
+.marking { arb0_mutex <t!,t?> }
+.end

@@ -1,0 +1,27 @@
+# asynth-fuzz counterexample (minimised)
+# oracle: minimizers
+# profile: shallow
+# family: choice2
+# diagnosis: pinned: minimal forced select through exact vs dominance minimisers
+# replay: asynth fuzz --replay cex_minimizers_choice2.g
+.model shrunk
+.channels a0 a1 q0 q1 s0 s1 t
+.graph
+a0! a0?
+a0? s0!
+s0! sel0_merge
+a1! a1?
+a1? s1!
+s1! sel0_merge
+q0! q0?
+q0? sel0_split
+q1! q1?
+q1? t!
+t! t?
+t? q0!
+s0? a0!
+s1? a1!
+sel0_merge q1!
+sel0_split s0? s1?
+.marking { <t!,t?> }
+.end

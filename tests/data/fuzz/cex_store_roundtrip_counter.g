@@ -1,0 +1,19 @@
+# asynth-fuzz counterexample (minimised)
+# oracle: store-roundtrip
+# profile: deep
+# family: counter
+# diagnosis: regression: cold vs warm store re-run diverged on multi-instance nets before pipeline-entry canonicalisation
+# replay: asynth fuzz --replay cex_store_roundtrip_counter.g
+.model shrunk
+.channels c0 t
+.graph
+c0! c0?
+c0? c0!/2
+c0!/2 c0?/2
+c0?/2 c0!/3
+c0!/3 c0?/3
+c0?/3 t!
+t! t?
+t? c0!
+.marking { <t!,t?> }
+.end

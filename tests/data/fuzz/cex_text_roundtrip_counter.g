@@ -1,0 +1,26 @@
+# asynth-fuzz counterexample (minimised)
+# oracle: text-roundtrip
+# profile: deep
+# family: counter
+# diagnosis: write_astg∘parse is not a fixpoint
+# repro: asynth fuzz --seed 1 --budget 29x --oracle text-roundtrip
+# replay: asynth fuzz --replay cex_text_roundtrip_counter.g
+.model shrunk
+.channels a0 a1 a2 c0 t
+.graph
+a0! a0?
+a0? a2!
+a2! a2?
+a2? c0!
+c0! c0?
+c0? c0!/2
+c0!/2 c0?/2
+c0?/2 c0!/3
+c0!/3 c0?/3
+c0?/3 t!
+t! t?
+t? a0! a1!
+a1! a1?
+a1? a2!
+.marking { <t!,t?> }
+.end

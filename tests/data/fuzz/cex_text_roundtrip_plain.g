@@ -1,0 +1,15 @@
+# asynth-fuzz counterexample (minimised)
+# oracle: text-roundtrip
+# profile: deep
+# family: plain
+# diagnosis: regression: results depended on internal transition numbering before the pipeline canonicalised its input
+# replay: asynth fuzz --replay cex_text_roundtrip_plain.g
+.model shrunk
+.channels a0 t
+.graph
+a0! a0?
+a0? t!
+t! t?
+t? a0!
+.marking { <t!,t?> }
+.end

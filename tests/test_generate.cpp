@@ -4,7 +4,9 @@
 // graph (state_graph::generate throws on any violation).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <set>
+#include <string>
 
 #include "benchmarks/generate.hpp"
 #include "core/expand.hpp"
@@ -110,6 +112,257 @@ TEST(generate, concurrency_degree_monotone) {
         return sg.graph.state_count();
     };
     EXPECT_LE(states_at(1), states_at(3));
+}
+
+TEST(generate, counter_family_pinned_bytes) {
+    // The counter family's output is part of the fuzz harness's repro
+    // contract: the exact bytes per (seed, options) are pinned.  Multi-
+    // instance transitions (c0!/2, c0?/2, ...) distinguish repeated calls on
+    // one channel.
+    generator_options opt;
+    opt.size = 3;
+    opt.counter = 1.0;
+    EXPECT_EQ(generate_astg(1, opt),
+              ".model gen_s1_n3\n"
+              ".channels c0 c1 c2 t\n"
+              ".graph\n"
+              "c0! c0?\n"
+              "c0? c0!/2\n"
+              "c0!/2 c0?/2\n"
+              "c0?/2 c0!/3\n"
+              "c0!/3 c0?/3\n"
+              "c0?/3 t!\n"
+              "t! t?\n"
+              "t? c0! c1! c2!\n"
+              "c1! c1?\n"
+              "c2! c2?\n"
+              "c1? c1!/2\n"
+              "c2? c2!/2\n"
+              "c1!/2 c1?/2\n"
+              "c2!/2 c2?/2\n"
+              "c1?/2 c1!/3\n"
+              "c2?/2 c2!/3\n"
+              "c1!/3 c1?/3\n"
+              "c2!/3 c2?/3\n"
+              "c1?/3 c1!/4\n"
+              "c2?/3 t!\n"
+              "c1!/4 c1?/4\n"
+              "c1?/4 t!\n"
+              ".marking { <t!,t?> }\n"
+              ".end\n");
+}
+
+TEST(generate, arbitration_family_pinned_bytes) {
+    // Arbitration: each branch takes a private critical channel m_i guarded
+    // by one shared marked mutex place -- deliberately non-free-choice.
+    generator_options opt;
+    opt.size = 4;
+    opt.arbitration = 1.0;
+    EXPECT_EQ(generate_astg(2, opt),
+              ".model gen_s2_n4\n"
+              ".channels a0 a1 m0 m1 t\n"
+              ".graph\n"
+              "a0! a0?\n"
+              "a0? m0!\n"
+              "m0! m0?\n"
+              "m0? arb0_mutex t!\n"
+              "t! t?\n"
+              "t? a0! a1!\n"
+              "a1! a1?\n"
+              "a1? m1!\n"
+              "m1! m1?\n"
+              "m1? arb0_mutex t!\n"
+              "arb0_mutex m0! m1!\n"
+              ".marking { arb0_mutex <t!,t?> }\n"
+              ".end\n");
+}
+
+TEST(generate, multiway_family_pinned_bytes) {
+    // min_choice_ways = 3 forces every select to offer at least three
+    // branches; size 8 is the smallest budget that affords one.
+    generator_options opt;
+    opt.size = 8;
+    opt.choice = 1.0;
+    opt.min_choice_ways = 3;
+    opt.max_width = 1;
+    opt.concurrency = 0.0;
+    EXPECT_EQ(generate_astg(1, opt),
+              ".model gen_s1_n8\n"
+              ".channels a0 a1 a2 q0 q1 s0 s1 s2 t\n"
+              ".graph\n"
+              "a0! a0?\n"
+              "a0? s0!\n"
+              "s0! sel0_merge\n"
+              "a1! a1?\n"
+              "a1? s1!\n"
+              "s1! sel0_merge\n"
+              "a2! a2?\n"
+              "a2? s2!\n"
+              "s2! sel0_merge\n"
+              "q0! q0?\n"
+              "q0? sel0_split\n"
+              "q1! q1?\n"
+              "q1? t!\n"
+              "t! t?\n"
+              "t? q0!\n"
+              "s0? a0!\n"
+              "s1? a1!\n"
+              "s2? a2!\n"
+              "sel0_merge q1!\n"
+              "sel0_split s0? s1? s2?\n"
+              ".marking { <t!,t?> }\n"
+              ".end\n");
+}
+
+TEST(generate, new_families_respect_the_channel_budget) {
+    // Counters reuse one channel per leaf and arbitration pays one private
+    // channel per branch, so the size = channel-budget invariant holds for
+    // every knob mix.
+    for (int size : {3, 4, 5}) {
+        for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+            generator_options opt;
+            opt.size = size;
+            opt.counter = 0.6;
+            if (size >= 4) opt.arbitration = 0.4;
+            auto net = generate_stg(seed, opt);
+            EXPECT_EQ(net.signal_count(), static_cast<std::size_t>(size) + 1)
+                << "size " << size << " seed " << seed;
+        }
+    }
+}
+
+TEST(generate, counter_nets_are_multi_instance_and_encodable) {
+    generator_options opt;
+    opt.size = 2;
+    opt.counter = 1.0;
+    for (uint64_t seed : {1u, 2u, 3u}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        auto net = generate_stg(seed, opt);
+        // Some channel must carry more than one send/recv pair.
+        std::size_t max_on_signal = 0;
+        std::vector<std::size_t> per_signal(net.signal_count(), 0);
+        for (const auto& t : net.transitions())
+            max_on_signal =
+                std::max(max_on_signal, ++per_signal[static_cast<uint32_t>(t.label.signal)]);
+        EXPECT_GT(max_on_signal, 2u);
+        state_graph sg;
+        ASSERT_NO_THROW(sg = state_graph::generate(expand_handshakes(net)).graph);
+        EXPECT_GT(sg.state_count(), 0u);
+    }
+}
+
+TEST(generate, arbitration_nets_are_non_free_choice) {
+    generator_options opt;
+    opt.size = 4;
+    opt.arbitration = 1.0;
+    for (uint64_t seed : {1u, 2u, 3u}) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        auto net = generate_stg(seed, opt);
+        // The mutex: an initially marked place with >= 2 consumers and
+        // >= 2 producers (grant and release per branch).
+        bool has_mutex = false;
+        for (uint32_t p = 0; p < net.places().size(); ++p)
+            has_mutex |= net.places()[p].tokens > 0 && net.place_post(p).size() >= 2 &&
+                         net.place_pre(p).size() >= 2;
+        EXPECT_TRUE(has_mutex);
+        state_graph sg;
+        ASSERT_NO_THROW(sg = state_graph::generate(expand_handshakes(net)).graph);
+        EXPECT_GT(sg.state_count(), 0u);
+    }
+}
+
+TEST(generate, multiway_selects_offer_min_ways_branches) {
+    generator_options opt;
+    opt.size = 8;
+    opt.choice = 1.0;
+    opt.min_choice_ways = 3;
+    opt.max_width = 1;
+    opt.concurrency = 0.0;
+    for (uint64_t seed : {1u, 2u}) {
+        auto net = generate_stg(seed, opt);
+        bool has_three_way = false;
+        for (uint32_t p = 0; p < net.places().size(); ++p)
+            has_three_way |= net.place_post(p).size() >= 3;
+        EXPECT_TRUE(has_three_way) << "seed " << seed;
+    }
+}
+
+TEST(generate, recipe_and_materialiser_compose_to_generate) {
+    // generate_stg is exactly build_spec ∘ generate_recipe: the two-layer
+    // split (all PRNG draws in the recipe, pure materialisation after) is
+    // what lets the fuzz harness shrink recipes instead of nets.
+    for (uint64_t seed : {1u, 5u, 9u}) {
+        generator_options opt;
+        opt.size = 5;
+        opt.counter = 0.4;
+        opt.arbitration = 0.3;
+        opt.choice = 0.3;
+        auto recipe = benchmarks::generate_recipe(seed, opt);
+        std::string name = "gen_s" + std::to_string(seed) + "_n" + std::to_string(opt.size);
+        EXPECT_EQ(write_astg(benchmarks::build_spec(recipe, name)), generate_astg(seed, opt))
+            << "seed " << seed;
+    }
+}
+
+TEST(generate, impossible_combinations_are_rejected) {
+    // The reject-don't-degrade contract: a knob mix the budget cannot honour
+    // is a structured error before any net is built, never a silently
+    // smaller/simpler spec.
+    auto expect_rejected = [](generator_options opt, const char* what) {
+        SCOPED_TRACE(what);
+        EXPECT_THROW((void)generate_stg(1, opt), error);
+        EXPECT_THROW((void)benchmarks::generate_recipe(1, opt), error);
+    };
+    {
+        generator_options o;
+        o.size = 0;
+        expect_rejected(o, "size 0");
+    }
+    {
+        generator_options o;
+        o.size = 2;
+        o.choice = 1.0;  // a 2-way select costs 6 channels
+        expect_rejected(o, "certain choice under budget");
+    }
+    {
+        generator_options o;
+        o.min_choice_ways = 4;  // > max_fanout (3)
+        expect_rejected(o, "min ways beyond fanout");
+    }
+    {
+        generator_options o;
+        o.size = 6;
+        o.choice = 0.5;
+        o.min_choice_ways = 3;  // a 3-way select costs 8 channels
+        expect_rejected(o, "3-way demand under budget");
+    }
+    {
+        generator_options o;
+        o.size = 2;
+        o.arbitration = 0.5;  // arbitration needs size >= 4
+        expect_rejected(o, "arbitration under budget");
+    }
+    {
+        generator_options o;
+        o.choice = std::nan("");
+        expect_rejected(o, "NaN probability");
+    }
+    {
+        generator_options o;
+        o.max_fanout = 1;
+        expect_rejected(o, "fanout below 2");
+    }
+
+    // The diagnostic names the conflict, not just "bad options".
+    try {
+        generator_options o;
+        o.size = 2;
+        o.choice = 1.0;
+        (void)generate_stg(1, o);
+        FAIL() << "expected an error";
+    } catch (const error& e) {
+        EXPECT_NE(std::string(e.what()).find("select"), std::string::npos) << e.what();
+    }
 }
 
 TEST(generate, workload_names_are_unique_and_stable) {

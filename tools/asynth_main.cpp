@@ -16,10 +16,17 @@
 //   asynth --corpus fig1
 //   asynth --strategy full --w 0.2 spec.g
 //   asynth --corpus lr --out reduced.g
+// The `fuzz` subcommand differentially fuzzes the pipeline's redundant
+// paths (reference vs incremental engine, exact vs dominance minimiser,
+// store round trip, write/parse round trip, CSP front end) over randomly
+// generated specifications, shrinking every mismatch (docs/FUZZING.md):
+//
 //   asynth batch --count 64 --jobs 0 --report BENCH_pipeline.json
 //   asynth batch --store results/ --count 64     # resumable sweep
 //   asynth serve --socket svc.sock --store results/
 //   asynth client --socket svc.sock --corpus lr
+//   asynth fuzz --budget 60 --seed 1 --oracle all --dir cex/
+//   asynth fuzz --replay cex/cex_engines_s1_i0.g
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +41,7 @@
 #include "batch/batch.hpp"
 #include "benchmarks/corpus.hpp"
 #include "benchmarks/generate.hpp"
+#include "fuzz/fuzz.hpp"
 #include "petri/astg_io.hpp"
 #include "pipeline/pipeline.hpp"
 #include "service/server.hpp"
@@ -47,6 +55,7 @@ void print_usage(std::FILE* to) {
                  "usage: asynth [options] <spec.g>\n"
                  "       asynth [options] --corpus <name>\n"
                  "       asynth batch [batch options]\n"
+                 "       asynth fuzz [fuzz options]\n"
                  "       asynth serve [serve options]\n"
                  "       asynth client [client options] [<spec.g>]\n"
                  "\n"
@@ -99,12 +108,37 @@ void print_usage(std::FILE* to) {
                  "  --concurrency <x>     generator concurrency degree in [0,1] (default 0.5)\n"
                  "  --choice <x>          generator free-choice probability in [0,1]\n"
                  "                        (default 0.15)\n"
+                 "  --arbitration <x>     generator arbitration (shared-resource) probability\n"
+                 "                        in [0,1] (default 0)\n"
+                 "  --counter <x>         generator counter-leaf probability in [0,1]\n"
+                 "                        (default 0)\n"
+                 "  --choice-ways <k>     minimum branches per generated select (default 2);\n"
+                 "                        an unsatisfiable combination with --size is a\n"
+                 "                        structured error, not a silent downgrade\n"
                  "  --no-corpus           sweep only the generated workload\n"
                  "  --store <dir>         consult/fill a content-addressed result store;\n"
                  "                        finished specs are skipped on re-runs\n"
                  "  --report <file>       write the corpus report as JSON\n"
                  "                        (BENCH_pipeline.json format)\n"
                  "  -q, --quiet           suppress the per-spec table\n"
+                 "\n"
+                 "fuzz subcommand (differential fuzzing; see docs/FUZZING.md):\n"
+                 "  --budget <n>[s]|<n>x  wall-clock seconds (default unit) or, with the x\n"
+                 "                        suffix, an exact iteration count (default: 20x)\n"
+                 "  --seed <n>            base PRNG seed; every iteration is reproducible\n"
+                 "                        from (seed, index) alone (default 1)\n"
+                 "  --oracle <o>          engines | minimizers | store-roundtrip |\n"
+                 "                        text-roundtrip | csp-frontend | all; repeatable\n"
+                 "                        (default all)\n"
+                 "  --jobs <n>            parallel iterations; 0 = all hardware cores\n"
+                 "                        (default 1; results independent of the value)\n"
+                 "  --max-size <n>        channel-budget cap; >= 8 enables the multi-way\n"
+                 "                        choice family (default 6)\n"
+                 "  --dir <dir>           write minimised counterexamples (.g, paired .csp)\n"
+                 "  --replay <file.g>     re-check one counterexample through the enabled\n"
+                 "                        oracles (honours its '# profile:' header) and exit\n"
+                 "  -q, --quiet           only print findings and the final verdict\n"
+                 "  exit codes: 0 all oracles agreed, 1 mismatch found, 2 usage error\n"
                  "\n"
                  "serve subcommand (long-running daemon; see docs/SERVICE.md):\n"
                  "  --socket <path>       Unix-domain socket to bind (default asynth.sock)\n"
@@ -244,6 +278,19 @@ int run_batch_cli(int argc, char** argv) {
                 return 2;
         } else if (arg == "--choice") {
             if (!parse_unit("--choice", need_value(i, "--choice"), gen.choice)) return 2;
+        } else if (arg == "--arbitration") {
+            if (!parse_unit("--arbitration", need_value(i, "--arbitration"), gen.arbitration))
+                return 2;
+        } else if (arg == "--counter") {
+            if (!parse_unit("--counter", need_value(i, "--counter"), gen.counter)) return 2;
+        } else if (arg == "--choice-ways") {
+            std::size_t v = 0;
+            if (!parse_size("--choice-ways", need_value(i, "--choice-ways"), v)) return 2;
+            if (v < 2 || v > 64) {
+                std::fprintf(stderr, "asynth batch: --choice-ways must be in [2, 64]\n");
+                return 2;
+            }
+            gen.min_choice_ways = static_cast<int>(v);
         } else if (arg == "--no-corpus") {
             use_corpus = false;
         } else if (arg == "--store") {
@@ -269,9 +316,17 @@ int run_batch_cli(int argc, char** argv) {
 
     std::vector<benchmarks::named_spec> specs;
     if (use_corpus) specs = benchmarks::corpus_specs();
-    auto generated = benchmarks::generate_workload(seed, count, gen);
-    specs.insert(specs.end(), std::make_move_iterator(generated.begin()),
-                 std::make_move_iterator(generated.end()));
+    try {
+        auto generated = benchmarks::generate_workload(seed, count, gen);
+        specs.insert(specs.end(), std::make_move_iterator(generated.begin()),
+                     std::make_move_iterator(generated.end()));
+    } catch (const error& e) {
+        // An unsatisfiable knob combination (generate.hpp's validation) is a
+        // usage error, reported before any work starts -- never a silently
+        // degraded workload.
+        std::fprintf(stderr, "asynth batch: %s\n", e.what());
+        return 2;
+    }
     if (specs.empty()) {
         std::fprintf(stderr, "asynth batch: nothing to run (--no-corpus with --count 0)\n");
         return 2;
@@ -296,6 +351,160 @@ int run_batch_cli(int argc, char** argv) {
         if (!quiet) std::printf("wrote %s\n", report_file.c_str());
     }
     return report.failed == 0 ? 0 : 1;
+}
+
+/// Parses a fuzz --budget value: "<n>x" = iterations, "<n>" or "<n>s" =
+/// wall-clock seconds.  Prints a diagnostic and returns false on typos.
+[[nodiscard]] bool parse_budget(const char* s, fuzz::fuzz_options& opt) {
+    std::string v = s;
+    bool iterations = false, seconds_suffix = false;
+    if (!v.empty() && (v.back() == 'x' || v.back() == 's')) {
+        iterations = v.back() == 'x';
+        seconds_suffix = v.back() == 's';
+        v.pop_back();
+    }
+    if (iterations) {
+        std::size_t n = 0;
+        if (!parse_size("--budget", v.c_str(), n) || n == 0) return false;
+        opt.iterations = n;
+        opt.seconds = 0.0;
+        return true;
+    }
+    double secs = 0.0;
+    if (!parse_double(v.c_str(), secs) || !(secs > 0)) {
+        if (!seconds_suffix)
+            std::fprintf(stderr, "asynth fuzz: --budget expects <seconds>[s] or <iterations>x\n");
+        return false;
+    }
+    opt.seconds = secs;
+    opt.iterations = 0;
+    return true;
+}
+
+/// `asynth fuzz`: the differential fuzzing harness (fuzz/fuzz.hpp), plus
+/// counterexample replay.
+int run_fuzz_cli(int argc, char** argv) {
+    fuzz::fuzz_options opt;
+    uint32_t mask = 0;
+    bool quiet = false;
+    std::string replay_file;
+
+    auto need_value = [&](int& i, const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+            std::fprintf(stderr, "asynth fuzz: %s requires a value\n", flag);
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "-h" || arg == "--help") {
+            print_usage(stdout);
+            return 0;
+        } else if (arg == "--budget") {
+            if (!parse_budget(need_value(i, "--budget"), opt)) return 2;
+        } else if (arg == "--seed") {
+            std::size_t v = 0;
+            if (!parse_size("--seed", need_value(i, "--seed"), v)) return 2;
+            opt.seed = v;
+        } else if (arg == "--oracle") {
+            const char* v = need_value(i, "--oracle");
+            if (std::strcmp(v, "all") == 0) {
+                mask = fuzz::all_oracles;
+            } else if (auto o = fuzz::oracle_from_name(v)) {
+                mask |= fuzz::oracle_bit(*o);
+            } else {
+                std::fprintf(stderr,
+                             "asynth fuzz: unknown oracle '%s' (engines | minimizers |"
+                             " store-roundtrip | text-roundtrip | csp-frontend | all)\n",
+                             v);
+                return 2;
+            }
+        } else if (arg == "--jobs") {
+            if (!parse_size("--jobs", need_value(i, "--jobs"), opt.jobs)) return 2;
+            if (opt.jobs == 0) opt.jobs = std::max(1u, std::thread::hardware_concurrency());
+        } else if (arg == "--max-size") {
+            std::size_t v = 0;
+            if (!parse_size("--max-size", need_value(i, "--max-size"), v)) return 2;
+            if (v < 2 || v > 64) {
+                std::fprintf(stderr, "asynth fuzz: --max-size must be in [2, 64]\n");
+                return 2;
+            }
+            opt.max_size = static_cast<int>(v);
+        } else if (arg == "--dir") {
+            opt.dir = need_value(i, "--dir");
+        } else if (arg == "--replay") {
+            replay_file = need_value(i, "--replay");
+        } else if (arg == "-q" || arg == "--quiet") {
+            quiet = true;
+        } else {
+            std::fprintf(stderr, "asynth fuzz: unknown option '%s' (see --help)\n", arg.c_str());
+            return 2;
+        }
+    }
+    if (mask != 0) opt.oracles = mask;
+
+    if (!replay_file.empty()) {
+        std::ifstream in(replay_file);
+        if (!in) {
+            std::fprintf(stderr, "asynth fuzz: cannot open '%s'\n", replay_file.c_str());
+            return 2;
+        }
+        std::ostringstream text;
+        text << in.rdbuf();
+        // The counterexample's '# profile:' header names the option profile
+        // it was found under; replaying under another would not reproduce.
+        fuzz::fuzz_profile profile = fuzz::fuzz_profile::deep;
+        std::istringstream lines(text.str());
+        for (std::string line; std::getline(lines, line);) {
+            const std::string key = "# profile: ";
+            if (line.rfind(key, 0) == 0) {
+                if (auto p = fuzz::profile_from_name(line.substr(key.size())))
+                    profile = *p;
+                break;
+            }
+            if (!line.empty() && line[0] != '#') break;
+        }
+        std::string csp_text;
+        if (replay_file.size() > 2 && replay_file.ends_with(".g")) {
+            std::ifstream csp(replay_file.substr(0, replay_file.size() - 2) + ".csp");
+            if (csp) {
+                std::ostringstream ct;
+                ct << csp.rdbuf();
+                csp_text = ct.str();
+            }
+        }
+        try {
+            std::string diag = fuzz::replay_text(text.str(), csp_text, opt.oracles, profile);
+            if (diag.empty()) {
+                if (!quiet) std::printf("replay OK: all enabled oracles agree\n");
+                return 0;
+            }
+            std::fputs(diag.c_str(), stdout);
+            return 1;
+        } catch (const error& e) {
+            std::fprintf(stderr, "asynth fuzz: %s\n", e.what());
+            return 2;
+        }
+    }
+
+    try {
+        auto report = fuzz::run_fuzz(opt);
+        std::string summary = report.summary();
+        if (quiet) {
+            // Keep only FINDING lines and the final verdict.
+            std::istringstream lines(summary);
+            summary.clear();
+            for (std::string line; std::getline(lines, line);)
+                if (line.rfind("  FINDING", 0) == 0 || line.rfind("FUZZ", 0) == 0)
+                    summary += line + "\n";
+        }
+        std::fputs(summary.c_str(), stdout);
+        return report.ok() ? 0 : 1;
+    } catch (const error& e) {
+        std::fprintf(stderr, "asynth fuzz: %s\n", e.what());
+        return 2;
+    }
 }
 
 /// `asynth serve`: the synthesis daemon (service/server.hpp).
@@ -451,6 +660,7 @@ int run_client_cli(int argc, char** argv) {
 
 int main(int argc, char** argv) {
     if (argc > 1 && std::strcmp(argv[1], "batch") == 0) return run_batch_cli(argc, argv);
+    if (argc > 1 && std::strcmp(argv[1], "fuzz") == 0) return run_fuzz_cli(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "serve") == 0) return run_serve_cli(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "client") == 0) return run_client_cli(argc, argv);
     pipeline_options opt;

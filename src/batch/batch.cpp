@@ -28,6 +28,7 @@ void aggregate(batch_report& rep) {
         rep.synthesized += s.synthesized ? 1 : 0;
         rep.csc_solved += s.csc_solved ? 1 : 0;
         rep.store_hits += s.store_hit ? 1 : 0;
+        rep.impl_checked += s.impl_checked ? 1 : 0;
         rep.total_states += s.states;
         rep.total_arcs += s.arcs;
         rep.total_explored += s.explored;
@@ -41,9 +42,8 @@ void aggregate(batch_report& rep) {
         rep.specs_per_second = static_cast<double>(rep.count) / rep.wall_seconds;
 
     // Per-stage distributions, iterating the contiguous pipeline_stage enum
-    // (recover is the last stage) so a newly added stage can never silently
-    // drop out of the percentiles.
-    for (uint8_t si = 0; si <= static_cast<uint8_t>(pipeline_stage::recover); ++si) {
+    // so a newly added stage can never silently drop out of the percentiles.
+    for (uint8_t si = 0; si <= static_cast<uint8_t>(pipeline_stage_last); ++si) {
         const auto stage = static_cast<pipeline_stage>(si);
         std::vector<double> samples;
         for (const auto& s : rep.specs)
@@ -136,6 +136,8 @@ spec_record record_of(const std::string& name, const pipeline_result& r) {
     out.cycle = r.cycle();
     out.seconds = r.total_seconds;
     out.timings = r.timings;
+    out.impl_checked = r.impl_check.ok;
+    out.impl_states = r.impl_check.states_visited;
     return out;
 }
 
@@ -161,11 +163,13 @@ spec_record record_of_stored(const std::string& name, const store::stored_record
     // Stage names round-trip through the enum; a name this build does not
     // know (newer producer) is dropped rather than misattributed.
     for (const auto& [stage, seconds] : rec.timings)
-        for (uint8_t si = 0; si <= static_cast<uint8_t>(pipeline_stage::recover); ++si)
+        for (uint8_t si = 0; si <= static_cast<uint8_t>(pipeline_stage_last); ++si)
             if (stage == stage_name(static_cast<pipeline_stage>(si))) {
                 out.timings.push_back({static_cast<pipeline_stage>(si), seconds});
                 break;
             }
+    out.impl_checked = rec.impl_checked;
+    out.impl_states = rec.impl_states;
     out.store_hit = true;
     return out;
 }
@@ -235,7 +239,7 @@ batch_report make_report(std::vector<spec_record> specs, std::size_t jobs, doubl
 std::string report_json(const batch_report& r) {
     std::string out = "{\n  ";
     json_object top{out};
-    top.field("schema_version", std::size_t{2});
+    top.field("schema_version", std::size_t{3});
     top.field("tool", std::string("asynth batch"));
     top.field("jobs", r.jobs);
     top.field("count", r.count);
@@ -259,6 +263,10 @@ std::string report_json(const batch_report& r) {
     top.field("queue_wait_p50_ms", r.queue_wait_p50_ms);
     top.field("queue_wait_p90_ms", r.queue_wait_p90_ms);
     top.field("queue_wait_max_ms", r.queue_wait_max_ms);
+    // schema_version 3 addition: implementation-level verification coverage
+    // (the emit/verify per-stage timings appear via the generic <stage>_ms
+    // mechanism and the stage_percentiles block).
+    top.field("impl_checked", r.impl_checked);
 
     out += ",\n  \"stage_percentiles\": [";
     for (std::size_t i = 0; i < r.stages.size(); ++i) {
@@ -300,6 +308,8 @@ std::string report_json(const batch_report& r) {
         o.field("cycle", s.cycle);
         o.field("seconds", s.seconds);
         o.field("store_hit", s.store_hit);
+        o.field("impl_checked", s.impl_checked);
+        if (s.impl_checked) o.field("impl_states", s.impl_states);
         for (const auto& t : s.timings) {
             std::string k = std::string(stage_name(t.stage)) + "_ms";
             o.field(k.c_str(), t.seconds * 1e3);

@@ -10,11 +10,13 @@
 // apart from the timing fields.
 //
 // report_json() serialises the report in a schema-stable layout
-// (schema_version 2) written as BENCH_pipeline.json by `asynth batch
+// (schema_version 3) written as BENCH_pipeline.json by `asynth batch
 // --report`; the checked-in BENCH_pipeline.json at the repo root is the perf
-// baseline subsequent PRs measure against.  Version 2 adds the result-store
+// baseline subsequent PRs measure against.  Version 2 added the result-store
 // hit/miss aggregates and the service's queue-wait percentiles on top of
-// version 1; tools/check_bench_regression.py reads both.
+// version 1; version 3 adds the implementation-verification coverage fields
+// and the emit/verify per-stage timings; tools/check_bench_regression.py
+// reads all three.
 //
 // With batch_options::store set (CLI: --store DIR), the sweep is *resumable*:
 // each spec is first looked up in the content-addressed result store
@@ -72,6 +74,8 @@ struct spec_record {
     double seconds = 0.0;
     std::vector<stage_timing> timings;  ///< per-stage wall-clock seconds
     bool store_hit = false;     ///< record served from the result store
+    bool impl_checked = false;  ///< verify stage emulated the netlist and agreed
+    std::size_t impl_states = 0;  ///< states the emulation walk visited
 };
 
 /// Wall-clock distribution of one pipeline stage across the sweep.
@@ -110,6 +114,7 @@ struct batch_report {
     double queue_wait_p50_ms = 0.0;
     double queue_wait_p90_ms = 0.0;
     double queue_wait_max_ms = 0.0;
+    std::size_t impl_checked = 0;    ///< specs whose netlist emulated clean (v3)
     std::vector<stage_stats> stages; ///< per-stage percentiles, stage order
     std::vector<spec_record> specs;  ///< one record per spec, input order
 };
@@ -135,11 +140,13 @@ struct batch_report {
 [[nodiscard]] batch_report make_report(std::vector<spec_record> specs, std::size_t jobs,
                                        double wall_seconds);
 
-/// Schema-stable JSON serialisation of the report (schema_version 2): fixed
+/// Schema-stable JSON serialisation of the report (schema_version 3): fixed
 /// key order, aggregate block first, then stage percentiles, then one object
 /// per spec.  This is the BENCH_pipeline.json format.  v2 = v1 plus
 /// store_hits/store_misses, the queue_wait_* percentiles and per-spec
-/// store_hit flags; v1 readers that index specs[] keep working.
+/// store_hit flags; v3 = v2 plus the impl_checked aggregates/flags and the
+/// emit/verify stage timings.  Readers that index specs[] keep working
+/// across versions.
 [[nodiscard]] std::string report_json(const batch_report& r);
 
 /// Compact per-spec table plus the aggregate line, for terminal output.

@@ -127,7 +127,7 @@ iteration_outcome run_one(const fuzz_options& opt, const std::vector<oracle>& or
             out.csp_text = render_csp(out.recipe, name);
             out.diagnosis = check_csp_agreement(out.csp_text, spec);
         } else {
-            out.diagnosis = check_oracle(out.o, spec, out.profile, opt.inject);
+            out.diagnosis = check_oracle(out.o, spec, out.profile, opt.inject, opt.inject_net);
         }
     } catch (const error& e) {
         // Generation or an oracle leg threw: that is itself a finding -- the
@@ -149,7 +149,8 @@ bool recipe_fails(const spec_node& recipe, const iteration_outcome& ctx,
         stg spec = benchmarks::build_spec(recipe, "shrunk");
         std::string diag = ctx.o == oracle::csp_frontend
                                ? check_csp_agreement(render_csp(recipe, "shrunk"), spec)
-                               : check_oracle(ctx.o, spec, ctx.profile, opt.inject);
+                               : check_oracle(ctx.o, spec, ctx.profile, opt.inject,
+                                              opt.inject_net);
         return !want_exception && !diag.empty();
     } catch (const error&) {
         return want_exception;

@@ -1,10 +1,12 @@
 // Deterministic differential fuzzing of the synthesis pipeline.
 //
-// The library now has five pairs of "must be equivalent" paths, each pinned
+// The library now has six pairs of "must be equivalent" paths, each pinned
 // only on the fixed BENCH corpus until this harness: the reference vs the
 // incremental Fig. 9 engine, the exact vs the dominance-filtered minimiser,
 // the cold vs warm result-store round trip, pipeline verdicts under
-// write_astg∘parse, and the CSP front end vs directly built STGs.  run_fuzz
+// write_astg∘parse, the CSP front end vs directly built STGs, and the
+// emitted implementation replayed under speed-independent semantics vs the
+// encoded state graph (netlist/emulate.hpp).  run_fuzz
 // drives randomly generated specifications (benchmarks/generate.hpp,
 // including the arbitration / multi-way choice / counter families) through
 // one oracle per iteration and reports every disagreement.
@@ -53,8 +55,9 @@ enum class oracle : uint8_t {
     store_roundtrip,  ///< record -> serialize -> parse -> re-run equality
     text_roundtrip,   ///< pipeline verdict stability under write_astg∘parse
     csp_frontend,     ///< rendered CSP text vs directly built STG (LTS equality)
+    impl_vs_sg,       ///< emitted netlist emulated against the encoded state graph
 };
-inline constexpr std::size_t oracle_count = 5;
+inline constexpr std::size_t oracle_count = 6;
 inline constexpr uint32_t all_oracles = (1u << oracle_count) - 1;
 
 [[nodiscard]] constexpr uint32_t oracle_bit(oracle o) noexcept {
@@ -81,12 +84,16 @@ enum class fuzz_profile : uint8_t {
 /// when both sides agree, else a one-line diagnosis of the FIRST difference.
 /// @p inject, when set, perturbs the second (candidate) side's options
 /// before its run -- the mutation-testing hook: a perturbation that changes
-/// results must be caught as a mismatch.  Must not be called with
-/// oracle::csp_frontend (that oracle needs the recipe, not a net; see
-/// check_csp_agreement).
+/// results must be caught as a mismatch.  @p inject_net is the same hook at
+/// the netlist level, consumed only by oracle::impl_vs_sg: it perturbs the
+/// built circuit_netlist before emulation, and a perturbation that changes
+/// behaviour must be caught as a trace-containment or readiness violation.
+/// Must not be called with oracle::csp_frontend (that oracle needs the
+/// recipe, not a net; see check_csp_agreement).
 [[nodiscard]] std::string check_oracle(oracle o, const stg& spec,
                                        fuzz_profile profile = fuzz_profile::deep,
-                                       const std::function<void(pipeline_options&)>& inject = {});
+                                       const std::function<void(pipeline_options&)>& inject = {},
+                                       const std::function<void(circuit_netlist&)>& inject_net = {});
 
 /// The CSP-frontend oracle: parses @p csp_text and compares its expanded
 /// state graph with @p direct's, by LTS language equality.  "" on agreement.
@@ -136,6 +143,8 @@ struct fuzz_options {
     std::size_t max_shrink_evals = 400;
     /// Test hook forwarded to check_oracle for every pipeline-pair oracle.
     std::function<void(pipeline_options&)> inject;
+    /// Netlist-level mutation hook forwarded to the impl-vs-sg oracle.
+    std::function<void(circuit_netlist&)> inject_net;
 };
 
 struct oracle_stats {

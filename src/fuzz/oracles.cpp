@@ -1,4 +1,4 @@
-// The five differential oracles and the result/record diffing they share.
+// The six differential oracles and the result/record diffing they share.
 //
 // Design rule: compare EVERYTHING deterministic, not just the headline cost.
 // A wrong engine that happens to land on an equal-cost configuration still
@@ -108,6 +108,7 @@ const char* oracle_name(oracle o) noexcept {
         case oracle::store_roundtrip: return "store-roundtrip";
         case oracle::text_roundtrip: return "text-roundtrip";
         case oracle::csp_frontend: return "csp-frontend";
+        case oracle::impl_vs_sg: return "impl-vs-sg";
     }
     return "?";
 }
@@ -117,6 +118,8 @@ std::optional<oracle> oracle_from_name(std::string_view name) noexcept {
         auto o = static_cast<oracle>(i);
         if (name == oracle_name(o)) return o;
     }
+    // Underscore spelling matches the enum name in docs and error messages.
+    if (name == "impl_vs_sg") return oracle::impl_vs_sg;
     return std::nullopt;
 }
 
@@ -277,13 +280,18 @@ std::string diff_records(const store::stored_record& a, const store::stored_reco
             d.field((p + "equation").c_str(), a.netlist[i].equation, b.netlist[i].equation);
         }
     d.blob("recovered_astg", a.recovered_astg, b.recovered_astg);
+    d.blob("verilog", a.verilog, b.verilog);
+    d.blob("cmodel", a.cmodel, b.cmodel);
+    d.field("impl_checked", a.impl_checked, b.impl_checked);
+    d.field("impl_states", a.impl_states, b.impl_states);
     return d.out;
 }
 
 // ---- the oracle checks -----------------------------------------------------
 
 std::string check_oracle(oracle o, const stg& spec, fuzz_profile profile,
-                         const std::function<void(pipeline_options&)>& inject) {
+                         const std::function<void(pipeline_options&)>& inject,
+                         const std::function<void(circuit_netlist&)>& inject_net) {
     switch (o) {
         case oracle::engines:
         case oracle::minimizers: {
@@ -332,6 +340,21 @@ std::string check_oracle(oracle o, const stg& spec, fuzz_profile profile,
             if (inject) inject(opt2);
             auto r2 = run_pipeline_text(text, opt2);
             return diff_results(r1, r2, false);
+        }
+        case oracle::impl_vs_sg: {
+            // Not a two-run pair: the "sides" are the emitted implementation
+            // and the encoded state graph it was synthesised from.  Specs
+            // whose pipeline fails or whose CSC is unsolvable produce no
+            // circuit -- nothing to emulate, vacuously agreeing (the other
+            // oracles already cover verdict stability).
+            pipeline_options opt = profile_options(profile);
+            if (inject) inject(opt);
+            auto r = run_pipeline(spec, opt);
+            if (!r.synthesized()) return "";
+            auto nl = build_circuit_netlist(r.synth.ckt, r.csc.graph, r.spec.model_name);
+            if (inject_net) inject_net(nl);
+            auto em = emulate_against_sg(nl, subgraph::full(r.csc.graph));
+            return em.ok ? "" : "implementation diverges from state graph: " + em.message;
         }
         case oracle::csp_frontend:
             return "check_oracle cannot run the CSP oracle from a net alone; "

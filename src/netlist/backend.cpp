@@ -1,0 +1,65 @@
+#include "netlist/backend.hpp"
+
+namespace asynth {
+
+std::size_t circuit_netlist::gate_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& net : nets)
+        n += net.fn.gate_count() + net.set_net.gate_count() + net.reset_net.gate_count();
+    return n;
+}
+
+circuit_netlist build_circuit_netlist(const circuit& ckt, const state_graph& enc,
+                                      std::string module_name) {
+    circuit_netlist model;
+    model.module_name = std::move(module_name);
+    model.signals = enc.signals();
+    model.initial_code = enc.states().at(enc.initial()).code;
+    model.nets.reserve(ckt.impls.size());
+    for (const auto& impl : ckt.impls) {
+        signal_net net;
+        net.signal = impl.signal;
+        net.kind = impl.kind;
+        net.has_feedback = impl.has_feedback;
+        net.equation = impl.equation;
+        if (impl.kind == impl_kind::gc_element) {
+            net.set_net = decompose_cover(impl.set_fn);
+            net.reset_net = decompose_cover(impl.reset_fn);
+        } else {
+            net.fn = decompose_cover(impl.function);
+        }
+        model.nets.push_back(std::move(net));
+    }
+    return model;
+}
+
+std::string sanitize_identifier(std::string_view name) {
+    std::string out;
+    out.reserve(name.size() + 1);
+    if (!name.empty() && name.front() >= '0' && name.front() <= '9') out.push_back('_');
+    for (char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    if (out.empty()) out = "_";
+    return out;
+}
+
+// Defined by the emitter translation units.
+const netlist_backend& verilog_backend();
+const netlist_backend& cmodel_backend();
+
+const std::vector<const netlist_backend*>& netlist_backends() {
+    static const std::vector<const netlist_backend*> all = {&verilog_backend(),
+                                                            &cmodel_backend()};
+    return all;
+}
+
+const netlist_backend* find_backend(std::string_view name) {
+    for (const auto* b : netlist_backends())
+        if (name == b->name()) return b;
+    return nullptr;
+}
+
+}  // namespace asynth

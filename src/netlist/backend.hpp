@@ -1,0 +1,86 @@
+// Netlist backends: the logic stage's per-signal implementations made into a
+// whole-circuit gate-level model, plus pluggable emitters over it.
+//
+// build_circuit_netlist() lowers a synthesised `circuit` against its encoded
+// state graph into a `circuit_netlist`: every chosen implementation style
+// (constant, wire, inverter, atomic complex gate, generalized C element) is
+// decomposed into the same 2-input AND/OR/inverter gates the area model
+// counts (logic/netlist.hpp), so what the emitters print and what the
+// emulator replays (netlist/emulate.hpp) is exactly the gate network the
+// pipeline priced.
+//
+// A `netlist_backend` turns the model into text.  Two are registered:
+//
+//   verilog  synthesisable structural Verilog (one wire per gate, a shared
+//            set/reset latch module for gC implementations)
+//   cmodel   a self-contained C translation unit (no includes) with one
+//            next-state function per implemented signal
+//
+// Both emissions are deterministic functions of the model -- the golden
+// tests in tests/test_netlist.cpp pin them byte for byte.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logic/netlist.hpp"
+#include "logic/synthesis.hpp"
+#include "sg/state_graph.hpp"
+#include "util/dyn_bitset.hpp"
+
+namespace asynth {
+
+/// Gate-level realisation of one non-input signal.
+struct signal_net {
+    uint32_t signal = 0;  ///< signal index in the model's signal table
+    impl_kind kind = impl_kind::complex_gate;
+    /// Next-state network f_x for constant/wire/inverter/complex styles.
+    netlist fn;
+    /// Set/reset networks for the gC style (empty otherwise).
+    netlist set_net, reset_net;
+    bool has_feedback = false;  ///< fn reads the signal's own value
+    std::string equation;       ///< printable equation (logic stage verbatim)
+};
+
+/// The whole circuit at gate level, against one encoded state graph.
+struct circuit_netlist {
+    std::string module_name;           ///< emitted module/prefix identifier
+    std::vector<signal_decl> signals;  ///< encoded SG signal table, in order
+    dyn_bitset initial_code;           ///< initial state code (power-up values)
+    std::vector<signal_net> nets;      ///< one per implemented non-input signal
+
+    [[nodiscard]] const signal_net* find(uint32_t signal) const noexcept {
+        for (const auto& n : nets)
+            if (n.signal == signal) return &n;
+        return nullptr;
+    }
+    /// Total 2-input gate count (excluding input pins) across all networks.
+    [[nodiscard]] std::size_t gate_count() const noexcept;
+};
+
+/// Lowers a synthesised circuit into the gate-level model.  @p enc must be
+/// the encoded state graph the circuit was synthesised from (csc_result's
+/// graph): signal indices and the initial code are taken from it.
+[[nodiscard]] circuit_netlist build_circuit_netlist(const circuit& ckt, const state_graph& enc,
+                                                    std::string module_name);
+
+/// A netlist emitter.  Implementations are stateless singletons.
+class netlist_backend {
+public:
+    virtual ~netlist_backend() = default;
+    [[nodiscard]] virtual const char* name() const noexcept = 0;            ///< CLI identifier
+    [[nodiscard]] virtual const char* file_extension() const noexcept = 0;  ///< ".v", ".c"
+    [[nodiscard]] virtual std::string emit(const circuit_netlist& model) const = 0;
+};
+
+/// All registered backends, in stable order (verilog, cmodel).
+[[nodiscard]] const std::vector<const netlist_backend*>& netlist_backends();
+/// Backend by CLI name; nullptr when unknown.
+[[nodiscard]] const netlist_backend* find_backend(std::string_view name);
+
+/// Signal name made safe for Verilog/C identifiers: characters outside
+/// [A-Za-z0-9_] become '_', a leading digit gets a '_' prefix.
+[[nodiscard]] std::string sanitize_identifier(std::string_view name);
+
+}  // namespace asynth

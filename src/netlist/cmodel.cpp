@@ -1,0 +1,125 @@
+// Self-contained C simulation model emitter: no #includes, one unsigned char
+// per signal, one next-state function per implemented signal plus
+// excited/step helpers.  gC implementations use the same set/reset latch
+// semantics as the Verilog backend and the emulator.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netlist/backend.hpp"
+
+namespace asynth {
+
+namespace {
+
+/// Emits one `const int <prefix><i> = ...;` line per non-pin gate and returns
+/// the expression naming the network's output.
+std::string emit_gates(std::string& out, const netlist& nl, const std::string& prefix,
+                       const std::vector<std::string>& sig_ident) {
+    if (nl.output == -1) return "0";
+    if (nl.output == -2) return "1";
+    std::vector<std::string> expr(nl.gates.size());
+    for (std::size_t i = 0; i < nl.gates.size(); ++i) {
+        const auto& g = nl.gates[i];
+        if (g.kind == gate_kind::input_pin) {
+            expr[i] = "s->" + sig_ident.at(static_cast<std::size_t>(g.a));
+            continue;
+        }
+        expr[i] = prefix + std::to_string(i);
+        const auto& a = expr.at(static_cast<std::size_t>(g.a));
+        out += "    const int " + expr[i] + " = ";
+        switch (g.kind) {
+            case gate_kind::inverter: out += "!" + a; break;
+            case gate_kind::and2:
+                out += a + " && " + expr.at(static_cast<std::size_t>(g.b));
+                break;
+            case gate_kind::or2:
+                out += a + " || " + expr.at(static_cast<std::size_t>(g.b));
+                break;
+            case gate_kind::input_pin: break;  // handled above
+        }
+        out += ";\n";
+    }
+    return expr.at(static_cast<std::size_t>(nl.output));
+}
+
+class cmodel_emitter final : public netlist_backend {
+public:
+    const char* name() const noexcept override { return "cmodel"; }
+    const char* file_extension() const noexcept override { return ".c"; }
+
+    std::string emit(const circuit_netlist& m) const override {
+        std::string out;
+        std::vector<std::string> ident;
+        ident.reserve(m.signals.size());
+        for (const auto& s : m.signals) ident.push_back(sanitize_identifier(s.name));
+        const std::string mod = sanitize_identifier(m.module_name);
+
+        out += "/*\n";
+        out += " * " + mod + ": self-contained C simulation model (asynth netlist backend).\n";
+        out += " * Values are 0/1; " + mod + "_init() loads the power-up state; inputs are\n";
+        out += " * driven by the caller; " + mod + "_excited_<sig>() reports whether a\n";
+        out += " * non-input signal may fire and " + mod + "_step_<sig>() fires it.\n";
+        out += " * equations:\n";
+        for (const auto& net : m.nets) out += " *   " + net.equation + "\n";
+        out += " */\n\n";
+
+        out += "typedef struct {\n";
+        for (std::size_t i = 0; i < m.signals.size(); ++i)
+            out += "    unsigned char " + ident[i] + ";\n";
+        out += "} " + mod + "_state;\n\n";
+
+        out += "void " + mod + "_init(" + mod + "_state* s) {\n";
+        for (std::size_t i = 0; i < m.signals.size(); ++i)
+            out += "    s->" + ident[i] + " = " + (m.initial_code.test(i) ? "1" : "0") + ";\n";
+        out += "}\n";
+
+        for (std::size_t i = 0; i < m.signals.size(); ++i) {
+            if (m.signals[i].kind == signal_kind::input) continue;
+            const auto* net = m.find(static_cast<uint32_t>(i));
+            const std::string next = mod + "_next_" + ident[i];
+            out += "\n";
+            if (!net) {
+                // No transitions in the spec: the signal holds its power-up value.
+                out += "int " + next + "(const " + mod + "_state* s) {\n";
+                out += "    (void)s;\n";
+                out += "    return " + std::string(m.initial_code.test(i) ? "1" : "0") +
+                       ";  /* no transitions */\n";
+                out += "}\n";
+            } else if (net->kind == impl_kind::gc_element) {
+                out += "/* " + net->equation + " (set/reset latch semantics) */\n";
+                out += "int " + next + "(const " + mod + "_state* s) {\n";
+                const std::string set = emit_gates(out, net->set_net, "set_g", ident);
+                const std::string reset = emit_gates(out, net->reset_net, "reset_g", ident);
+                out += "    return s->" + ident[i] + " ? !(" + reset + ") : (" + set +
+                       ") != 0;\n";
+                out += "}\n";
+            } else {
+                out += "/* " + net->equation + " */\n";
+                out += "int " + next + "(const " + mod + "_state* s) {\n";
+                const std::string f = emit_gates(out, net->fn, "g", ident);
+                const bool uses_state = !net->fn.gates.empty();
+                if (!uses_state) out += "    (void)s;\n";
+                out += "    return (" + f + ") != 0;\n";
+                out += "}\n";
+            }
+            out += "int " + mod + "_excited_" + ident[i] + "(const " + mod +
+                   "_state* s) {\n";
+            out += "    return " + next + "(s) != s->" + ident[i] + ";\n";
+            out += "}\n";
+            out += "void " + mod + "_step_" + ident[i] + "(" + mod + "_state* s) {\n";
+            out += "    s->" + ident[i] + " = (unsigned char)" + next + "(s);\n";
+            out += "}\n";
+        }
+        return out;
+    }
+};
+
+}  // namespace
+
+const netlist_backend& cmodel_backend() {
+    static const cmodel_emitter instance;
+    return instance;
+}
+
+}  // namespace asynth

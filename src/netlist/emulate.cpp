@@ -1,0 +1,125 @@
+#include "netlist/emulate.hpp"
+
+#include <deque>
+#include <optional>
+
+namespace asynth {
+
+namespace {
+
+constexpr std::size_t max_reported_violations = 8;
+constexpr std::size_t max_trace_events = 24;
+
+/// Is the signal's gate network excited (output may change) at @p code?
+bool impl_excited_at(const signal_net& net, const dyn_bitset& code) {
+    const bool value = code.test(net.signal);
+    if (net.kind == impl_kind::gc_element)
+        return value ? net.reset_net.evaluate(code) : net.set_net.evaluate(code);
+    return net.fn.evaluate(code) != value;
+}
+
+/// Shortest event trace from the initial state to @p state (BFS parents).
+std::string trace_to(const state_graph& b, const std::vector<int64_t>& parent_arc,
+                     uint32_t state) {
+    std::vector<uint16_t> events;
+    for (uint32_t s = state; parent_arc[s] >= 0;) {
+        const auto& a = b.arcs()[static_cast<std::size_t>(parent_arc[s])];
+        events.push_back(a.event);
+        s = a.src;
+    }
+    if (events.empty()) return "(initial state)";
+    std::string out;
+    const std::size_t n = events.size();
+    const std::size_t shown = n > max_trace_events ? max_trace_events : n;
+    if (n > shown) out += "... ";
+    for (std::size_t i = 0; i < shown; ++i) {
+        if (i) out += " ";
+        out += b.event_name(events[shown - 1 - i]);
+    }
+    return out;
+}
+
+}  // namespace
+
+emulation_result emulate_against_sg(const circuit_netlist& model, const subgraph& spec) {
+    emulation_result res;
+    const auto& b = spec.base();
+
+    // Per-net event ids in the SG (firing direction depends on the value).
+    struct net_events {
+        const signal_net* net = nullptr;
+        std::optional<uint16_t> plus, minus;
+    };
+    std::vector<net_events> nets;
+    nets.reserve(model.nets.size());
+    for (const auto& net : model.nets) {
+        net_events ne;
+        ne.net = &net;
+        ne.plus = b.find_event(static_cast<int32_t>(net.signal), edge::plus);
+        ne.minus = b.find_event(static_cast<int32_t>(net.signal), edge::minus);
+        nets.push_back(ne);
+    }
+
+    // BFS product walk from the initial state through live arcs; parents give
+    // a shortest witness trace for any divergence.
+    std::vector<char> visited(b.state_count(), 0);
+    std::vector<int64_t> parent_arc(b.state_count(), -1);
+    std::deque<uint32_t> queue;
+    if (spec.state_live(b.initial())) {
+        visited[b.initial()] = 1;
+        queue.push_back(b.initial());
+    }
+    while (!queue.empty()) {
+        const uint32_t s = queue.front();
+        queue.pop_front();
+        ++res.states_visited;
+        const auto& code = b.states()[s].code;
+
+        bool overlap_here = false;
+        for (const auto& ne : nets) {
+            const bool value = code.test(ne.net->signal);
+            if (ne.net->kind == impl_kind::gc_element && ne.net->set_net.evaluate(code) &&
+                ne.net->reset_net.evaluate(code))
+                overlap_here = true;
+            const bool impl = impl_excited_at(*ne.net, code);
+            const auto ev = value ? ne.minus : ne.plus;
+            const bool sg = ev && spec.enabled(s, *ev);
+            ++res.checks;
+            if (impl == sg) continue;
+            if (res.violations.size() < max_reported_violations) {
+                emulation_violation v;
+                v.state = s;
+                v.signal = ne.net->signal;
+                v.impl_excited = impl;
+                const std::string event =
+                    model.signals[ne.net->signal].name + (value ? "-" : "+");
+                if (impl)
+                    v.detail = "implementation fires " + event + " at state " +
+                               b.state_code_string(s) +
+                               " but the spec forbids it (trace containment violated)";
+                else
+                    v.detail = "spec requires " + event + " at state " +
+                               b.state_code_string(s) +
+                               " but the gate is not excited (output readiness violated)";
+                v.detail += "; trace: " + trace_to(b, parent_arc, s);
+                res.violations.push_back(std::move(v));
+            }
+        }
+        if (overlap_here) ++res.gc_overlap_states;
+
+        for (uint32_t a : b.out_arcs(s)) {
+            if (!spec.arc_live(a)) continue;
+            const uint32_t d = b.arcs()[a].dst;
+            if (!spec.state_live(d) || visited[d]) continue;
+            visited[d] = 1;
+            parent_arc[d] = a;
+            queue.push_back(d);
+        }
+    }
+
+    res.ok = res.violations.empty();
+    if (!res.ok) res.message = res.violations.front().detail;
+    return res;
+}
+
+}  // namespace asynth

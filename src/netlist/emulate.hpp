@@ -1,0 +1,65 @@
+// Speed-independent emulation of an emitted implementation against the
+// spec's state graph.
+//
+// The model's gates are atomic (the paper's complex-gate assumption), so the
+// circuit's state *is* the signal vector: at any state, each implemented
+// signal is either stable (gate output agrees with its value) or excited
+// (any excited gate may fire -- speed independence makes the firing order
+// free).  The emulator therefore replays the implementation as a product
+// walk with the encoded state graph: BFS over the live states from the
+// initial one, and at every reached state the set of excited non-input
+// signals computed from the gate networks must equal the set of enabled
+// non-input events of the SG.
+//
+//   * implementation excited but no SG arc  -> the circuit can fire a
+//     transition the spec forbids: TRACE CONTAINMENT violated;
+//   * SG arc but implementation not excited -> the circuit never produces
+//     an output the spec requires: OUTPUT READINESS violated.
+//
+// Because the excited sets are checked for equality at every reachable
+// state, and firing an excited signal moves the circuit to exactly the
+// code of the SG successor, the walk never needs to leave the SG's state
+// set: equality everywhere is precisely trace equivalence of the two
+// transition systems (inputs are driven per the spec's environment).
+//
+// gC implementations are replayed with the set/reset latch semantics the
+// emitters print (rise on set while low, fall on reset while high).  States
+// where both networks are active are additionally counted in
+// `gc_overlap_states`: harmless under latch semantics, but a fight under a
+// transistor-level gC -- the count is surfaced so stricter libraries can
+// gate on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/backend.hpp"
+#include "sg/state_graph.hpp"
+
+namespace asynth {
+
+/// One (state, signal) disagreement between implementation and spec.
+struct emulation_violation {
+    uint32_t state = 0;        ///< SG state index where the walk diverged
+    uint32_t signal = 0;       ///< offending signal
+    bool impl_excited = false; ///< true: extra firing (containment); false: missing (readiness)
+    std::string detail;        ///< human-readable diagnosis with code and trace
+};
+
+struct emulation_result {
+    bool ok = false;                  ///< implementation trace-equivalent to the spec
+    std::size_t states_visited = 0;   ///< live states reached by the walk
+    std::size_t checks = 0;           ///< (state, signal) equality checks performed
+    std::size_t gc_overlap_states = 0;  ///< states where some gC has set & reset both on
+    std::vector<emulation_violation> violations;  ///< first few divergences (capped)
+    std::string message;              ///< first violation's detail ("" when ok)
+};
+
+/// Replays @p model against @p spec (the encoded SG the circuit was
+/// synthesised from).  Signals absent from the model (inputs, eventless
+/// signals) are driven by the spec.  Never throws.
+[[nodiscard]] emulation_result emulate_against_sg(const circuit_netlist& model,
+                                                  const subgraph& spec);
+
+}  // namespace asynth

@@ -1,0 +1,147 @@
+// Structural Verilog emitter: one wire per 2-input gate, `assign` for the
+// combinational styles and a shared `asynth_gc` set/reset latch module for
+// generalized C elements.  The latch semantics (rise on set while low, fall
+// on reset while high, hold otherwise) are exactly what the emulator replays
+// -- see netlist/emulate.hpp.
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netlist/backend.hpp"
+
+namespace asynth {
+
+namespace {
+
+/// Emits one `wire <prefix><i> = ...;` line per non-pin gate of @p nl and
+/// returns the expression naming the network's output (a wire, a signal name
+/// or a constant literal).
+std::string emit_gates(std::string& out, const netlist& nl, const std::string& prefix,
+                       const std::vector<std::string>& sig_ident) {
+    if (nl.output == -1) return "1'b0";
+    if (nl.output == -2) return "1'b1";
+    std::vector<std::string> expr(nl.gates.size());
+    for (std::size_t i = 0; i < nl.gates.size(); ++i) {
+        const auto& g = nl.gates[i];
+        if (g.kind == gate_kind::input_pin) {
+            expr[i] = sig_ident.at(static_cast<std::size_t>(g.a));
+            continue;
+        }
+        expr[i] = prefix + std::to_string(i);
+        const auto& a = expr.at(static_cast<std::size_t>(g.a));
+        out += "    wire " + expr[i] + " = ";
+        switch (g.kind) {
+            case gate_kind::inverter: out += "~" + a; break;
+            case gate_kind::and2:
+                out += a + " & " + expr.at(static_cast<std::size_t>(g.b));
+                break;
+            case gate_kind::or2:
+                out += a + " | " + expr.at(static_cast<std::size_t>(g.b));
+                break;
+            case gate_kind::input_pin: break;  // handled above
+        }
+        out += ";\n";
+    }
+    return expr.at(static_cast<std::size_t>(nl.output));
+}
+
+class verilog_emitter final : public netlist_backend {
+public:
+    const char* name() const noexcept override { return "verilog"; }
+    const char* file_extension() const noexcept override { return ".v"; }
+
+    std::string emit(const circuit_netlist& m) const override {
+        std::string out;
+        std::vector<std::string> ident;
+        ident.reserve(m.signals.size());
+        for (const auto& s : m.signals) ident.push_back(sanitize_identifier(s.name));
+        const std::string mod = sanitize_identifier(m.module_name);
+
+        out += "// " + mod + ": speed-independent gate-level implementation";
+        out += " (asynth netlist backend)\n";
+        out += "// equations:\n";
+        for (const auto& net : m.nets) out += "//   " + net.equation + "\n";
+        out += "// initial state:";
+        for (std::size_t i = 0; i < m.signals.size(); ++i)
+            out += " " + ident[i] + "=" + (m.initial_code.test(i) ? "1" : "0");
+        out += "\n";
+
+        out += "module " + mod + " (\n";
+        std::vector<std::string> ports;
+        for (std::size_t i = 0; i < m.signals.size(); ++i) {
+            if (m.signals[i].kind == signal_kind::input)
+                ports.push_back("    input  wire " + ident[i]);
+            else if (m.signals[i].kind == signal_kind::output)
+                ports.push_back("    output wire " + ident[i]);
+        }
+        for (std::size_t i = 0; i < ports.size(); ++i)
+            out += ports[i] + (i + 1 < ports.size() ? ",\n" : "\n");
+        out += ");\n";
+
+        bool any_internal = false;
+        for (std::size_t i = 0; i < m.signals.size(); ++i)
+            if (m.signals[i].kind == signal_kind::internal) {
+                if (!any_internal) out += "    // internal state signals\n";
+                any_internal = true;
+                out += "    wire " + ident[i] + ";\n";
+            }
+
+        bool used_gc = false;
+        for (std::size_t i = 0; i < m.signals.size(); ++i) {
+            if (m.signals[i].kind == signal_kind::input) continue;
+            const auto* net = m.find(static_cast<uint32_t>(i));
+            out += "\n";
+            if (!net) {
+                // No transitions in the spec: the signal holds its power-up value.
+                out += "    assign " + ident[i] + " = 1'b" +
+                       (m.initial_code.test(i) ? "1" : "0") + ";  // no transitions\n";
+                continue;
+            }
+            out += "    // " + net->equation + "\n";
+            if (net->kind == impl_kind::gc_element) {
+                used_gc = true;
+                const std::string set =
+                    emit_gates(out, net->set_net, ident[i] + "_s", ident);
+                const std::string reset =
+                    emit_gates(out, net->reset_net, ident[i] + "_r", ident);
+                out += "    asynth_gc #(.INIT(1'b" + std::string(m.initial_code.test(i) ? "1" : "0") +
+                       ")) " + ident[i] + "_latch (.set(" + set + "), .reset(" + reset +
+                       "), .q(" + ident[i] + "));\n";
+            } else {
+                const std::string f = emit_gates(out, net->fn, ident[i] + "_g", ident);
+                out += "    assign " + ident[i] + " = " + f + ";\n";
+            }
+        }
+        out += "endmodule\n";
+
+        if (used_gc) {
+            out += "\n";
+            out += "// Generalized C element modelled as a set/reset latch: q rises when set\n";
+            out += "// while low, falls when reset while high, and holds otherwise -- the\n";
+            out += "// excitation semantics the asynth emulator replays.\n";
+            out += "module asynth_gc #(\n";
+            out += "    parameter INIT = 1'b0\n";
+            out += ") (\n";
+            out += "    input  wire set,\n";
+            out += "    input  wire reset,\n";
+            out += "    output reg  q\n";
+            out += ");\n";
+            out += "    initial q = INIT;\n";
+            out += "    always @(set or reset) begin\n";
+            out += "        if (!q && set) q = 1'b1;\n";
+            out += "        else if (q && reset) q = 1'b0;\n";
+            out += "    end\n";
+            out += "endmodule\n";
+        }
+        return out;
+    }
+};
+
+}  // namespace
+
+const netlist_backend& verilog_backend() {
+    static const verilog_emitter instance;
+    return instance;
+}
+
+}  // namespace asynth

@@ -6,6 +6,7 @@
 
 #include "explore/analysis_cache.hpp"
 #include "petri/astg_io.hpp"
+#include "util/error.hpp"
 
 namespace asynth {
 
@@ -19,6 +20,8 @@ const char* stage_name(pipeline_stage s) noexcept {
         case pipeline_stage::logic: return "logic";
         case pipeline_stage::perf: return "perf";
         case pipeline_stage::recover: return "recover";
+        case pipeline_stage::emit: return "emit";
+        case pipeline_stage::verify: return "verify";
     }
     return "?";
 }
@@ -134,6 +137,27 @@ void continue_pipeline(pipeline_result& rep, const pipeline_options& opt) {
             }))
             return;
     }
+
+    // Emission is unconditional once a circuit exists (it is a cheap, pure
+    // text rendering of the gates); verification is opt-in.  Neither runs on
+    // verdict-only results (no circuit -> nothing to emit or replay).
+    if (rep.synthesized()) {
+        if (!run_stage(rep, pipeline_stage::emit, [&] {
+                rep.impl_model =
+                    build_circuit_netlist(rep.synth.ckt, rep.csc.graph, rep.spec.model_name);
+                rep.verilog = find_backend("verilog")->emit(rep.impl_model);
+                rep.cmodel = find_backend("cmodel")->emit(rep.impl_model);
+            }))
+            return;
+        if (opt.verify_impl) {
+            if (!run_stage(rep, pipeline_stage::verify, [&] {
+                    rep.impl_check =
+                        emulate_against_sg(rep.impl_model, subgraph::full(rep.csc.graph));
+                    require(rep.impl_check.ok, rep.impl_check.message);
+                }))
+                return;
+        }
+    }
     rep.completed = true;
 }
 
@@ -200,6 +224,13 @@ std::string pipeline_summary(const pipeline_result& r) {
         emit("circuit: area %.0f\n", r.synth.ckt.total_area);
         for (const auto& impl : r.synth.ckt.impls) emit("  %s\n", impl.equation.c_str());
     }
+    if (!r.impl_model.nets.empty())
+        emit("netlist: %zu gate(s) emitted (verilog %zu bytes, cmodel %zu bytes)\n",
+             r.impl_model.gate_count(), r.verilog.size(), r.cmodel.size());
+    if (r.impl_check.states_visited > 0)
+        emit("verify: implementation trace-equivalent to the spec "
+             "(%zu states, %zu checks)\n",
+             r.impl_check.states_visited, r.impl_check.checks);
     if (r.perf.periodic)
         emit("performance: cycle %.1f time units, %zu events (%zu inputs) on the critical cycle\n",
              r.perf.cycle_time, r.perf.events_on_cycle, r.perf.input_events_on_cycle);

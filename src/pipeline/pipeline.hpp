@@ -10,6 +10,8 @@
 //   logic   speed-independent logic synthesis      (logic/synthesis)
 //   perf    critical-cycle timed simulation        (perf/timing)
 //   recover region-based STG recovery              (regions/regions)
+//   emit    netlist backends (Verilog + C model)   (netlist/backend)
+//   verify  implementation-vs-SG emulation         (netlist/emulate)
 //
 // Unlike core/flow (which the benches drive and which aborts by exception),
 // the pipeline never throws: every stage runs under a wall-clock stopwatch
@@ -41,6 +43,8 @@
 #include "core/search.hpp"
 #include "csc/csc.hpp"
 #include "logic/synthesis.hpp"
+#include "netlist/backend.hpp"
+#include "netlist/emulate.hpp"
 #include "perf/timing.hpp"
 #include "petri/stg.hpp"
 #include "regions/regions.hpp"
@@ -58,7 +62,12 @@ enum class pipeline_stage : uint8_t {
     logic,        ///< logic synthesis + area (logic/)
     perf,         ///< critical-cycle analysis (perf/)
     recover,      ///< region-based STG recovery (regions/)
+    emit,         ///< netlist emission, Verilog + C model (netlist/)
+    verify,       ///< implementation-vs-SG emulation (netlist/emulate)
 };
+
+/// Last member of pipeline_stage; loops over all stages iterate to here.
+inline constexpr pipeline_stage pipeline_stage_last = pipeline_stage::verify;
 
 /// Short printable name of a stage ("parse", "expand", ...).
 [[nodiscard]] const char* stage_name(pipeline_stage s) noexcept;
@@ -83,6 +92,12 @@ struct pipeline_options {
     bool zero_delay_wires = true;
     bool run_performance = true;  ///< run the perf stage
     bool recover_stg = true;      ///< run the recover stage (STG of the result)
+    /// Run the verify stage: emulate the emitted gate-level implementation
+    /// against the encoded state graph (netlist/emulate.hpp).  A divergence
+    /// is a structured *failure* (failed = verify), not a verdict: the
+    /// pipeline promised a speed-independent circuit and the gates disagree.
+    /// The emit stage itself always runs when synthesis succeeds.
+    bool verify_impl = false;
 };
 
 /// The pipeline outcome.  Two notions of success are kept apart:
@@ -110,6 +125,10 @@ struct pipeline_result {
     synthesis_result synth;                 ///< circuit + area
     perf_report perf;                       ///< critical-cycle metrics
     recovery_result recovered;              ///< STG of the reduced result
+    circuit_netlist impl_model;             ///< gate-level model (emit stage)
+    std::string verilog;                    ///< emitted Verilog (emit stage)
+    std::string cmodel;                     ///< emitted C model (emit stage)
+    emulation_result impl_check;            ///< emulation verdict (verify stage)
 
     std::vector<stage_timing> timings;      ///< one entry per executed stage
     double total_seconds = 0.0;             ///< sum of stage wall-clock times

@@ -66,6 +66,10 @@ double percentile(const std::vector<double>& sorted, double q) {
         if (v->k != json_value::kind::boolean) return bad("'recover' must be a boolean");
         opt.recover_stg = v->b;
     }
+    if (const json_value* v = msg.find("verify")) {
+        if (v->k != json_value::kind::boolean) return bad("'verify' must be a boolean");
+        opt.verify_impl = v->b;
+    }
     return true;
 }
 
@@ -101,6 +105,7 @@ std::optional<request> parse_request(std::string_view line, const pipeline_optio
     }
     req.spec_name = msg->get_string("name");
     req.store_bypass = msg->get_bool("no_store", false);
+    req.want_astg = msg->get_bool("astg", false);
     req.options = defaults;
     if (!apply_overrides(*msg, req.options, error)) return std::nullopt;
     return req;
@@ -186,6 +191,13 @@ std::string engine::execute(const request& req, double queue_wait_ms) {
             eqs += "]";
             line.raw("equations", eqs);
         }
+        if (rec->impl_checked) {
+            line.field("impl_checked", true);
+            line.field("impl_states", rec->impl_states);
+        }
+        // The recovered STG rides along only on request: astg text dwarfs the
+        // scalar fields, and most callers only want the verdict.
+        if (req.want_astg) line.field("astg", rec->recovered_astg);
     }
 
     // ---- accounting -------------------------------------------------------

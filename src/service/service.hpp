@@ -18,7 +18,7 @@
 //
 // Request options: a request may override a documented subset of
 // pipeline_options (w, strategy, frontier, max_levels, phases, csc_signals,
-// perf, recover).  Overrides flow into the store fingerprint, so differently
+// perf, recover, verify).  Overrides flow into the store fingerprint, so differently
 // configured requests can never alias one cache entry, while the engine
 // knobs (engine/minimizer/jobs) stay excluded -- they are result-neutral.
 #pragma once
@@ -52,6 +52,7 @@ struct request {
     std::string spec_text;  ///< astg text (op == "synth")
     pipeline_options options;  ///< defaults merged with request overrides
     bool store_bypass = false;  ///< "no_store": skip lookup AND fill
+    bool want_astg = false;     ///< "astg": include recovered STG text in the response
 };
 
 /// Parses one request line against @p defaults.  Returns nullopt and fills

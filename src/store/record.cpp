@@ -152,6 +152,10 @@ stored_record record_of(const pipeline_result& r, std::string fingerprint) {
         }
     }
     if (r.recovered.ok) rec.recovered_astg = write_astg(r.recovered.net);
+    rec.verilog = r.verilog;
+    rec.cmodel = r.cmodel;
+    rec.impl_checked = r.impl_check.ok;
+    rec.impl_states = r.impl_check.states_visited;
     return rec;
 }
 
@@ -189,6 +193,10 @@ std::string serialize_record(const stored_record& rec) {
         emit_str(p, "impl.eq", impl.equation);
     }
     emit_str(p, "astg", rec.recovered_astg);
+    emit_str(p, "verilog", rec.verilog);
+    emit_str(p, "cmodel", rec.cmodel);
+    emit_bool(p, "impl_checked", rec.impl_checked);
+    emit_size(p, "impl_states", rec.impl_states);
 
     std::string out = "asynth-record v" + std::to_string(record_schema_version) + " " +
                       std::to_string(p.size()) + " " + hex32(hash128_bytes(p.data(), p.size())) +
@@ -286,6 +294,14 @@ parse_status parse_record(std::string_view text, stored_record& out) {
             else rec.netlist.back().equation = read_str(rest);
         } else if (key == "astg") {
             rec.recovered_astg = read_str(rest);
+        } else if (key == "verilog") {
+            rec.verilog = read_str(rest);
+        } else if (key == "cmodel") {
+            rec.cmodel = read_str(rest);
+        } else if (key == "impl_checked") {
+            rec.impl_checked = rest == "1";
+        } else if (key == "impl_states" && want_u()) {
+            rec.impl_states = u;
         } else {
             rd.failed = true;  // unknown key within a matching schema
         }

@@ -36,7 +36,9 @@ namespace asynth::store {
 /// Bump when the payload layout changes incompatibly.  Readers reject any
 /// other version (degrading to a store miss), so a mixed-version fleet only
 /// loses cache efficiency, never correctness.
-inline constexpr int record_schema_version = 1;
+/// v2: emitted netlists (verilog/cmodel) + implementation-verification
+/// outcome added alongside the equations.
+inline constexpr int record_schema_version = 2;
 
 /// One synthesised signal implementation, as stored.
 struct stored_impl {
@@ -71,6 +73,10 @@ struct stored_record {
     std::vector<std::pair<std::string, double>> timings;
     std::vector<stored_impl> netlist;  ///< synthesised circuit ("" when none)
     std::string recovered_astg;        ///< recovered STG text ("" when not run)
+    std::string verilog;               ///< emitted Verilog ("" when no circuit)
+    std::string cmodel;                ///< emitted C model ("" when no circuit)
+    bool impl_checked = false;         ///< verify stage ran and agreed
+    std::size_t impl_states = 0;       ///< states the emulation walk visited
 };
 
 /// Projects a pipeline outcome into its storable form.  @p fingerprint is

@@ -85,7 +85,9 @@ std::string store_key::hex() const {
 }
 
 std::string options_fingerprint(const pipeline_options& opt) {
-    std::string fp = "asynth-options v1;";
+    // v2: the verify knob joined the fingerprint (a verified record proves
+    // strictly more than an unverified one, so they must never alias).
+    std::string fp = "asynth-options v2;";
     // expand
     fp_size(fp, "phases", static_cast<std::size_t>(opt.expand.phases));
     fp_bool(fp, "chan_if", opt.expand.channel_interface);
@@ -124,6 +126,7 @@ std::string options_fingerprint(const pipeline_options& opt) {
     fp_bool(fp, "zero_wires", opt.zero_delay_wires);
     fp_bool(fp, "perf", opt.run_performance);
     fp_bool(fp, "recover", opt.recover_stg);
+    fp_bool(fp, "verify", opt.verify_impl);
     fp_double(fp, "d_in", opt.delays.input_delay);
     fp_double(fp, "d_out", opt.delays.output_delay);
     fp_double(fp, "d_int", opt.delays.internal_delay);

@@ -1,0 +1,129 @@
+/*
+ * gen_s11: self-contained C simulation model (asynth netlist backend).
+ * Values are 0/1; gen_s11_init() loads the power-up state; inputs are
+ * driven by the caller; gen_s11_excited_<sig>() reports whether a
+ * non-input signal may fire and gen_s11_step_<sig>() fires it.
+ * equations:
+ *   a0o = csc1 + a2o csc0' + a1i a2o + to
+ *   a1o = ti csc0'
+ *   a2o = a0i a0o
+ *   to = a2i csc1 + to csc0
+ *   csc0 = a1i + csc1 + to' csc0
+ *   csc1 = a0i' a1i' a2i' csc0 + ti csc1
+ */
+
+typedef struct {
+    unsigned char a0i;
+    unsigned char a0o;
+    unsigned char a1i;
+    unsigned char a1o;
+    unsigned char a2i;
+    unsigned char a2o;
+    unsigned char ti;
+    unsigned char to;
+    unsigned char csc0;
+    unsigned char csc1;
+} gen_s11_state;
+
+void gen_s11_init(gen_s11_state* s) {
+    s->a0i = 0;
+    s->a0o = 0;
+    s->a1i = 0;
+    s->a1o = 0;
+    s->a2i = 0;
+    s->a2o = 0;
+    s->ti = 0;
+    s->to = 0;
+    s->csc0 = 0;
+    s->csc1 = 0;
+}
+
+/* a0o = csc1 + a2o csc0' + a1i a2o + to */
+int gen_s11_next_a0o(const gen_s11_state* s) {
+    const int g3 = !s->csc0;
+    const int g4 = s->a2o && g3;
+    const int g6 = s->a1i && s->a2o;
+    const int g8 = s->csc1 || g4;
+    const int g9 = g8 || g6;
+    const int g10 = g9 || s->to;
+    return (g10) != 0;
+}
+int gen_s11_excited_a0o(const gen_s11_state* s) {
+    return gen_s11_next_a0o(s) != s->a0o;
+}
+void gen_s11_step_a0o(gen_s11_state* s) {
+    s->a0o = (unsigned char)gen_s11_next_a0o(s);
+}
+
+/* a1o = ti csc0' */
+int gen_s11_next_a1o(const gen_s11_state* s) {
+    const int g2 = !s->csc0;
+    const int g3 = s->ti && g2;
+    return (g3) != 0;
+}
+int gen_s11_excited_a1o(const gen_s11_state* s) {
+    return gen_s11_next_a1o(s) != s->a1o;
+}
+void gen_s11_step_a1o(gen_s11_state* s) {
+    s->a1o = (unsigned char)gen_s11_next_a1o(s);
+}
+
+/* a2o = a0i a0o */
+int gen_s11_next_a2o(const gen_s11_state* s) {
+    const int g2 = s->a0i && s->a0o;
+    return (g2) != 0;
+}
+int gen_s11_excited_a2o(const gen_s11_state* s) {
+    return gen_s11_next_a2o(s) != s->a2o;
+}
+void gen_s11_step_a2o(gen_s11_state* s) {
+    s->a2o = (unsigned char)gen_s11_next_a2o(s);
+}
+
+/* to = a2i csc1 + to csc0 */
+int gen_s11_next_to(const gen_s11_state* s) {
+    const int g2 = s->a2i && s->csc1;
+    const int g5 = s->to && s->csc0;
+    const int g6 = g2 || g5;
+    return (g6) != 0;
+}
+int gen_s11_excited_to(const gen_s11_state* s) {
+    return gen_s11_next_to(s) != s->to;
+}
+void gen_s11_step_to(gen_s11_state* s) {
+    s->to = (unsigned char)gen_s11_next_to(s);
+}
+
+/* csc0 = a1i + csc1 + to' csc0 */
+int gen_s11_next_csc0(const gen_s11_state* s) {
+    const int g3 = !s->to;
+    const int g5 = g3 && s->csc0;
+    const int g6 = s->a1i || s->csc1;
+    const int g7 = g6 || g5;
+    return (g7) != 0;
+}
+int gen_s11_excited_csc0(const gen_s11_state* s) {
+    return gen_s11_next_csc0(s) != s->csc0;
+}
+void gen_s11_step_csc0(gen_s11_state* s) {
+    s->csc0 = (unsigned char)gen_s11_next_csc0(s);
+}
+
+/* csc1 = a0i' a1i' a2i' csc0 + ti csc1 */
+int gen_s11_next_csc1(const gen_s11_state* s) {
+    const int g1 = !s->a0i;
+    const int g3 = !s->a1i;
+    const int g4 = g1 && g3;
+    const int g6 = !s->a2i;
+    const int g7 = g4 && g6;
+    const int g9 = g7 && s->csc0;
+    const int g12 = s->ti && s->csc1;
+    const int g13 = g9 || g12;
+    return (g13) != 0;
+}
+int gen_s11_excited_csc1(const gen_s11_state* s) {
+    return gen_s11_next_csc1(s) != s->csc1;
+}
+void gen_s11_step_csc1(gen_s11_state* s) {
+    s->csc1 = (unsigned char)gen_s11_next_csc1(s);
+}

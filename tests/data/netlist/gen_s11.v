@@ -1,0 +1,65 @@
+// gen_s11: speed-independent gate-level implementation (asynth netlist backend)
+// equations:
+//   a0o = csc1 + a2o csc0' + a1i a2o + to
+//   a1o = ti csc0'
+//   a2o = a0i a0o
+//   to = a2i csc1 + to csc0
+//   csc0 = a1i + csc1 + to' csc0
+//   csc1 = a0i' a1i' a2i' csc0 + ti csc1
+// initial state: a0i=0 a0o=0 a1i=0 a1o=0 a2i=0 a2o=0 ti=0 to=0 csc0=0 csc1=0
+module gen_s11 (
+    input  wire a0i,
+    output wire a0o,
+    input  wire a1i,
+    output wire a1o,
+    input  wire a2i,
+    output wire a2o,
+    input  wire ti,
+    output wire to
+);
+    // internal state signals
+    wire csc0;
+    wire csc1;
+
+    // a0o = csc1 + a2o csc0' + a1i a2o + to
+    wire a0o_g3 = ~csc0;
+    wire a0o_g4 = a2o & a0o_g3;
+    wire a0o_g6 = a1i & a2o;
+    wire a0o_g8 = csc1 | a0o_g4;
+    wire a0o_g9 = a0o_g8 | a0o_g6;
+    wire a0o_g10 = a0o_g9 | to;
+    assign a0o = a0o_g10;
+
+    // a1o = ti csc0'
+    wire a1o_g2 = ~csc0;
+    wire a1o_g3 = ti & a1o_g2;
+    assign a1o = a1o_g3;
+
+    // a2o = a0i a0o
+    wire a2o_g2 = a0i & a0o;
+    assign a2o = a2o_g2;
+
+    // to = a2i csc1 + to csc0
+    wire to_g2 = a2i & csc1;
+    wire to_g5 = to & csc0;
+    wire to_g6 = to_g2 | to_g5;
+    assign to = to_g6;
+
+    // csc0 = a1i + csc1 + to' csc0
+    wire csc0_g3 = ~to;
+    wire csc0_g5 = csc0_g3 & csc0;
+    wire csc0_g6 = a1i | csc1;
+    wire csc0_g7 = csc0_g6 | csc0_g5;
+    assign csc0 = csc0_g7;
+
+    // csc1 = a0i' a1i' a2i' csc0 + ti csc1
+    wire csc1_g1 = ~a0i;
+    wire csc1_g3 = ~a1i;
+    wire csc1_g4 = csc1_g1 & csc1_g3;
+    wire csc1_g6 = ~a2i;
+    wire csc1_g7 = csc1_g4 & csc1_g6;
+    wire csc1_g9 = csc1_g7 & csc0;
+    wire csc1_g12 = ti & csc1;
+    wire csc1_g13 = csc1_g9 | csc1_g12;
+    assign csc1 = csc1_g13;
+endmodule

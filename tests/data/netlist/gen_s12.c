@@ -1,0 +1,116 @@
+/*
+ * gen_s12: self-contained C simulation model (asynth netlist backend).
+ * Values are 0/1; gen_s12_init() loads the power-up state; inputs are
+ * driven by the caller; gen_s12_excited_<sig>() reports whether a
+ * non-input signal may fire and gen_s12_step_<sig>() fires it.
+ * equations:
+ *   a0o = csc1 + a2i
+ *   a1o = a0i csc0
+ *   a2o = a1i' csc0' csc1
+ *   to = a0i' csc0'
+ *   csc0 = C(set: ti', reset: a1i)
+ *   csc1 = C(set: ti csc0, reset: a2i)
+ */
+
+typedef struct {
+    unsigned char a0i;
+    unsigned char a0o;
+    unsigned char a1i;
+    unsigned char a1o;
+    unsigned char a2i;
+    unsigned char a2o;
+    unsigned char ti;
+    unsigned char to;
+    unsigned char csc0;
+    unsigned char csc1;
+} gen_s12_state;
+
+void gen_s12_init(gen_s12_state* s) {
+    s->a0i = 0;
+    s->a0o = 0;
+    s->a1i = 0;
+    s->a1o = 0;
+    s->a2i = 0;
+    s->a2o = 0;
+    s->ti = 0;
+    s->to = 0;
+    s->csc0 = 1;
+    s->csc1 = 0;
+}
+
+/* a0o = csc1 + a2i */
+int gen_s12_next_a0o(const gen_s12_state* s) {
+    const int g2 = s->csc1 || s->a2i;
+    return (g2) != 0;
+}
+int gen_s12_excited_a0o(const gen_s12_state* s) {
+    return gen_s12_next_a0o(s) != s->a0o;
+}
+void gen_s12_step_a0o(gen_s12_state* s) {
+    s->a0o = (unsigned char)gen_s12_next_a0o(s);
+}
+
+/* a1o = a0i csc0 */
+int gen_s12_next_a1o(const gen_s12_state* s) {
+    const int g2 = s->a0i && s->csc0;
+    return (g2) != 0;
+}
+int gen_s12_excited_a1o(const gen_s12_state* s) {
+    return gen_s12_next_a1o(s) != s->a1o;
+}
+void gen_s12_step_a1o(gen_s12_state* s) {
+    s->a1o = (unsigned char)gen_s12_next_a1o(s);
+}
+
+/* a2o = a1i' csc0' csc1 */
+int gen_s12_next_a2o(const gen_s12_state* s) {
+    const int g1 = !s->a1i;
+    const int g3 = !s->csc0;
+    const int g4 = g1 && g3;
+    const int g6 = g4 && s->csc1;
+    return (g6) != 0;
+}
+int gen_s12_excited_a2o(const gen_s12_state* s) {
+    return gen_s12_next_a2o(s) != s->a2o;
+}
+void gen_s12_step_a2o(gen_s12_state* s) {
+    s->a2o = (unsigned char)gen_s12_next_a2o(s);
+}
+
+/* to = a0i' csc0' */
+int gen_s12_next_to(const gen_s12_state* s) {
+    const int g1 = !s->a0i;
+    const int g3 = !s->csc0;
+    const int g4 = g1 && g3;
+    return (g4) != 0;
+}
+int gen_s12_excited_to(const gen_s12_state* s) {
+    return gen_s12_next_to(s) != s->to;
+}
+void gen_s12_step_to(gen_s12_state* s) {
+    s->to = (unsigned char)gen_s12_next_to(s);
+}
+
+/* csc0 = C(set: ti', reset: a1i) (set/reset latch semantics) */
+int gen_s12_next_csc0(const gen_s12_state* s) {
+    const int set_g1 = !s->ti;
+    return s->csc0 ? !(s->a1i) : (set_g1) != 0;
+}
+int gen_s12_excited_csc0(const gen_s12_state* s) {
+    return gen_s12_next_csc0(s) != s->csc0;
+}
+void gen_s12_step_csc0(gen_s12_state* s) {
+    s->csc0 = (unsigned char)gen_s12_next_csc0(s);
+}
+
+/* csc1 = C(set: ti csc0, reset: a2i) (set/reset latch semantics) */
+int gen_s12_next_csc1(const gen_s12_state* s) {
+    const int set_g2 = s->ti && s->csc0;
+    return s->csc1 ? !(s->a2i) : (set_g2) != 0;
+}
+int gen_s12_excited_csc1(const gen_s12_state* s) {
+    return gen_s12_next_csc1(s) != s->csc1;
+}
+void gen_s12_step_csc1(gen_s12_state* s) {
+    s->csc1 = (unsigned char)gen_s12_next_csc1(s);
+}

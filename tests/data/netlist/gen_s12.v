@@ -1,0 +1,69 @@
+// gen_s12: speed-independent gate-level implementation (asynth netlist backend)
+// equations:
+//   a0o = csc1 + a2i
+//   a1o = a0i csc0
+//   a2o = a1i' csc0' csc1
+//   to = a0i' csc0'
+//   csc0 = C(set: ti', reset: a1i)
+//   csc1 = C(set: ti csc0, reset: a2i)
+// initial state: a0i=0 a0o=0 a1i=0 a1o=0 a2i=0 a2o=0 ti=0 to=0 csc0=1 csc1=0
+module gen_s12 (
+    input  wire a0i,
+    output wire a0o,
+    input  wire a1i,
+    output wire a1o,
+    input  wire a2i,
+    output wire a2o,
+    input  wire ti,
+    output wire to
+);
+    // internal state signals
+    wire csc0;
+    wire csc1;
+
+    // a0o = csc1 + a2i
+    wire a0o_g2 = csc1 | a2i;
+    assign a0o = a0o_g2;
+
+    // a1o = a0i csc0
+    wire a1o_g2 = a0i & csc0;
+    assign a1o = a1o_g2;
+
+    // a2o = a1i' csc0' csc1
+    wire a2o_g1 = ~a1i;
+    wire a2o_g3 = ~csc0;
+    wire a2o_g4 = a2o_g1 & a2o_g3;
+    wire a2o_g6 = a2o_g4 & csc1;
+    assign a2o = a2o_g6;
+
+    // to = a0i' csc0'
+    wire to_g1 = ~a0i;
+    wire to_g3 = ~csc0;
+    wire to_g4 = to_g1 & to_g3;
+    assign to = to_g4;
+
+    // csc0 = C(set: ti', reset: a1i)
+    wire csc0_s1 = ~ti;
+    asynth_gc #(.INIT(1'b1)) csc0_latch (.set(csc0_s1), .reset(a1i), .q(csc0));
+
+    // csc1 = C(set: ti csc0, reset: a2i)
+    wire csc1_s2 = ti & csc0;
+    asynth_gc #(.INIT(1'b0)) csc1_latch (.set(csc1_s2), .reset(a2i), .q(csc1));
+endmodule
+
+// Generalized C element modelled as a set/reset latch: q rises when set
+// while low, falls when reset while high, and holds otherwise -- the
+// excitation semantics the asynth emulator replays.
+module asynth_gc #(
+    parameter INIT = 1'b0
+) (
+    input  wire set,
+    input  wire reset,
+    output reg  q
+);
+    initial q = INIT;
+    always @(set or reset) begin
+        if (!q && set) q = 1'b1;
+        else if (q && reset) q = 1'b0;
+    end
+endmodule

@@ -1,0 +1,74 @@
+// gen_s13: speed-independent gate-level implementation (asynth netlist backend)
+// equations:
+//   a0o = ti csc0' csc1' + a1i
+//   a1o = a0i csc0'
+//   a2o = csc0 csc1
+//   to = a2i' csc0' csc1
+//   csc0 = C(set: a1i, reset: a2i)
+//   csc1 = a0i' csc0 + ti csc1
+// initial state: a0i=0 a0o=0 a1i=0 a1o=0 a2i=0 a2o=0 ti=0 to=0 csc0=0 csc1=0
+module gen_s13 (
+    input  wire a0i,
+    output wire a0o,
+    input  wire a1i,
+    output wire a1o,
+    input  wire a2i,
+    output wire a2o,
+    input  wire ti,
+    output wire to
+);
+    // internal state signals
+    wire csc0;
+    wire csc1;
+
+    // a0o = ti csc0' csc1' + a1i
+    wire a0o_g2 = ~csc0;
+    wire a0o_g3 = ti & a0o_g2;
+    wire a0o_g5 = ~csc1;
+    wire a0o_g6 = a0o_g3 & a0o_g5;
+    wire a0o_g8 = a0o_g6 | a1i;
+    assign a0o = a0o_g8;
+
+    // a1o = a0i csc0'
+    wire a1o_g2 = ~csc0;
+    wire a1o_g3 = a0i & a1o_g2;
+    assign a1o = a1o_g3;
+
+    // a2o = csc0 csc1
+    wire a2o_g2 = csc0 & csc1;
+    assign a2o = a2o_g2;
+
+    // to = a2i' csc0' csc1
+    wire to_g1 = ~a2i;
+    wire to_g3 = ~csc0;
+    wire to_g4 = to_g1 & to_g3;
+    wire to_g6 = to_g4 & csc1;
+    assign to = to_g6;
+
+    // csc0 = C(set: a1i, reset: a2i)
+    asynth_gc #(.INIT(1'b0)) csc0_latch (.set(a1i), .reset(a2i), .q(csc0));
+
+    // csc1 = a0i' csc0 + ti csc1
+    wire csc1_g1 = ~a0i;
+    wire csc1_g3 = csc1_g1 & csc0;
+    wire csc1_g6 = ti & csc1;
+    wire csc1_g7 = csc1_g3 | csc1_g6;
+    assign csc1 = csc1_g7;
+endmodule
+
+// Generalized C element modelled as a set/reset latch: q rises when set
+// while low, falls when reset while high, and holds otherwise -- the
+// excitation semantics the asynth emulator replays.
+module asynth_gc #(
+    parameter INIT = 1'b0
+) (
+    input  wire set,
+    input  wire reset,
+    output reg  q
+);
+    initial q = INIT;
+    always @(set or reset) begin
+        if (!q && set) q = 1'b1;
+        else if (q && reset) q = 1'b0;
+    end
+endmodule

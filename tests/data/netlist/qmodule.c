@@ -1,0 +1,65 @@
+/*
+ * qmodule: self-contained C simulation model (asynth netlist backend).
+ * Values are 0/1; qmodule_init() loads the power-up state; inputs are
+ * driven by the caller; qmodule_excited_<sig>() reports whether a
+ * non-input signal may fire and qmodule_step_<sig>() fires it.
+ * equations:
+ *   lo = ri' csc0
+ *   ro = li csc0'
+ *   csc0 = ri + li csc0
+ */
+
+typedef struct {
+    unsigned char li;
+    unsigned char ri;
+    unsigned char lo;
+    unsigned char ro;
+    unsigned char csc0;
+} qmodule_state;
+
+void qmodule_init(qmodule_state* s) {
+    s->li = 0;
+    s->ri = 0;
+    s->lo = 0;
+    s->ro = 0;
+    s->csc0 = 0;
+}
+
+/* lo = ri' csc0 */
+int qmodule_next_lo(const qmodule_state* s) {
+    const int g1 = !s->ri;
+    const int g3 = g1 && s->csc0;
+    return (g3) != 0;
+}
+int qmodule_excited_lo(const qmodule_state* s) {
+    return qmodule_next_lo(s) != s->lo;
+}
+void qmodule_step_lo(qmodule_state* s) {
+    s->lo = (unsigned char)qmodule_next_lo(s);
+}
+
+/* ro = li csc0' */
+int qmodule_next_ro(const qmodule_state* s) {
+    const int g2 = !s->csc0;
+    const int g3 = s->li && g2;
+    return (g3) != 0;
+}
+int qmodule_excited_ro(const qmodule_state* s) {
+    return qmodule_next_ro(s) != s->ro;
+}
+void qmodule_step_ro(qmodule_state* s) {
+    s->ro = (unsigned char)qmodule_next_ro(s);
+}
+
+/* csc0 = ri + li csc0 */
+int qmodule_next_csc0(const qmodule_state* s) {
+    const int g3 = s->li && s->csc0;
+    const int g4 = s->ri || g3;
+    return (g4) != 0;
+}
+int qmodule_excited_csc0(const qmodule_state* s) {
+    return qmodule_next_csc0(s) != s->csc0;
+}
+void qmodule_step_csc0(qmodule_state* s) {
+    s->csc0 = (unsigned char)qmodule_next_csc0(s);
+}

@@ -1,0 +1,30 @@
+// qmodule: speed-independent gate-level implementation (asynth netlist backend)
+// equations:
+//   lo = ri' csc0
+//   ro = li csc0'
+//   csc0 = ri + li csc0
+// initial state: li=0 ri=0 lo=0 ro=0 csc0=0
+module qmodule (
+    input  wire li,
+    input  wire ri,
+    output wire lo,
+    output wire ro
+);
+    // internal state signals
+    wire csc0;
+
+    // lo = ri' csc0
+    wire lo_g1 = ~ri;
+    wire lo_g3 = lo_g1 & csc0;
+    assign lo = lo_g3;
+
+    // ro = li csc0'
+    wire ro_g2 = ~csc0;
+    wire ro_g3 = li & ro_g2;
+    assign ro = ro_g3;
+
+    // csc0 = ri + li csc0
+    wire csc0_g3 = li & csc0;
+    wire csc0_g4 = ri | csc0_g3;
+    assign csc0 = csc0_g4;
+endmodule

@@ -167,11 +167,38 @@ TEST(batch, aggregates_and_percentiles) {
         SCOPED_TRACE(st.stage);
         // No parse stage: the sweep starts from in-memory specs.
         EXPECT_NE(st.stage, "parse");
-        EXPECT_EQ(st.runs, rep.count);
+        // emit/verify run only for specs that synthesised a circuit; every
+        // other stage runs on every completed spec.
+        if (st.stage == "emit" || st.stage == "verify")
+            EXPECT_LE(st.runs, rep.count);
+        else
+            EXPECT_EQ(st.runs, rep.count);
         EXPECT_LE(st.p50_ms, st.p90_ms);
         EXPECT_LE(st.p90_ms, st.max_ms);
         EXPECT_LE(st.max_ms, st.total_ms + 1e-12);
     }
+}
+
+TEST(batch, verify_impl_sweep_checks_every_synthesised_spec) {
+    batch_options opt;
+    opt.jobs = 2;
+    opt.pipeline.verify_impl = true;
+    auto rep = run_batch(small_workload(), opt);
+    EXPECT_EQ(rep.failed, 0u) << "a diverging implementation would fail its spec";
+    EXPECT_GT(rep.synthesized, 0u);
+    EXPECT_EQ(rep.impl_checked, rep.synthesized);
+    for (const auto& s : rep.specs) {
+        SCOPED_TRACE(s.name);
+        EXPECT_EQ(s.impl_checked, s.synthesized);
+        if (s.impl_checked) EXPECT_GT(s.impl_states, 0u);
+    }
+    std::string json = batch::report_json(rep);
+    EXPECT_NE(json.find("\"impl_checked\": " + std::to_string(rep.impl_checked)),
+              std::string::npos);
+    // The verify stage's timing joins the percentile table (schema v3).
+    bool saw_verify = false;
+    for (const auto& st : rep.stages) saw_verify |= st.stage == "verify";
+    EXPECT_TRUE(saw_verify);
 }
 
 TEST(batch, report_json_is_schema_stable) {
@@ -183,7 +210,7 @@ TEST(batch, report_json_is_schema_stable) {
     // documented keys in a fixed order.
     EXPECT_EQ(json.front(), '{');
     EXPECT_EQ(json[json.size() - 2], '}');
-    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"tool\": \"asynth batch\""), std::string::npos);
     EXPECT_NE(json.find("\"specs_per_second\": "), std::string::npos);
     // schema_version 2: store efficiency + queue-wait aggregates are always
@@ -192,6 +219,10 @@ TEST(batch, report_json_is_schema_stable) {
     EXPECT_NE(json.find("\"store_misses\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"queue_wait_p90_ms\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"store_hit\": false"), std::string::npos);
+    // schema_version 3: the verification aggregate is always present (zero
+    // for an unverified sweep) and every spec carries its flag.
+    EXPECT_NE(json.find("\"impl_checked\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"impl_checked\": false"), std::string::npos);
     EXPECT_NE(json.find("\"stage_percentiles\": ["), std::string::npos);
     EXPECT_NE(json.find("\"specs\": ["), std::string::npos);
     EXPECT_LT(json.find("\"schema_version\""), json.find("\"stage_percentiles\""));

@@ -76,6 +76,19 @@ TEST(fuzz_corpus, every_pinned_file_replays_clean_through_all_oracles) {
     }
 }
 
+TEST(fuzz_corpus, pinned_files_replay_clean_through_impl_vs_sg) {
+    // The implementation oracle joined the rotation after the corpus was
+    // pinned: every historical counterexample's emitted netlist must also
+    // agree with its state graph (all_oracles above covers this too; this
+    // test keeps the guarantee explicit if the mask ever changes).
+    for (const auto& f : corpus_files()) {
+        std::string text = read_file(f);
+        std::string diag = fuzz::replay_text(
+            text, "", fuzz::oracle_bit(fuzz::oracle::impl_vs_sg), profile_of(text));
+        EXPECT_EQ(diag, "") << f.filename();
+    }
+}
+
 TEST(fuzz_corpus, covers_both_profiles_and_a_csp_pair) {
     auto files = corpus_files();
     bool deep = false, shallow = false, csp = false;
@@ -97,7 +110,8 @@ TEST(fuzz_corpus, covers_both_profiles_and_a_csp_pair) {
 TEST(fuzz_oracles, all_pipeline_oracles_agree_on_a_corpus_entry) {
     const stg spec = benchmarks::lr_process();
     for (auto o : {fuzz::oracle::engines, fuzz::oracle::minimizers,
-                   fuzz::oracle::store_roundtrip, fuzz::oracle::text_roundtrip})
+                   fuzz::oracle::store_roundtrip, fuzz::oracle::text_roundtrip,
+                   fuzz::oracle::impl_vs_sg})
         EXPECT_EQ(fuzz::check_oracle(o, spec), "") << fuzz::oracle_name(o);
 }
 
@@ -244,12 +258,12 @@ TEST(fuzz_shrink, evaluation_cap_is_respected) {
 TEST(fuzz_loop, deterministic_and_green_on_current_code) {
     fuzz::fuzz_options opt;
     opt.seed = 1;
-    opt.iterations = 5;  // one check per oracle (rotation covers all five)
+    opt.iterations = 6;  // one check per oracle (rotation covers all six)
     opt.max_size = 4;
     opt.jobs = 2;
     auto a = fuzz::run_fuzz(opt);
     EXPECT_TRUE(a.ok()) << a.summary();
-    EXPECT_EQ(a.iterations, 5u);
+    EXPECT_EQ(a.iterations, 6u);
     for (std::size_t i = 0; i < fuzz::oracle_count; ++i)
         EXPECT_EQ(a.oracles[i].checks, 1u) << fuzz::oracle_name(static_cast<fuzz::oracle>(i));
 
@@ -296,6 +310,44 @@ TEST(fuzz_loop, injected_engine_bug_is_caught_shrunk_and_written) {
         EXPECT_EQ(write_astg(parsed), f.spec_astg);
         // Without the injection the engines agree again: the bug was the
         // injected mutation, not the spec.
+        EXPECT_EQ(fuzz::replay_text(text, "", opt.oracles, f.profile), "");
+    }
+    fs::remove_all(dir);
+}
+
+TEST(fuzz_loop, injected_netlist_bug_is_caught_by_impl_vs_sg) {
+    // Netlist-level mutation testing: invert the first real gate network's
+    // output after synthesis.  The impl-vs-sg oracle must report the
+    // divergence, and the written counterexample must replay clean without
+    // the injection (the bug was the mutation, not the spec).
+    auto dir = fs::temp_directory_path() / "asynth_fuzz_test_netcex";
+    fs::remove_all(dir);
+
+    fuzz::fuzz_options opt;
+    opt.seed = 1;
+    opt.iterations = 3;  // one spec each from the plain/counter/arbiter families
+    opt.max_size = 4;
+    opt.oracles = fuzz::oracle_bit(fuzz::oracle::impl_vs_sg);
+    opt.dir = dir.string();
+    opt.max_shrink_evals = 60;
+    opt.inject_net = [](circuit_netlist& nl) {
+        for (auto& net : nl.nets) {
+            netlist* t = net.kind == impl_kind::gc_element ? &net.set_net : &net.fn;
+            if (t->output == -1 || t->output == -2) continue;
+            t->gates.push_back(gate{gate_kind::inverter, t->output, -1});
+            t->output = static_cast<int32_t>(t->gates.size() - 1);
+            return;
+        }
+    };
+
+    auto report = fuzz::run_fuzz(opt);
+    ASSERT_FALSE(report.ok()) << "an injected netlist bug must be caught\n" << report.summary();
+    for (const auto& f : report.findings) {
+        EXPECT_EQ(f.o, fuzz::oracle::impl_vs_sg);
+        EXPECT_NE(f.diagnosis.find("diverges"), std::string::npos) << f.diagnosis;
+        ASSERT_FALSE(f.file.empty());
+        std::string text = read_file(f.file);
+        EXPECT_NE(text.find("# oracle: impl-vs-sg"), std::string::npos);
         EXPECT_EQ(fuzz::replay_text(text, "", opt.oracles, f.profile), "");
     }
     fs::remove_all(dir);

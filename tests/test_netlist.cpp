@@ -1,11 +1,23 @@
 // Gate-level decomposition: simulation equivalence with the source cover
-// and consistency with the closed-form area model.
+// and consistency with the closed-form area model.  Below that, the netlist
+// backends: byte-pinned golden emissions, corpus-wide emulation against the
+// encoded state graphs, and mutation tests proving the emulator catches an
+// injected gate bug.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "benchmarks/corpus.hpp"
+#include "benchmarks/generate.hpp"
 #include "core/expand.hpp"
 #include "csc/csc.hpp"
 #include "logic/netlist.hpp"
+#include "netlist/backend.hpp"
+#include "netlist/emulate.hpp"
+#include "pipeline/pipeline.hpp"
 #include "util/hash.hpp"
 
 using namespace asynth;
@@ -114,4 +126,173 @@ TEST(netlist, synthesised_equations_simulate_correctly) {
         for (const auto& code : ns.spec.on) EXPECT_TRUE(net.evaluate(code));
         for (const auto& code : ns.spec.off) EXPECT_FALSE(net.evaluate(code));
     }
+}
+
+// ---- backends: emission ----------------------------------------------------
+
+namespace {
+
+/// Golden-file comparison with regeneration: ASYNTH_REGOLD=1 rewrites the
+/// pinned file from the actual emission (run once, eyeball the diff, commit).
+std::string golden(const std::string& name, const std::string& actual) {
+    const std::string path = std::string(ASYNTH_TEST_DATA_DIR) + "/netlist/" + name;
+    if (std::getenv("ASYNTH_REGOLD")) {
+        std::filesystem::create_directories(std::filesystem::path(path).parent_path());
+        std::ofstream out(path, std::ios::binary);
+        out << actual;
+    }
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+pipeline_result run_corpus(const char* name) {
+    for (const auto& e : benchmarks::corpus_table())
+        if (std::string(name) == e.name) return run_pipeline(e.make(), pipeline_options{});
+    throw error("no such corpus entry");
+}
+
+pipeline_result run_generated(uint64_t seed) {
+    benchmarks::generator_options go;
+    go.size = 3;
+    auto spec = benchmarks::build_spec(benchmarks::generate_recipe(seed, go),
+                                       "gen_s" + std::to_string(seed));
+    return run_pipeline(spec, pipeline_options{});
+}
+
+/// The injected gate bug both mutation tests use: the first real gate
+/// network's output is inverted (appending keeps the evaluation order
+/// topological).  For a gC net the set network is the one the emulator
+/// consults while the signal is low, so it is the one flipped.
+void flip_first_gate(circuit_netlist& nl) {
+    for (auto& net : nl.nets) {
+        netlist* t = net.kind == impl_kind::gc_element ? &net.set_net : &net.fn;
+        if (t->output == -1 || t->output == -2) continue;  // constants: skip
+        t->gates.push_back(gate{gate_kind::inverter, t->output, -1});
+        t->output = static_cast<int32_t>(t->gates.size() - 1);
+        return;
+    }
+}
+
+}  // namespace
+
+TEST(netlist_backend, registry_order_and_lookup) {
+    const auto& all = netlist_backends();
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_STREQ(all[0]->name(), "verilog");
+    EXPECT_STREQ(all[1]->name(), "cmodel");
+    EXPECT_STREQ(all[0]->file_extension(), ".v");
+    EXPECT_STREQ(all[1]->file_extension(), ".c");
+    EXPECT_EQ(find_backend("verilog"), all[0]);
+    EXPECT_EQ(find_backend("cmodel"), all[1]);
+    EXPECT_EQ(find_backend("vhdl"), nullptr);
+}
+
+TEST(netlist_backend, identifiers_are_sanitized) {
+    EXPECT_EQ(sanitize_identifier("req_1"), "req_1");
+    EXPECT_EQ(sanitize_identifier("a.b-c"), "a_b_c");
+    EXPECT_EQ(sanitize_identifier("1x"), "_1x");
+}
+
+TEST(netlist_backend, fig1_unsolvable_csc_emits_nothing) {
+    // fig1's CSC conflict is unresolvable: the pipeline completes with a
+    // verdict but synthesises no circuit, so there is nothing to emit.
+    auto r = run_corpus("fig1");
+    EXPECT_TRUE(r.completed);
+    EXPECT_FALSE(r.synthesized());
+    EXPECT_TRUE(r.impl_model.nets.empty());
+    EXPECT_EQ(r.verilog, "");
+    EXPECT_EQ(r.cmodel, "");
+}
+
+TEST(netlist_backend, golden_emissions_are_byte_pinned) {
+    // One corpus entry plus three generator seeds, both backends.  The
+    // emissions are deterministic functions of the synthesised model; any
+    // byte drift is an intentional format change (regenerate with
+    // ASYNTH_REGOLD=1) or a synthesis regression (fix it).
+    struct pinned {
+        std::string stem;
+        pipeline_result r;
+    };
+    std::vector<pinned> cases;
+    cases.push_back({"qmodule", run_corpus("qmodule")});
+    for (uint64_t seed : {11u, 12u, 13u})
+        cases.push_back({"gen_s" + std::to_string(seed), run_generated(seed)});
+    for (auto& c : cases) {
+        ASSERT_TRUE(c.r.synthesized()) << c.stem;
+        ASSERT_FALSE(c.r.verilog.empty()) << c.stem;
+        ASSERT_FALSE(c.r.cmodel.empty()) << c.stem;
+        EXPECT_EQ(c.r.verilog, golden(c.stem + ".v", c.r.verilog)) << c.stem;
+        EXPECT_EQ(c.r.cmodel, golden(c.stem + ".c", c.r.cmodel)) << c.stem;
+    }
+}
+
+TEST(netlist_backend, emitted_c_model_is_a_valid_translation_unit) {
+    // The C model promises to be self-contained: it must survive a compiler
+    // front end with no includes and no support files.
+    if (std::system("cc --version > /dev/null 2>&1") != 0)
+        GTEST_SKIP() << "no C compiler on PATH";
+    auto r = run_corpus("qmodule");
+    ASSERT_TRUE(r.synthesized());
+    const auto dir = std::filesystem::temp_directory_path() / "asynth_cmodel_test";
+    std::filesystem::create_directories(dir);
+    const std::string src = (dir / "qmodule.c").string();
+    std::ofstream(src, std::ios::binary) << r.cmodel;
+    const std::string cmd = "cc -std=c99 -Wall -Werror -fsyntax-only " + src;
+    EXPECT_EQ(std::system(cmd.c_str()), 0) << r.cmodel;
+    std::filesystem::remove_all(dir);
+}
+
+// ---- backends: emulation against the state graph ---------------------------
+
+TEST(netlist_emulate, corpus_implementations_agree_with_their_state_graphs) {
+    // Every synthesisable benchmark's emitted implementation must replay
+    // clean: trace containment and output readiness on every live state.
+    pipeline_options opt;
+    opt.verify_impl = true;
+    for (const auto& e : benchmarks::corpus_table()) {
+        auto r = run_pipeline(e.make(), opt);
+        EXPECT_TRUE(r.completed) << e.name << ": " << r.message;
+        if (!r.synthesized()) continue;  // unsolvable CSC: nothing to check
+        EXPECT_TRUE(r.impl_check.ok) << e.name << ": " << r.impl_check.message;
+        EXPECT_GT(r.impl_check.states_visited, 0u) << e.name;
+        EXPECT_GT(r.impl_check.checks, 0u) << e.name;
+        EXPECT_TRUE(r.impl_check.violations.empty()) << e.name;
+    }
+}
+
+TEST(netlist_emulate, injected_gate_bug_is_caught) {
+    auto r = run_corpus("qmodule");
+    ASSERT_TRUE(r.synthesized());
+
+    // Unperturbed: the implementation agrees with its state graph.
+    auto clean = emulate_against_sg(r.impl_model, subgraph::full(r.csc.graph));
+    ASSERT_TRUE(clean.ok) << clean.message;
+
+    // One inverted gate output must surface as a violation with a witness
+    // trace, not as silent agreement.
+    circuit_netlist broken = r.impl_model;
+    flip_first_gate(broken);
+    auto caught = emulate_against_sg(broken, subgraph::full(r.csc.graph));
+    ASSERT_FALSE(caught.ok);
+    ASSERT_FALSE(caught.violations.empty());
+    EXPECT_NE(caught.message.find("violated"), std::string::npos) << caught.message;
+    EXPECT_LT(caught.violations.front().signal, r.impl_model.signals.size());
+}
+
+TEST(netlist_emulate, verify_stage_fails_structurally_on_a_broken_model) {
+    // Through the pipeline the same bug must become a structured stage
+    // failure (verify), never an exception or a silent pass -- that is what
+    // `asynth batch --verify-impl` aggregates.
+    auto r = run_corpus("qmodule");
+    ASSERT_TRUE(r.synthesized());
+    ASSERT_FALSE(r.verilog.empty());
+    pipeline_options opt;
+    opt.verify_impl = true;
+    auto verified = run_pipeline(r.spec, opt);
+    EXPECT_TRUE(verified.completed);
+    EXPECT_TRUE(verified.impl_check.ok);
+    ASSERT_FALSE(verified.timings.empty());
+    EXPECT_EQ(verified.timings.back().stage, pipeline_stage::verify);
 }

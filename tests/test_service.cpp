@@ -196,8 +196,73 @@ TEST(service_engine, executes_misses_then_hits_with_accounting) {
     EXPECT_EQ(rep.store_misses, 1u);
     EXPECT_EQ(rep.queue_wait_max_ms, 3.0);
     const std::string json = batch::report_json(rep);
-    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"store_hits\": 1"), std::string::npos);
+}
+
+TEST(service_engine, astg_request_returns_the_recovered_stg) {
+    // The `asynth client --out` contract: a synth request with "astg":true
+    // carries the recovered STG text in the response -- on the cold miss AND
+    // on the store hit (the daemon fully replaces the CLI's --out).
+    temp_dir dir("astg");
+    service::service_options opt;
+    opt.store_dir = dir.path;
+    opt.jobs = 1;
+    service::engine eng(opt);
+
+    const pipeline_options defaults;
+    std::string error;
+    auto req = service::parse_request(
+        R"({"spec":)" + [] {
+            std::string s;
+            service::json_append_escaped(s, write_astg(benchmarks::lr_process()));
+            return s;
+        }() + R"(,"astg":true})",
+        defaults, error);
+    ASSERT_TRUE(req.has_value()) << error;
+    EXPECT_TRUE(req->want_astg);
+
+    for (const char* pass : {"miss", "hit"}) {
+        auto resp = json_parse(eng.execute(*req, 0.0));
+        ASSERT_TRUE(resp.has_value());
+        EXPECT_EQ(resp->get_string("store"), pass);
+        const json_value* astg = resp->find("astg");
+        ASSERT_NE(astg, nullptr) << pass;
+        ASSERT_EQ(astg->k, json_value::kind::string);
+        // The returned text is a valid astg of the reduced model.
+        stg recovered;
+        ASSERT_NO_THROW(recovered = parse_astg(astg->str)) << pass;
+        EXPECT_NE(recovered.model_name.find("_reduced"), std::string::npos);
+    }
+
+    // Without the flag the response stays lean: no astg field.
+    req->want_astg = false;
+    auto lean = json_parse(eng.execute(*req, 0.0));
+    ASSERT_TRUE(lean.has_value());
+    EXPECT_EQ(lean->find("astg"), nullptr);
+}
+
+TEST(service_engine, verify_override_flows_into_the_pipeline_and_response) {
+    const pipeline_options defaults;
+    std::string error;
+    auto req = service::parse_request(R"({"spec":".model m\n.end\n","verify":true})",
+                                      defaults, error);
+    ASSERT_TRUE(req.has_value()) << error;
+    EXPECT_TRUE(req->options.verify_impl);
+    EXPECT_FALSE(service::parse_request(R"({"spec":"x","verify":1})", defaults, error)
+                     .has_value());
+    EXPECT_NE(error.find("'verify'"), std::string::npos);
+
+    service::service_options opt;  // no store
+    opt.jobs = 1;
+    service::engine eng(opt);
+    auto verified = synth_request(benchmarks::lr_process(), defaults);
+    verified.options.verify_impl = true;
+    auto resp = json_parse(eng.execute(verified, 0.0));
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_TRUE(resp->get_bool("ok"));
+    EXPECT_TRUE(resp->get_bool("impl_checked"));
+    EXPECT_GT(resp->get_number("impl_states"), 0.0);
 }
 
 TEST(service_engine, override_requests_do_not_alias_default_cache_entries) {

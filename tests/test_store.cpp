@@ -108,6 +108,29 @@ TEST(store_record, roundtrips_a_real_pipeline_result) {
     // when a client replays a stored result).
     ASSERT_FALSE(back.recovered_astg.empty());
     EXPECT_NO_THROW((void)parse_astg(back.recovered_astg));
+    // Schema v2: the emitted netlists and the verification outcome ride
+    // along (LR synthesises, so both emissions are nonempty).
+    ASSERT_FALSE(rec.verilog.empty());
+    ASSERT_FALSE(rec.cmodel.empty());
+    EXPECT_EQ(back.verilog, rec.verilog);
+    EXPECT_EQ(back.cmodel, rec.cmodel);
+    EXPECT_EQ(back.impl_checked, rec.impl_checked);
+    EXPECT_EQ(back.impl_states, rec.impl_states);
+}
+
+TEST(store_record, verification_outcome_roundtrips) {
+    pipeline_options opt;
+    opt.verify_impl = true;
+    pipeline_result r = run_pipeline(benchmarks::lr_process(), opt);
+    ASSERT_TRUE(r.completed);
+    ASSERT_TRUE(r.impl_check.ok);
+    const store::stored_record rec = store::record_of(r, "fp");
+    EXPECT_TRUE(rec.impl_checked);
+    EXPECT_GT(rec.impl_states, 0u);
+    store::stored_record back;
+    ASSERT_EQ(store::parse_record(store::serialize_record(rec), back), store::parse_status::ok);
+    EXPECT_TRUE(back.impl_checked);
+    EXPECT_EQ(back.impl_states, rec.impl_states);
 }
 
 TEST(store_record, strings_with_newlines_and_specials_roundtrip) {
@@ -156,7 +179,7 @@ TEST(store_record, every_single_bit_flip_is_rejected) {
 
 TEST(store_record, version_skew_is_detected_before_checksum) {
     std::string text = store::serialize_record(sample_record());
-    const auto pos = text.find("asynth-record v1 ");
+    const auto pos = text.find("asynth-record v2 ");
     ASSERT_NE(pos, std::string::npos);
     text[pos + std::string("asynth-record v").size()] = '7';
     store::stored_record out;
@@ -253,7 +276,7 @@ TEST_F(store_test, version_skewed_record_is_a_miss_not_stale_data) {
     ASSERT_TRUE(st.put(key, sample_record()));
     const std::string path = sole_object_path(dir);
     std::string text = slurp(path);
-    text[text.find(" v1 ") + 2] = '9';
+    text[text.find(" v2 ") + 2] = '9';
     spit(path, text);
     EXPECT_FALSE(st.get(key).has_value());
     EXPECT_EQ(st.stats().version_skew, 1u);
@@ -388,13 +411,15 @@ TEST_F(store_test, batch_sweep_is_resumable_and_warm_hits_everything) {
     EXPECT_EQ(resumed.store_misses, 2u);
 }
 
-TEST(store_json, report_json_is_schema_version_2_with_store_fields) {
+TEST(store_json, report_json_is_schema_version_3_with_store_fields) {
     batch::batch_report rep;
     rep.queue_wait_p90_ms = 1.5;
+    rep.impl_checked = 2;
     const std::string json = batch::report_json(rep);
-    EXPECT_NE(json.find("\"schema_version\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
     EXPECT_NE(json.find("\"store_hits\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"store_misses\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"queue_wait_p50_ms\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"queue_wait_p90_ms\": 1.5"), std::string::npos);
+    EXPECT_NE(json.find("\"impl_checked\": 2"), std::string::npos);
 }

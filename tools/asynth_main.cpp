@@ -88,8 +88,13 @@ void print_usage(std::FILE* to) {
                  "  --csc-signals <n>     max inserted state signals (default 4)\n"
                  "  --no-perf             skip the timed critical-cycle analysis\n"
                  "  --no-recover          skip region-based STG recovery (ignored with --out)\n"
+                 "  --verify-impl         emulate the emitted gate-level implementation\n"
+                 "                        against the spec's state graph; a divergence is a\n"
+                 "                        stage failure (docs/NETLIST.md)\n"
                  "\n"
                  "output:\n"
+                 "  --emit <backend>      print the emitted netlist to stdout (verilog |\n"
+                 "                        cmodel; repeatable; requires a synthesised circuit)\n"
                  "  --out <file>          write the recovered (reduced) STG as astg text\n"
                  "  --dot <file>          write the reduced state graph as Graphviz dot\n"
                  "  --print-spec          echo the parsed specification before running\n"
@@ -116,6 +121,8 @@ void print_usage(std::FILE* to) {
                  "                        an unsatisfiable combination with --size is a\n"
                  "                        structured error, not a silent downgrade\n"
                  "  --no-corpus           sweep only the generated workload\n"
+                 "  --verify-impl         emulate every synthesised netlist against its\n"
+                 "                        spec's state graph (corpus-wide verification sweep)\n"
                  "  --store <dir>         consult/fill a content-addressed result store;\n"
                  "                        finished specs are skipped on re-runs\n"
                  "  --report <file>       write the corpus report as JSON\n"
@@ -128,8 +135,8 @@ void print_usage(std::FILE* to) {
                  "  --seed <n>            base PRNG seed; every iteration is reproducible\n"
                  "                        from (seed, index) alone (default 1)\n"
                  "  --oracle <o>          engines | minimizers | store-roundtrip |\n"
-                 "                        text-roundtrip | csp-frontend | all; repeatable\n"
-                 "                        (default all)\n"
+                 "                        text-roundtrip | csp-frontend | impl-vs-sg | all;\n"
+                 "                        repeatable (default all)\n"
                  "  --jobs <n>            parallel iterations; 0 = all hardware cores\n"
                  "                        (default 1; results independent of the value)\n"
                  "  --max-size <n>        channel-budget cap; >= 8 enables the multi-way\n"
@@ -159,6 +166,8 @@ void print_usage(std::FILE* to) {
                  "  --name <label>        spec label in the daemon's report\n"
                  "  --id <n>              correlation id echoed in the response\n"
                  "  --w <x> | --strategy <s>     per-request option overrides\n"
+                 "  --out <file>          write the recovered (reduced) STG returned by the\n"
+                 "                        daemon as astg text (op synth)\n"
                  "  --no-store            bypass the daemon's result store\n"
                  "  --timeout <s>         response timeout seconds (default 600)\n"
                  "  -q, --quiet           print nothing; the exit code is the verdict\n"
@@ -293,6 +302,8 @@ int run_batch_cli(int argc, char** argv) {
             gen.min_choice_ways = static_cast<int>(v);
         } else if (arg == "--no-corpus") {
             use_corpus = false;
+        } else if (arg == "--verify-impl") {
+            opt.pipeline.verify_impl = true;
         } else if (arg == "--store") {
             store_dir = need_value(i, "--store");
         } else if (arg == "--report") {
@@ -550,7 +561,7 @@ int run_serve_cli(int argc, char** argv) {
 /// `asynth client`: builds one protocol line, sends it, prints the response.
 int run_client_cli(int argc, char** argv) {
     service::client_options opt;
-    std::string op = "synth", corpus_name, input_file, name;
+    std::string op = "synth", corpus_name, input_file, name, out_file;
     std::size_t id = 0;
     bool quiet = false, no_store = false;
     double w = -1.0;
@@ -585,6 +596,8 @@ int run_client_cli(int argc, char** argv) {
             }
         } else if (arg == "--strategy") {
             strategy = need_value(i, "--strategy");
+        } else if (arg == "--out") {
+            out_file = need_value(i, "--out");
         } else if (arg == "--no-store") {
             no_store = true;
         } else if (arg == "--timeout") {
@@ -644,6 +657,10 @@ int run_client_cli(int argc, char** argv) {
         if (w >= 0.0) line.field("w", w);
         if (!strategy.empty()) line.field("strategy", strategy);
         if (no_store) line.field("no_store", true);
+        if (!out_file.empty()) line.field("astg", true);
+    } else if (!out_file.empty()) {
+        std::fprintf(stderr, "asynth client: --out only applies to op synth\n");
+        return 2;
     }
 
     std::string response;
@@ -651,6 +668,22 @@ int run_client_cli(int argc, char** argv) {
     if (code == 2) {
         std::fprintf(stderr, "asynth client: %s\n", response.c_str());
         return 2;
+    }
+    if (code == 0 && !out_file.empty()) {
+        const auto parsed = service::json_parse(response);
+        const service::json_value* astg = parsed ? parsed->find("astg") : nullptr;
+        if (!astg || astg->k != service::json_value::kind::string || astg->str.empty()) {
+            std::fprintf(stderr,
+                         "asynth client: response carries no recovered STG "
+                         "(daemon running with recovery disabled?)\n");
+            return 1;
+        }
+        std::ofstream out(out_file);
+        out << astg->str;
+        if (!out) {
+            std::fprintf(stderr, "asynth client: cannot write '%s'\n", out_file.c_str());
+            return 1;
+        }
     }
     if (!quiet) std::printf("%s\n", response.c_str());
     return code;
@@ -665,6 +698,7 @@ int main(int argc, char** argv) {
     if (argc > 1 && std::strcmp(argv[1], "client") == 0) return run_client_cli(argc, argv);
     pipeline_options opt;
     std::string input_file, corpus_name, out_file, dot_file;
+    std::vector<std::string> emit_backends;
     bool quiet = false, print_spec = false;
 
     auto need_value = [&](int& i, const char* flag) -> const char* {
@@ -738,6 +772,16 @@ int main(int argc, char** argv) {
             opt.run_performance = false;
         } else if (arg == "--no-recover") {
             opt.recover_stg = false;
+        } else if (arg == "--verify-impl") {
+            opt.verify_impl = true;
+        } else if (arg == "--emit") {
+            const char* v = need_value(i, "--emit");
+            if (!find_backend(v)) {
+                std::fprintf(stderr, "asynth: unknown --emit backend '%s' (verilog | cmodel)\n",
+                             v);
+                return 2;
+            }
+            emit_backends.push_back(v);
         } else if (arg == "--out") {
             out_file = need_value(i, "--out");
         } else if (arg == "--dot") {
@@ -808,6 +852,18 @@ int main(int argc, char** argv) {
         if (!quiet) std::printf("wrote %s\n", path.c_str());
         return true;
     };
+    // Requested emissions go to stdout even under -q: the flag exists so the
+    // netlist can be piped into other tools.
+    if (!emit_backends.empty()) {
+        if (result.impl_model.nets.empty()) {
+            std::fprintf(stderr, "asynth: no circuit to emit (%s)\n",
+                         result.completed ? "spec completed without a circuit"
+                                          : result.message.c_str());
+            return 1;
+        }
+        for (const auto& b : emit_backends)
+            std::fputs((b == "verilog" ? result.verilog : result.cmodel).c_str(), stdout);
+    }
     if (!out_file.empty()) {
         if (!result.recovered.ok) {
             std::fprintf(stderr, "asynth: no recovered STG to write (%s)\n",

@@ -6,8 +6,9 @@ BENCH_pipeline.json (checked in at the repo root) and a freshly generated
 report, over the *intersection* of spec names (the baseline sweeps more specs
 than the CI smoke run).  Repeat --stage to guard several stages in one run
 (the nightly workflow watches `reduce` and `logic`); the exit code reports
-the worst verdict across them.  Report schema_versions 1 and 2 are both
-accepted (v2 only adds store/queue aggregates above the specs[] this reads).
+the worst verdict across them.  Report schema_versions 1 through 3 are all
+accepted (v2 adds store/queue aggregates, v3 the impl-verification fields and
+emit/verify stage timings, all above or beside the specs[] layout this reads).
 Do NOT feed it a store-warmed report: a hit's timings describe the producing
 run, not this machine.
 
@@ -41,8 +42,10 @@ def die(message):
     sys.exit(2)
 
 
-SUPPORTED_SCHEMAS = (1, 2)  # v2 adds store hit/miss + queue-wait aggregates;
-                            # the per-spec layout this tool reads is shared.
+SUPPORTED_SCHEMAS = (1, 2, 3)  # v2 adds store hit/miss + queue-wait
+                               # aggregates, v3 impl-verification fields and
+                               # emit/verify stage timings; the per-spec
+                               # layout this tool reads is shared.
 
 
 def load_specs(path):

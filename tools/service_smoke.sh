@@ -61,6 +61,12 @@ done
 "$ASYNTH" client --socket "$SOCKET" --op stats > stats.json || fail "stats request failed"
 grep -q '"store_enabled":true' stats.json || fail "store not enabled: $(cat stats.json)"
 
+# A synthesis client with --out must land the recovered STG on disk.
+"$ASYNTH" client --socket "$SOCKET" --corpus lr --out lr_recovered.g -q \
+    || fail "client --out request failed"
+[ -s lr_recovered.g ] || fail "client --out wrote no recovered STG"
+grep -q '^\.model' lr_recovered.g || fail "recovered STG is not ASTG text: $(head -1 lr_recovered.g)"
+
 # Graceful drain on SIGTERM: exit code 0, socket gone, drain line logged.
 kill -TERM $SERVER_PID
 SERVER_RC=-1
@@ -73,7 +79,7 @@ trap - EXIT
 [ ! -e "$SOCKET" ] || fail "socket not removed on drain"
 grep -q "drained cleanly" serve.log || fail "no clean-drain line in serve.log: $(cat serve.log)"
 [ -s serve_report.json ] || fail "drain report not written"
-grep -q '"schema_version": 2' serve_report.json || fail "drain report is not schema v2"
+grep -q '"schema_version": 3' serve_report.json || fail "drain report is not schema v3"
 
 # The store survives the daemon and is shared across tools: a batch sweep
 # over the embedded corpus against the same store must hit every spec the

@@ -1,11 +1,17 @@
 #include "batch/batch.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 
 #include "batch/pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "perf/timing.hpp"
 #include "petri/astg_io.hpp"
 
@@ -89,6 +95,33 @@ void json_number(std::string& out, double v) {
     char buf[32];
     std::snprintf(buf, sizeof buf, "%.9g", v);
     out += buf;
+}
+
+/// Counter deltas across a sweep: for every name in @p after, its value
+/// minus the matching @p before value (0 when newly registered).  Both
+/// inputs are name-sorted (registry::counter_values()), so one merge pass.
+std::vector<std::pair<std::string, std::uint64_t>> counter_delta(
+    const std::vector<std::pair<std::string, std::uint64_t>>& before,
+    const std::vector<std::pair<std::string, std::uint64_t>>& after) {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(after.size());
+    std::size_t i = 0;
+    for (const auto& [name, value] : after) {
+        while (i < before.size() && before[i].first < name) ++i;
+        const std::uint64_t base =
+            (i < before.size() && before[i].first == name) ? before[i].second : 0;
+        out.emplace_back(name, value - base);
+    }
+    return out;
+}
+
+/// Temp-file + rename, so a reader never sees a half-written checkpoint.
+void write_report_atomically(const std::string& path, const batch_report& rep) {
+    const std::string tmp = path + ".tmp";
+    std::ofstream out(tmp, std::ios::binary);
+    out << report_json(rep);
+    out.close();
+    if (!out || std::rename(tmp.c_str(), path.c_str()) != 0) std::remove(tmp.c_str());
 }
 
 /// Appends `"key": value` pairs with stable ordering and formatting.
@@ -176,54 +209,85 @@ spec_record record_of_stored(const std::string& name, const store::stored_record
 
 batch_report run_batch(const std::vector<benchmarks::named_spec>& specs,
                        const batch_options& opt) {
+    obs::span sweep_sp("batch.sweep", "batch");
+    sweep_sp.arg("specs", static_cast<std::uint64_t>(specs.size()));
     batch_report rep;
     rep.specs.resize(specs.size());
     std::size_t jobs = opt.jobs ? opt.jobs
                                 : std::max<std::size_t>(1, std::thread::hardware_concurrency());
     jobs = std::max<std::size_t>(1, std::min(jobs, std::max<std::size_t>(specs.size(), 1)));
     rep.jobs = jobs;
+    sweep_sp.arg("jobs", static_cast<std::uint64_t>(jobs));
 
     // One fingerprint per sweep: every spec runs under the same options.
     const std::string fingerprint =
         opt.store.enabled() ? store::options_fingerprint(opt.pipeline) : std::string();
 
+    // The v4 counter block carries what *this sweep* contributed, not the
+    // process-lifetime totals (several sweeps can share one process).
+    const auto counters_before = obs::registry::global().counter_values();
+
     stopwatch wall;
     if (!specs.empty()) {
+        // done[i] tells the failure-path checkpoint which rows are safe to
+        // read while other workers are still writing theirs.
+        auto done = std::make_unique<std::atomic<bool>[]>(specs.size());
+        for (std::size_t i = 0; i < specs.size(); ++i) done[i].store(false);
+        std::mutex checkpoint_m;
+        auto flush_checkpoint = [&] {
+            if (opt.checkpoint_file.empty()) return;
+            std::lock_guard<std::mutex> lock(checkpoint_m);
+            std::vector<spec_record> rows;
+            for (std::size_t i = 0; i < specs.size(); ++i)
+                if (done[i].load(std::memory_order_acquire)) rows.push_back(rep.specs[i]);
+            write_report_atomically(opt.checkpoint_file,
+                                    make_report(std::move(rows), jobs, wall.seconds()));
+        };
+
         work_stealing_pool pool(jobs);
         pool.run(specs.size(), [&](std::size_t i) {
             // run_pipeline converts stage failures into structured errors; the
             // belt-and-braces catch keeps one poisoned spec (e.g. resource
             // exhaustion outside a stage) from sinking the whole sweep.
-            try {
-                if (opt.store.enabled()) {
-                    const auto key = store::key_of(write_astg(specs[i].net), fingerprint);
-                    if (auto hit = opt.store.get(key)) {
-                        rep.specs[i] = record_of_stored(specs[i].name, *hit);
+            [&] {
+                try {
+                    if (opt.store.enabled()) {
+                        const auto key = store::key_of(write_astg(specs[i].net), fingerprint);
+                        if (auto hit = opt.store.get(key)) {
+                            rep.specs[i] = record_of_stored(specs[i].name, *hit);
+                            return;
+                        }
+                        auto result = run_pipeline(specs[i].net, opt.pipeline);
+                        // Only *completed* runs are cached: a crash-shaped
+                        // failure (OOM, budget blowout) should be retried next
+                        // sweep, not replayed from disk forever.  CSC "no
+                        // circuit" verdicts complete and are cached -- the
+                        // verdict is the result.
+                        if (result.completed)
+                            opt.store.put(key, store::record_of(result, fingerprint));
+                        rep.specs[i] = record_of(specs[i].name, result);
                         return;
                     }
-                    auto result = run_pipeline(specs[i].net, opt.pipeline);
-                    // Only *completed* runs are cached: a crash-shaped failure
-                    // (OOM, budget blowout) should be retried next sweep, not
-                    // replayed from disk forever.  CSC "no circuit" verdicts
-                    // complete and are cached -- the verdict is the result.
-                    if (result.completed)
-                        opt.store.put(key, store::record_of(result, fingerprint));
-                    rep.specs[i] = record_of(specs[i].name, result);
-                    return;
+                    rep.specs[i] =
+                        record_of(specs[i].name, run_pipeline(specs[i].net, opt.pipeline));
+                } catch (const std::exception& e) {
+                    spec_record bad;
+                    bad.name = specs[i].name;
+                    bad.failed_stage = "batch";
+                    bad.message = e.what();
+                    rep.specs[i] = std::move(bad);
                 }
-                rep.specs[i] = record_of(specs[i].name, run_pipeline(specs[i].net, opt.pipeline));
-            } catch (const std::exception& e) {
-                spec_record bad;
-                bad.name = specs[i].name;
-                bad.failed_stage = "batch";
-                bad.message = e.what();
-                rep.specs[i] = std::move(bad);
-            }
+            }();
+            done[i].store(true, std::memory_order_release);
+            // A failure checkpoints everything finished so far: if the sweep
+            // later dies outright, the report file still parses.
+            if (!rep.specs[i].completed) flush_checkpoint();
         });
     }
     rep.wall_seconds = wall.seconds();
     aggregate(rep);
     rep.store_misses = opt.store.enabled() ? rep.count - rep.store_hits : 0;
+    rep.counters = counter_delta(counters_before, obs::registry::global().counter_values());
     return rep;
 }
 
@@ -239,7 +303,7 @@ batch_report make_report(std::vector<spec_record> specs, std::size_t jobs, doubl
 std::string report_json(const batch_report& r) {
     std::string out = "{\n  ";
     json_object top{out};
-    top.field("schema_version", std::size_t{3});
+    top.field("schema_version", std::size_t{4});
     top.field("tool", std::string("asynth batch"));
     top.field("jobs", r.jobs);
     top.field("count", r.count);
@@ -267,6 +331,16 @@ std::string report_json(const batch_report& r) {
     // (the emit/verify per-stage timings appear via the generic <stage>_ms
     // mechanism and the stage_percentiles block).
     top.field("impl_checked", r.impl_checked);
+
+    // schema_version 4 addition: the metrics-registry counter block (sweep
+    // deltas for run_batch, absolute totals for a service drain).
+    out += ",\n  \"counters\": {";
+    for (std::size_t i = 0; i < r.counters.size(); ++i) {
+        out += i ? ",\n    " : "\n    ";
+        json_escape(out, r.counters[i].first);
+        out += ": " + std::to_string(r.counters[i].second);
+    }
+    out += r.counters.empty() ? "}" : "\n  }";
 
     out += ",\n  \"stage_percentiles\": [";
     for (std::size_t i = 0; i < r.stages.size(); ++i) {

@@ -10,13 +10,15 @@
 // apart from the timing fields.
 //
 // report_json() serialises the report in a schema-stable layout
-// (schema_version 3) written as BENCH_pipeline.json by `asynth batch
+// (schema_version 4) written as BENCH_pipeline.json by `asynth batch
 // --report`; the checked-in BENCH_pipeline.json at the repo root is the perf
 // baseline subsequent PRs measure against.  Version 2 added the result-store
 // hit/miss aggregates and the service's queue-wait percentiles on top of
-// version 1; version 3 adds the implementation-verification coverage fields
-// and the emit/verify per-stage timings; tools/check_bench_regression.py
-// reads all three.
+// version 1; version 3 added the implementation-verification coverage fields
+// and the emit/verify per-stage timings; version 4 adds the "counters" block
+// -- the process-wide metrics registry (src/obs/) snapshotted around the
+// sweep, so BENCH runs carry explored/pruned/memo-hit/store counters, not
+// just timings.  tools/check_bench_regression.py reads all four.
 //
 // With batch_options::store set (CLI: --store DIR), the sweep is *resumable*:
 // each spec is first looked up in the content-addressed result store
@@ -28,7 +30,9 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "benchmarks/corpus.hpp"
@@ -47,6 +51,12 @@ struct batch_options {
     /// disabled (every spec synthesised, nothing written).  Open one with
     /// store::result_store::open() to make sweeps resumable.
     store::result_store store;
+    /// When non-empty, a partial report (the rows finished so far) is flushed
+    /// to this path every time a spec *fails*, via temp-file + rename.  A
+    /// sweep that aborts mid-corpus therefore still leaves a parsable report;
+    /// a clean finish overwrites it with the full one (the CLI wires --report
+    /// here).
+    std::string checkpoint_file;
 };
 
 /// Serialisation-friendly projection of one pipeline_result.
@@ -115,6 +125,10 @@ struct batch_report {
     double queue_wait_p90_ms = 0.0;
     double queue_wait_max_ms = 0.0;
     std::size_t impl_checked = 0;    ///< specs whose netlist emulated clean (v3)
+    /// Metrics-registry counters (v4), name-sorted.  run_batch fills deltas
+    /// accumulated across the sweep; the service's drain report fills the
+    /// absolute process totals.
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
     std::vector<stage_stats> stages; ///< per-stage percentiles, stage order
     std::vector<spec_record> specs;  ///< one record per spec, input order
 };
@@ -140,13 +154,14 @@ struct batch_report {
 [[nodiscard]] batch_report make_report(std::vector<spec_record> specs, std::size_t jobs,
                                        double wall_seconds);
 
-/// Schema-stable JSON serialisation of the report (schema_version 3): fixed
-/// key order, aggregate block first, then stage percentiles, then one object
-/// per spec.  This is the BENCH_pipeline.json format.  v2 = v1 plus
-/// store_hits/store_misses, the queue_wait_* percentiles and per-spec
-/// store_hit flags; v3 = v2 plus the impl_checked aggregates/flags and the
-/// emit/verify stage timings.  Readers that index specs[] keep working
-/// across versions.
+/// Schema-stable JSON serialisation of the report (schema_version 4): fixed
+/// key order, aggregate block first, then the counters block, then stage
+/// percentiles, then one object per spec.  This is the BENCH_pipeline.json
+/// format.  v2 = v1 plus store_hits/store_misses, the queue_wait_*
+/// percentiles and per-spec store_hit flags; v3 = v2 plus the impl_checked
+/// aggregates/flags and the emit/verify stage timings; v4 = v3 plus the
+/// "counters" object (metrics-registry snapshot).  Readers that index
+/// specs[] keep working across versions.
 [[nodiscard]] std::string report_json(const batch_report& r);
 
 /// Compact per-spec table plus the aggregate line, for terminal output.

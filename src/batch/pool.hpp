@@ -30,19 +30,29 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/trace.hpp"
 
 namespace asynth::batch {
 
 class work_stealing_pool {
 public:
     /// Spawns @p workers - 1 threads (the thread calling run() is worker 0).
+    /// Worker threads register named trace tracks ("pool<instance>-w<id>"),
+    /// so spans recorded inside tasks render as real per-thread tracks.
     explicit work_stealing_pool(std::size_t workers)
         : queues_(std::max<std::size_t>(1, workers)) {
+        static std::atomic<std::uint32_t> instances{0};
+        const std::uint32_t instance = instances.fetch_add(1, std::memory_order_relaxed);
         threads_.reserve(queues_.size() - 1);
         for (std::size_t w = 1; w < queues_.size(); ++w)
-            threads_.emplace_back([this, w] { worker_loop(w); });
+            threads_.emplace_back([this, instance, w] {
+                obs::name_thread("pool" + std::to_string(instance) + "-w" + std::to_string(w));
+                worker_loop(w);
+            });
     }
 
     ~work_stealing_pool() {

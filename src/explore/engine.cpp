@@ -7,6 +7,8 @@
 
 #include "batch/pool.hpp"
 #include "explore/move.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace asynth::explore {
 
@@ -47,6 +49,17 @@ void run_tasks(batch::work_stealing_pool* pool, std::size_t n, Body&& body,
 /// full heuristic minimisation, which dwarfs the pool wake-up cost.
 constexpr std::size_t kParallelExact = 2;
 
+/// Process-wide search counters, accumulated once per finished search.
+void count_search(const search_result& r) {
+    auto& reg = obs::registry::global();
+    static obs::counter& explored =
+        reg.get_counter("asynth_explore_explored_total", "Unique candidate SGs scored");
+    static obs::counter& pruned = reg.get_counter(
+        "asynth_explore_pruned_total", "Candidates discarded by the dominance filter unscored");
+    explored.add(r.explored);
+    pruned.add(r.pruned);
+}
+
 }  // namespace
 
 search_result reduce_concurrency_incremental(const subgraph& initial,
@@ -56,8 +69,11 @@ search_result reduce_concurrency_incremental(const subgraph& initial,
     // falls back to the reference engine, whose full per-candidate
     // speed-independence recheck handles it -- the engines stay equivalent
     // on every input, not just well-formed ones.
-    if (!check_speed_independence(initial).output_persistent)
-        return reduce_concurrency(initial, options);
+    if (!check_speed_independence(initial).output_persistent) {
+        search_result res = reduce_concurrency(initial, options);
+        count_search(res);
+        return res;
+    }
 
     search_options opt = options;
     opt.keep_concurrent = effective_keepconc(initial, options.keep_concurrent);
@@ -91,6 +107,8 @@ search_result reduce_concurrency_incremental(const subgraph& initial,
     std::unordered_set<hash128> transposition{initial.signature128()};
 
     for (std::size_t level = 0; level < opt.max_levels && !frontier.empty(); ++level) {
+        obs::span lsp("explore.level", "explore");
+        lsp.arg("level", static_cast<std::uint64_t>(level));
         // ---- enumerate candidate moves in the reference engine's order:
         // frontier order, then ER components ascending by event.
         std::vector<move_ref> moves;
@@ -133,6 +151,8 @@ search_result reduce_concurrency_incremental(const subgraph& initial,
             else
                 applied[i].reset();
         }
+        lsp.arg("moves", static_cast<std::uint64_t>(moves.size()));
+        lsp.arg("unique", static_cast<std::uint64_t>(unique.size()));
         if (unique.empty()) break;
 
         // ---- phase 3: delta-score the survivors of dedupe (parallel).
@@ -236,6 +256,7 @@ search_result reduce_concurrency_incremental(const subgraph& initial,
             res.pruned += unique.size() - admitted.size();
         }
         res.explored += unique.size();
+        lsp.arg("admitted", static_cast<std::uint64_t>(admitted.size()));
 
         // ---- phase 4: deterministic beam selection -- cost, then signature.
         // Restricting the sort to the admitted set is exact: every pruned
@@ -271,6 +292,7 @@ search_result reduce_concurrency_incremental(const subgraph& initial,
             kParallelExact);
         frontier = std::move(next);
     }
+    count_search(res);
     return res;
 }
 

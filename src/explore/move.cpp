@@ -5,8 +5,21 @@
 #include <cstdint>
 
 #include "core/reduce.hpp"
+#include "obs/metrics.hpp"
 
 namespace asynth::explore {
+
+namespace {
+
+/// Exact-literal memo hits across all scoring paths -- the lazy-minimisation
+/// effectiveness signal (docs/OBSERVABILITY.md).  One relaxed add per hit.
+obs::counter& memo_hits() {
+    static obs::counter& c = obs::registry::global().get_counter(
+        "asynth_explore_memo_hits_total", "Exact-literal memo hits during move scoring");
+    return c;
+}
+
+}  // namespace
 
 std::optional<applied_move> apply_move(const context& ctx, const subgraph& g,
                                        const analysis_cache& cache, const er_component& a,
@@ -221,6 +234,7 @@ move_score score_move(const context& ctx, const subgraph& parent, const analysis
                                                                      const sig_key& key) {
         std::size_t lits;
         if (auto hit = memo.find(key); hit && hit->literals) {
+            memo_hits().add();
             lits = *hit->literals;
         } else {
             lits = detail::minimise_literals(
@@ -257,6 +271,7 @@ move_eval bound_move(const context& ctx, const subgraph& parent, const analysis_
         ch.key = key;
         const auto cached = static_cast<std::int64_t>(cache.signals[x].literals);
         if (auto hit = memo.find(key); hit && hit->literals) {
+            memo_hits().add();
             ch.resolved = true;
             ch.literals = *hit->literals;
             lo += static_cast<std::int64_t>(ch.literals) - cached;
@@ -304,6 +319,7 @@ move_score finish_score(const context& ctx, const analysis_cache& cache, const a
         if (ch.resolved) {
             lits = ch.literals;
         } else if (auto hit = memo.find(ch.key); hit && hit->literals) {
+            memo_hits().add();
             lits = *hit->literals;
         } else {
             if (ordered.empty()) ordered = child_group_order(cache, am);

@@ -1,0 +1,189 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace asynth::obs {
+
+histogram::histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+    require(!bounds_.empty(), "histogram needs at least one bucket bound");
+    require(std::is_sorted(bounds_.begin(), bounds_.end()),
+            "histogram bucket bounds must be ascending");
+    buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void histogram::observe(double v) noexcept {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+    for (;;) {
+        double s;
+        __builtin_memcpy(&s, &old, sizeof s);
+        s += v;
+        std::uint64_t nb;
+        __builtin_memcpy(&nb, &s, sizeof nb);
+        if (sum_bits_.compare_exchange_weak(old, nb, std::memory_order_relaxed)) break;
+    }
+}
+
+histogram::snapshot_data histogram::snapshot() const {
+    snapshot_data s;
+    s.bounds = bounds_;
+    s.buckets.resize(bounds_.size() + 1);
+    for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+        s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+        s.count += s.buckets[i];
+    }
+    const std::uint64_t bits = sum_bits_.load(std::memory_order_relaxed);
+    __builtin_memcpy(&s.sum, &bits, sizeof s.sum);
+    return s;
+}
+
+double histogram::snapshot_data::percentile(double q) const {
+    if (count == 0) return 0.0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto rank = static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count)));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < buckets.size(); ++i) {
+        seen += buckets[i];
+        if (seen >= rank && seen > 0) {
+            if (i < bounds.size()) return bounds[i];
+            return bounds.empty() ? 0.0 : bounds.back();
+        }
+    }
+    return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::vector<double> default_ms_buckets() {
+    return {0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000};
+}
+
+registry& registry::global() {
+    static registry r;
+    return r;
+}
+
+registry::entry& registry::find_or_insert(std::string_view name, metric_kind kind,
+                                          std::string_view help) {
+    auto it = metrics_.find(name);
+    if (it == metrics_.end()) {
+        it = metrics_.emplace(std::string(name), entry{}).first;
+        it->second.kind = kind;
+        it->second.help = std::string(help);
+    } else {
+        require(it->second.kind == kind,
+                "metric '" + std::string(name) + "' re-registered with a different kind");
+        if (it->second.help.empty() && !help.empty()) it->second.help = std::string(help);
+    }
+    return it->second;
+}
+
+counter& registry::get_counter(std::string_view name, std::string_view help) {
+    std::lock_guard lock(m_);
+    entry& e = find_or_insert(name, metric_kind::counter, help);
+    if (!e.c) e.c = std::make_unique<counter>();
+    return *e.c;
+}
+
+gauge& registry::get_gauge(std::string_view name, std::string_view help) {
+    std::lock_guard lock(m_);
+    entry& e = find_or_insert(name, metric_kind::gauge, help);
+    if (!e.g) e.g = std::make_unique<gauge>();
+    return *e.g;
+}
+
+histogram& registry::get_histogram(std::string_view name, std::vector<double> bounds,
+                                   std::string_view help) {
+    std::lock_guard lock(m_);
+    auto it = metrics_.find(name);
+    if (it != metrics_.end()) {
+        entry& e = find_or_insert(name, metric_kind::histogram, help);
+        return *e.h;
+    }
+    // Construct before inserting: a bad-bounds throw (histogram's ctor
+    // validation) must not leave a half-registered entry behind.
+    auto h = std::make_unique<histogram>(std::move(bounds));
+    entry& e = find_or_insert(name, metric_kind::histogram, help);
+    e.h = std::move(h);
+    return *e.h;
+}
+
+std::vector<metric_snapshot> registry::snapshot() const {
+    std::lock_guard lock(m_);
+    std::vector<metric_snapshot> out;
+    out.reserve(metrics_.size());
+    for (const auto& [name, e] : metrics_) {
+        metric_snapshot s;
+        s.name = name;
+        s.help = e.help;
+        s.kind = e.kind;
+        switch (e.kind) {
+            case metric_kind::counter: s.counter_value = e.c->value(); break;
+            case metric_kind::gauge: s.gauge_value = e.g->value(); break;
+            case metric_kind::histogram: s.hist = e.h->snapshot(); break;
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> registry::counter_values() const {
+    std::lock_guard lock(m_);
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    for (const auto& [name, e] : metrics_)
+        if (e.kind == metric_kind::counter) out.emplace_back(name, e.c->value());
+    return out;
+}
+
+namespace {
+
+// Prometheus renders le= labels as decimal with no trailing zeros.
+std::string format_double(double v) {
+    if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+    std::ostringstream os;
+    os.precision(12);
+    os << v;
+    return os.str();
+}
+
+}  // namespace
+
+std::string registry::prometheus_text() const {
+    const auto metrics = snapshot();
+    std::ostringstream os;
+    for (const auto& m : metrics) {
+        if (!m.help.empty()) os << "# HELP " << m.name << " " << m.help << "\n";
+        switch (m.kind) {
+            case metric_kind::counter:
+                os << "# TYPE " << m.name << " counter\n";
+                os << m.name << " " << m.counter_value << "\n";
+                break;
+            case metric_kind::gauge:
+                os << "# TYPE " << m.name << " gauge\n";
+                os << m.name << " " << format_double(m.gauge_value) << "\n";
+                break;
+            case metric_kind::histogram: {
+                os << "# TYPE " << m.name << " histogram\n";
+                std::uint64_t cum = 0;
+                for (std::size_t i = 0; i < m.hist.buckets.size(); ++i) {
+                    cum += m.hist.buckets[i];
+                    const std::string le = i < m.hist.bounds.size()
+                                               ? format_double(m.hist.bounds[i])
+                                               : std::string("+Inf");
+                    os << m.name << "_bucket{le=\"" << le << "\"} " << cum << "\n";
+                }
+                os << m.name << "_sum " << format_double(m.hist.sum) << "\n";
+                os << m.name << "_count " << m.hist.count << "\n";
+                break;
+            }
+        }
+    }
+    return os.str();
+}
+
+}  // namespace asynth::obs

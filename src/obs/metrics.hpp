@@ -1,0 +1,209 @@
+// Process-wide metrics registry: named monotone counters, gauges and
+// fixed-bucket histograms with atomic updates, snapshotable without stopping
+// writers, rendered as Prometheus text exposition (format 0.0.4).
+//
+// Naming scheme (docs/OBSERVABILITY.md): `asynth_<layer>_<what>[_total|_ms]`
+// -- counters end in `_total`, histograms carry their unit as a suffix
+// (`_ms`), gauges are bare.  Every layer registers its metrics against the
+// process-global registry::global() and caches the returned reference in a
+// function-local static, so the hot path is one relaxed atomic add with no
+// name lookup:
+//
+//     static obs::counter& hits =
+//         obs::registry::global().get_counter("asynth_store_hits_total");
+//     hits.add();
+//
+// Thread safety: every update is a single atomic RMW; registration and
+// snapshotting take the registry mutex, updates never do.  Returned metric
+// references stay valid for the registry's lifetime (node-based storage).
+// A snapshot taken while writers are mid-update observes, per metric, some
+// value each writer either fully published or had not yet published -- no
+// torn reads (tests/test_obs.cpp stresses this under TSan/ASan).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace asynth::obs {
+
+/// Monotone counter.  add() is one relaxed fetch_add; value() is one load.
+class counter {
+public:
+    void add(std::uint64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time value (queue depth, worker count).  Stored as double bits in
+/// one atomic word, so set/read never tear; add() is a CAS loop (gauges are
+/// cold -- the loop retries only under concurrent adds).
+class gauge {
+public:
+    void set(double v) noexcept { bits_.store(to_bits(v), std::memory_order_relaxed); }
+    void add(double d) noexcept {
+        std::uint64_t old = bits_.load(std::memory_order_relaxed);
+        while (!bits_.compare_exchange_weak(old, to_bits(from_bits(old) + d),
+                                            std::memory_order_relaxed))
+            ;
+    }
+    [[nodiscard]] double value() const noexcept {
+        return from_bits(bits_.load(std::memory_order_relaxed));
+    }
+
+private:
+    static std::uint64_t to_bits(double v) noexcept {
+        std::uint64_t b;
+        static_assert(sizeof b == sizeof v);
+        __builtin_memcpy(&b, &v, sizeof b);
+        return b;
+    }
+    static double from_bits(std::uint64_t b) noexcept {
+        double v;
+        __builtin_memcpy(&v, &b, sizeof v);
+        return v;
+    }
+    std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram.  Bucket semantics follow Prometheus: bucket i
+/// counts observations <= bounds[i] and > bounds[i-1]; one implicit +Inf
+/// bucket catches the rest.  observe() is one fetch_add plus a CAS for the
+/// running sum; the total count is *derived* from the per-bucket counts at
+/// snapshot time, so a snapshot's count always equals the sum of its buckets
+/// by construction (tear-freedom the tests can assert exactly).
+class histogram {
+public:
+    /// @p bounds must be ascending and non-empty (upper bucket edges).
+    explicit histogram(std::vector<double> bounds);
+
+    void observe(double v) noexcept;
+
+    struct snapshot_data {
+        std::vector<double> bounds;          ///< upper edges, ascending (no +Inf)
+        std::vector<std::uint64_t> buckets;  ///< bounds.size()+1, last = +Inf
+        std::uint64_t count = 0;             ///< == sum(buckets), by construction
+        double sum = 0.0;                    ///< running sum of observed values
+        /// Nearest-rank percentile estimate from the bucket upper edges
+        /// (the +Inf bucket reports the largest finite edge).
+        [[nodiscard]] double percentile(double q) const;
+    };
+    [[nodiscard]] snapshot_data snapshot() const;
+    [[nodiscard]] const std::vector<double>& bounds() const noexcept { return bounds_; }
+
+private:
+    std::vector<double> bounds_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  ///< bounds_.size()+1
+    std::atomic<std::uint64_t> sum_bits_{0};                 ///< double bits, CAS-add
+};
+
+/// Default bucket edges for millisecond-scale latency histograms.
+[[nodiscard]] std::vector<double> default_ms_buckets();
+
+/// What kind of metric a registry entry is.
+enum class metric_kind : uint8_t { counter, gauge, histogram };
+
+/// One metric's state at snapshot time.
+struct metric_snapshot {
+    std::string name;
+    std::string help;
+    metric_kind kind = metric_kind::counter;
+    std::uint64_t counter_value = 0;    ///< kind == counter
+    double gauge_value = 0.0;           ///< kind == gauge
+    histogram::snapshot_data hist;      ///< kind == histogram
+};
+
+/// Name -> metric map.  get_* registers on first use and returns a stable
+/// reference; re-registration under a different kind throws asynth::error
+/// (a programming error worth failing loudly on).  registry::global() is the
+/// process-wide instance every layer records into; tests construct their own.
+class registry {
+public:
+    registry() = default;
+    registry(const registry&) = delete;
+    registry& operator=(const registry&) = delete;
+
+    [[nodiscard]] static registry& global();
+
+    counter& get_counter(std::string_view name, std::string_view help = {});
+    gauge& get_gauge(std::string_view name, std::string_view help = {});
+    /// @p bounds applies on first registration only (later calls must name
+    /// the same metric; their bounds argument is ignored).
+    histogram& get_histogram(std::string_view name, std::vector<double> bounds,
+                             std::string_view help = {});
+
+    /// All metrics, name order.  Safe while writers update concurrently.
+    [[nodiscard]] std::vector<metric_snapshot> snapshot() const;
+
+    /// Counters only, name order -- the batch report's schema-v4 counter
+    /// block is a delta of two of these.
+    [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> counter_values() const;
+
+    /// Prometheus text exposition (format 0.0.4): HELP/TYPE headers, counter
+    /// and gauge samples, histogram _bucket{le=...}/_sum/_count series.
+    [[nodiscard]] std::string prometheus_text() const;
+
+private:
+    struct entry {
+        metric_kind kind = metric_kind::counter;
+        std::string help;
+        std::unique_ptr<counter> c;
+        std::unique_ptr<gauge> g;
+        std::unique_ptr<histogram> h;
+    };
+    entry& find_or_insert(std::string_view name, metric_kind kind, std::string_view help);
+
+    mutable std::mutex m_;
+    std::map<std::string, entry, std::less<>> metrics_;
+};
+
+/// Fixed-capacity uniform random sample of an unbounded stream (Vitter's
+/// algorithm R): O(1) per offer, O(capacity) memory, every element of the
+/// stream equally likely to be retained.  The synthesis service bounds its
+/// queue-wait percentile samples with one of these so a long-lived daemon
+/// cannot grow memory with request count (tests stream 1M samples through
+/// it).  Not thread-safe; callers serialise (the service already holds its
+/// accounting mutex).
+class reservoir {
+public:
+    explicit reservoir(std::size_t capacity, std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+        : cap_(capacity ? capacity : 1), rng_(seed ? seed : 1) {}
+
+    void offer(double v) {
+        ++seen_;
+        if (samples_.size() < cap_) {
+            samples_.push_back(v);
+            return;
+        }
+        // splitmix64 step; modulo bias is negligible against cap_ << 2^64.
+        rng_ += 0x9e3779b97f4a7c15ull;
+        std::uint64_t z = rng_;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        z ^= z >> 31;
+        const std::uint64_t idx = z % seen_;
+        if (idx < cap_) samples_[static_cast<std::size_t>(idx)] = v;
+    }
+
+    [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
+    [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+    [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+
+private:
+    std::size_t cap_;
+    std::vector<double> samples_;
+    std::uint64_t seen_ = 0;
+    std::uint64_t rng_;
+};
+
+}  // namespace asynth::obs

@@ -1,10 +1,13 @@
 #include "pipeline/pipeline.hpp"
 
 #include <cstdio>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
 #include "explore/analysis_cache.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "petri/astg_io.hpp"
 #include "util/error.hpp"
 
@@ -34,14 +37,19 @@ double pipeline_result::stage_seconds(pipeline_stage s) const noexcept {
 
 namespace {
 
-/// Runs @p body under a stopwatch, appending the measurement to the result.
+/// Runs @p body under a trace span (which doubles as the stage stopwatch),
+/// appending the measurement to the result.  Bodies may take an `obs::span&`
+/// to attach stage args (state counts, areas) that show up in trace exports.
 /// Returns false when the stage threw, recording the structured failure.
 template <typename Body>
 bool run_stage(pipeline_result& rep, pipeline_stage stage, Body&& body) {
-    stopwatch sw;
+    obs::span sp(stage_name(stage), "pipeline");
     bool ok = true;
     try {
-        body();
+        if constexpr (std::is_invocable_v<Body&, obs::span&>)
+            body(sp);
+        else
+            body();
     } catch (const error& e) {
         rep.failed = stage;
         rep.message = std::string(stage_name(stage)) + ": " + e.what();
@@ -53,14 +61,33 @@ bool run_stage(pipeline_result& rep, pipeline_stage stage, Body&& body) {
         rep.message = std::string(stage_name(stage)) + ": " + e.what();
         ok = false;
     }
-    rep.timings.push_back({stage, sw.seconds()});
+    rep.timings.push_back({stage, sp.seconds()});
     rep.total_seconds += rep.timings.back().seconds;
     return ok;
 }
 
+/// Process-wide pipeline counters + run-span args, recorded once per run.
+void count_pipeline_run(const pipeline_result& rep, obs::span& sp) {
+    auto& reg = obs::registry::global();
+    static obs::counter& runs =
+        reg.get_counter("asynth_pipeline_runs_total", "Pipeline invocations");
+    static obs::counter& completed = reg.get_counter("asynth_pipeline_completed_total",
+                                                     "Runs whose requested stages all ran");
+    static obs::counter& failed =
+        reg.get_counter("asynth_pipeline_failed_total", "Runs that failed at some stage");
+    static obs::histogram& total_ms =
+        reg.get_histogram("asynth_pipeline_total_ms", obs::default_ms_buckets(),
+                          "End-to-end pipeline wall time (ms)");
+    runs.add();
+    (rep.completed ? completed : failed).add();
+    total_ms.observe(rep.total_seconds * 1e3);
+    sp.arg("spec", rep.spec.model_name);
+    if (!rep.completed && rep.failed) sp.arg("failed_stage", stage_name(*rep.failed));
+}
+
 /// Stages after the spec has been provided/parsed.  Fills `rep` in place.
 void continue_pipeline(pipeline_result& rep, const pipeline_options& opt) {
-    if (!run_stage(rep, pipeline_stage::expand, [&] {
+    if (!run_stage(rep, pipeline_stage::expand, [&](obs::span& sp) {
             // Canonicalise first: write_astg emits one canonical text (sorted
             // arcs) per net, and parsing it back renumbers transitions and
             // places in that text's order.  Nets built in different
@@ -74,12 +101,16 @@ void continue_pipeline(pipeline_result& rep, const pipeline_options& opt) {
             // is sound.
             rep.spec = parse_astg(write_astg(rep.spec));
             rep.expanded = expand_handshakes(rep.spec, opt.expand);
+            sp.arg("spec", rep.spec.model_name);
+            sp.arg("transitions", static_cast<std::uint64_t>(rep.expanded.transitions().size()));
         }))
         return;
 
-    if (!run_stage(rep, pipeline_stage::state_graph, [&] {
+    if (!run_stage(rep, pipeline_stage::state_graph, [&](obs::span& sp) {
             rep.base_sg = std::make_shared<const state_graph>(
                 state_graph::generate(rep.expanded).graph);
+            sp.arg("states", static_cast<std::uint64_t>(rep.base_sg->state_count()));
+            sp.arg("arcs", static_cast<std::uint64_t>(rep.base_sg->arc_count()));
         }))
         return;
 
@@ -88,18 +119,25 @@ void continue_pipeline(pipeline_result& rep, const pipeline_options& opt) {
     auto kc = keepconc_events(rep.expanded);
     search.keep_concurrent.insert(search.keep_concurrent.end(), kc.begin(), kc.end());
 
-    if (!run_stage(rep, pipeline_stage::reduce, [&] {
+    if (!run_stage(rep, pipeline_stage::reduce, [&](obs::span& sp) {
             auto initial = subgraph::full(*rep.base_sg);
             rep.initial_cost = estimate_cost(initial, search.cost);
             rep.search = run_reduction(initial, opt.strategy, search, &rep.initial_cost);
             rep.reduced = rep.search.best;
             rep.reduced_cost = rep.search.best_cost;
+            sp.arg("explored", static_cast<std::uint64_t>(rep.search.explored));
+            sp.arg("live_states", static_cast<std::uint64_t>(rep.reduced.live_state_count()));
+            sp.arg("cost", rep.reduced_cost.value);
         }))
         return;
 
     // An unsolved CSC is a *verdict*, not a crash (the paper's Fig. 1 is
     // exactly such a spec): synthesis still runs and reports its diagnostic.
-    if (!run_stage(rep, pipeline_stage::csc, [&] { rep.csc = resolve_csc(rep.reduced, opt.csc); }))
+    if (!run_stage(rep, pipeline_stage::csc, [&](obs::span& sp) {
+            rep.csc = resolve_csc(rep.reduced, opt.csc);
+            sp.arg("solved", rep.csc.solved ? "yes" : "no");
+            sp.arg("inserted", static_cast<std::uint64_t>(rep.csc.signals_inserted));
+        }))
         return;
 
     auto encoded = subgraph::full(rep.csc.graph);
@@ -117,16 +155,20 @@ void continue_pipeline(pipeline_result& rep, const pipeline_options& opt) {
             return nullptr;
         };
     }
-    if (!run_stage(rep, pipeline_stage::logic,
-                   [&] { rep.synth = synthesize(encoded, synth); }))
+    if (!run_stage(rep, pipeline_stage::logic, [&](obs::span& sp) {
+            rep.synth = synthesize(encoded, synth);
+            if (rep.synth.ok) sp.arg("area", rep.synth.ckt.total_area);
+        }))
         return;
 
     if (opt.run_performance) {
         delay_model delays = opt.delays;
         if (opt.zero_delay_wires && rep.synth.ok)
             delays = wire_zero_delays(rep.synth.ckt, rep.csc.graph, std::move(delays));
-        if (!run_stage(rep, pipeline_stage::perf,
-                       [&] { rep.perf = analyze_performance(encoded, delays); }))
+        if (!run_stage(rep, pipeline_stage::perf, [&](obs::span& sp) {
+                rep.perf = analyze_performance(encoded, delays);
+                sp.arg("cycle", rep.perf.cycle_time);
+            }))
             return;
     }
 
@@ -142,17 +184,19 @@ void continue_pipeline(pipeline_result& rep, const pipeline_options& opt) {
     // text rendering of the gates); verification is opt-in.  Neither runs on
     // verdict-only results (no circuit -> nothing to emit or replay).
     if (rep.synthesized()) {
-        if (!run_stage(rep, pipeline_stage::emit, [&] {
+        if (!run_stage(rep, pipeline_stage::emit, [&](obs::span& sp) {
                 rep.impl_model =
                     build_circuit_netlist(rep.synth.ckt, rep.csc.graph, rep.spec.model_name);
                 rep.verilog = find_backend("verilog")->emit(rep.impl_model);
                 rep.cmodel = find_backend("cmodel")->emit(rep.impl_model);
+                sp.arg("gates", static_cast<std::uint64_t>(rep.impl_model.gate_count()));
             }))
             return;
         if (opt.verify_impl) {
-            if (!run_stage(rep, pipeline_stage::verify, [&] {
+            if (!run_stage(rep, pipeline_stage::verify, [&](obs::span& sp) {
                     rep.impl_check =
                         emulate_against_sg(rep.impl_model, subgraph::full(rep.csc.graph));
+                    sp.arg("states", static_cast<std::uint64_t>(rep.impl_check.states_visited));
                     require(rep.impl_check.ok, rep.impl_check.message);
                 }))
                 return;
@@ -164,19 +208,22 @@ void continue_pipeline(pipeline_result& rep, const pipeline_options& opt) {
 }  // namespace
 
 pipeline_result run_pipeline(const stg& spec, const pipeline_options& opt) {
+    obs::span sp("pipeline", "pipeline");
     pipeline_result rep;
     rep.spec = spec;
     continue_pipeline(rep, opt);
+    count_pipeline_run(rep, sp);
     return rep;
 }
 
 pipeline_result run_pipeline(const stg& spec) { return run_pipeline(spec, pipeline_options{}); }
 
 pipeline_result run_pipeline_text(std::string_view astg_text, const pipeline_options& opt) {
+    obs::span sp("pipeline", "pipeline");
     pipeline_result rep;
-    if (!run_stage(rep, pipeline_stage::parse, [&] { rep.spec = parse_astg(astg_text); }))
-        return rep;
-    continue_pipeline(rep, opt);
+    if (run_stage(rep, pipeline_stage::parse, [&] { rep.spec = parse_astg(astg_text); }))
+        continue_pipeline(rep, opt);
+    count_pipeline_run(rep, sp);
     return rep;
 }
 

@@ -19,10 +19,12 @@
 #include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include "batch/pool.hpp"
+#include "obs/trace.hpp"
 
 namespace asynth::service {
 
@@ -181,10 +183,20 @@ int run_server(const server_options& opt) {
     std::atomic<std::size_t> in_flight{0};
     std::atomic<std::uint64_t> rejected{0};
 
+    const bool tracing = !opt.trace_dir.empty();
+    if (tracing) ::mkdir(opt.trace_dir.c_str(), 0777);  // EEXIST is fine
+
     std::thread dispatcher([&] {
         // One persistent pool for the daemon's lifetime (PR 4's pool reuse
-        // contract); each popped batch is one run() epoch.
+        // contract); each popped batch is one run() epoch.  With --trace DIR
+        // each drained batch runs under its own trace session and lands as
+        // one Chrome-trace file, so a slow batch can be profiled post hoc.
         batch::work_stealing_pool pool(eng.options().jobs);
+        // The dispatcher participates in every run() as pool worker 0, so it
+        // shows up as a span track of its own; name it for the trace viewer.
+        obs::name_thread("dispatcher");
+        obs::trace_session session;
+        std::uint64_t batch_seq = 0;
         std::vector<queued_request> chunk;
         for (;;) {
             chunk.clear();
@@ -199,6 +211,7 @@ int run_server(const server_options& opt) {
                     queue.pop_front();
                 }
             }
+            if (tracing) session.start();
             pool.run(chunk.size(), [&](std::size_t i) {
                 queued_request& qr = chunk[i];
                 std::string resp = eng.execute(qr.req, ms_since(qr.arrival));
@@ -207,6 +220,13 @@ int run_server(const server_options& opt) {
                 in_flight.fetch_sub(1, std::memory_order_acq_rel);
                 poke(wakepipe[1]);
             });
+            if (tracing) {
+                session.stop();
+                const std::string path =
+                    opt.trace_dir + "/trace_batch_" + std::to_string(batch_seq++) + ".json";
+                std::ofstream out(path, std::ios::binary);
+                out << session.chrome_json();
+            }
         }
     });
 
@@ -248,6 +268,17 @@ int run_server(const server_options& opt) {
         }
         if (req->op == "stats") {
             send_line(*conn, eng.stats_line());
+            return;
+        }
+        if (req->op == "metrics") {
+            // Prometheus text exposition rides inside the line protocol as an
+            // escaped "text" field; `asynth client --op metrics` unwraps it.
+            json_line line;
+            line.field("op", "metrics");
+            if (req->id != 0) line.field("id", req->id);
+            line.field("ok", true);
+            line.field("text", engine::metrics_text());
+            send_line(*conn, std::move(line).finish());
             return;
         }
         if (req->op == "shutdown") {

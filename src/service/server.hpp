@@ -42,6 +42,7 @@ struct server_options {
     service_options service;
     std::string socket_path = "asynth.sock";  ///< bind path (<= ~100 bytes)
     std::string report_file;  ///< drain report (BENCH_pipeline.json schema); "" = none
+    std::string trace_dir;    ///< one Chrome-trace file per drained batch; "" = off
     bool verbose = true;      ///< lifecycle lines on stdout
 };
 

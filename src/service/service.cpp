@@ -4,12 +4,37 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "perf/timing.hpp"
 #include "petri/astg_io.hpp"
 
 namespace asynth::service {
 
 namespace {
+
+/// Process-wide service metrics, registered once (and pre-registered by the
+/// engine constructor so a scrape before any traffic still sees the series).
+struct service_metrics {
+    obs::counter& requests;
+    obs::counter& completed;
+    obs::counter& failed;
+    obs::histogram& queue_wait_ms;
+    obs::histogram& request_ms;
+};
+
+service_metrics& svc_obs() {
+    auto& reg = obs::registry::global();
+    static service_metrics m{
+        reg.get_counter("asynth_service_requests_total", "Synth requests executed"),
+        reg.get_counter("asynth_service_completed_total", "Requests whose pipeline completed"),
+        reg.get_counter("asynth_service_failed_total", "Requests that failed (parse or stage)"),
+        reg.get_histogram("asynth_service_queue_wait_ms", obs::default_ms_buckets(),
+                          "Time requests waited in the daemon queue (ms)"),
+        reg.get_histogram("asynth_service_request_ms", obs::default_ms_buckets(),
+                          "execute() wall time per request (ms)"),
+    };
+    return m;
+}
 
 /// Nearest-rank percentile over an ascending sample vector.
 double percentile(const std::vector<double>& sorted, double q) {
@@ -93,9 +118,10 @@ std::optional<request> parse_request(std::string_view line, const pipeline_optio
         req.id = static_cast<std::uint64_t>(v->num);
     // From here on a failure can still be correlated by the client.
     if (failed_id) *failed_id = req.id;
-    if (req.op == "stats" || req.op == "ping" || req.op == "shutdown") return req;
+    if (req.op == "stats" || req.op == "metrics" || req.op == "ping" || req.op == "shutdown")
+        return req;
     if (req.op != "synth") {
-        error = "unknown op '" + req.op + "' (synth|stats|ping|shutdown)";
+        error = "unknown op '" + req.op + "' (synth|stats|metrics|ping|shutdown)";
         return std::nullopt;
     }
     req.spec_text = msg->get_string("spec");
@@ -115,9 +141,17 @@ engine::engine(const service_options& opt) : opt_(opt) {
     if (opt_.jobs == 0)
         opt_.jobs = std::max<std::size_t>(1, std::thread::hardware_concurrency());
     if (!opt_.store_dir.empty()) store_ = store::result_store::open(opt_.store_dir);
+    // Touch the service series and the store counters now: `metrics` must
+    // expose them (at zero) before the first request arrives.
+    svc_obs();
+    auto& reg = obs::registry::global();
+    reg.get_counter("asynth_store_hits_total", "Result-store lookups served from disk");
+    reg.get_counter("asynth_store_misses_total", "Result-store lookups that required synthesis");
 }
 
 std::string engine::execute(const request& req, double queue_wait_ms) {
+    obs::span sp("service.request", "service");
+    sp.arg("queue_ms", queue_wait_ms);
     stopwatch sw;
 
     // The parse stage runs inside run_pipeline_text; for the store key the
@@ -201,6 +235,15 @@ std::string engine::execute(const request& req, double queue_wait_ms) {
     }
 
     // ---- accounting -------------------------------------------------------
+    if (spec) {
+        sp.arg("spec", req.spec_name.empty() ? spec->model_name : req.spec_name);
+        sp.arg("store", !store_.enabled() || req.store_bypass ? "off" : (hit ? "hit" : "miss"));
+    }
+    service_metrics& sm = svc_obs();
+    sm.requests.add();
+    (spec && rec->completed ? sm.completed : sm.failed).add();
+    sm.queue_wait_ms.observe(queue_wait_ms);
+    sm.request_ms.observe(service_ms);
     {
         std::lock_guard<std::mutex> lock(m_);
         ++totals_.requests;
@@ -211,7 +254,8 @@ std::string engine::execute(const request& req, double queue_wait_ms) {
             if (hit) ++totals_.store_hits;
             else ++totals_.store_misses;
         }
-        if (queue_wait_ms_.size() < max_retained) queue_wait_ms_.push_back(queue_wait_ms);
+        queue_wait_.offer(queue_wait_ms);
+        queue_wait_max_ms_ = std::max(queue_wait_max_ms_, queue_wait_ms);
         if (rows_.size() < max_retained && spec) {
             auto row = batch::record_of_stored(
                 req.spec_name.empty() ? spec->model_name : req.spec_name, *rec);
@@ -227,18 +271,20 @@ engine_stats engine::stats() const {
     std::vector<double> sorted;
     {
         // Snapshot under the lock, sort outside it: the sort over the full
-        // retention cap is O(n log n) and must not stall the workers'
-        // accounting blocks.
+        // reservoir is O(n log n) and must not stall the workers' accounting
+        // blocks.
         std::lock_guard<std::mutex> lock(m_);
         out = totals_;
-        sorted = queue_wait_ms_;
+        sorted = queue_wait_.samples();
+        out.queue_wait_max_ms = queue_wait_max_ms_;
     }
     std::sort(sorted.begin(), sorted.end());
     out.queue_wait_p50_ms = percentile(sorted, 0.5);
     out.queue_wait_p90_ms = percentile(sorted, 0.9);
-    out.queue_wait_max_ms = sorted.empty() ? 0.0 : sorted.back();
     return out;
 }
+
+std::string engine::metrics_text() { return obs::registry::global().prometheus_text(); }
 
 std::string engine::stats_line() const {
     const engine_stats s = stats();
@@ -270,6 +316,9 @@ batch::batch_report engine::drain_report(double wall_seconds) const {
         rows = rows_;
     }
     auto rep = batch::make_report(std::move(rows), opt_.jobs, wall_seconds);
+    // Absolute process totals (a daemon lifetime is one "sweep"); run_batch
+    // reports deltas instead.
+    rep.counters = obs::registry::global().counter_values();
     // The counters are authoritative beyond the retention cap.
     rep.store_hits = s.store_hits;
     rep.store_misses = s.store_misses;

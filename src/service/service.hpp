@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "batch/batch.hpp"
+#include "obs/metrics.hpp"
 #include "pipeline/pipeline.hpp"
 #include "service/json.hpp"
 #include "store/result_store.hpp"
@@ -46,7 +47,7 @@ struct service_options {
 
 /// One parsed protocol request.
 struct request {
-    std::string op;         ///< "synth" | "stats" | "ping" | "shutdown"
+    std::string op;         ///< "synth" | "stats" | "metrics" | "ping" | "shutdown"
     std::uint64_t id = 0;   ///< client-chosen correlation id, echoed back
     std::string spec_name;  ///< optional label for reports ("" = derived)
     std::string spec_text;  ///< astg text (op == "synth")
@@ -74,7 +75,10 @@ struct engine_stats {
     std::uint64_t store_hits = 0;     ///< served from the store
     std::uint64_t store_misses = 0;   ///< synthesised (store open)
     double busy_seconds = 0.0;        ///< summed execute() wall-clock
-    double queue_wait_p50_ms = 0.0;   ///< percentiles over retained samples
+    /// Percentiles over a bounded uniform sample of every wait ever seen
+    /// (reservoir sampling -- O(1) per request, O(cap) memory), plus the
+    /// exact running maximum.
+    double queue_wait_p50_ms = 0.0;
     double queue_wait_p90_ms = 0.0;
     double queue_wait_max_ms = 0.0;
 };
@@ -98,12 +102,19 @@ public:
     /// One-line JSON stats response (op "stats").
     [[nodiscard]] std::string stats_line() const;
 
+    /// Prometheus text exposition of the process-wide metrics registry
+    /// (op "metrics").  The engine pre-registers the store and queue-wait
+    /// series at construction, so scrapes see them even before traffic.
+    [[nodiscard]] static std::string metrics_text();
+
     [[nodiscard]] engine_stats stats() const;
 
     /// The retained per-request rows aggregated as a batch report (schema
     /// shared with `asynth batch`); @p wall_seconds is the service lifetime.
     /// Row retention is capped (8192) so a long-lived daemon cannot grow
-    /// without bound; the counters keep counting past the cap.
+    /// without bound; the counters keep counting past the cap, and the
+    /// queue-wait percentiles stay faithful to the whole stream via the
+    /// reservoir.
     [[nodiscard]] batch::batch_report drain_report(double wall_seconds) const;
 
 private:
@@ -112,7 +123,8 @@ private:
 
     mutable std::mutex m_;
     engine_stats totals_;
-    std::vector<double> queue_wait_ms_;        ///< retained samples (capped)
+    obs::reservoir queue_wait_{8192};          ///< bounded uniform sample of all waits
+    double queue_wait_max_ms_ = 0.0;           ///< exact running maximum
     std::vector<batch::spec_record> rows_;     ///< retained rows (capped)
     static constexpr std::size_t max_retained = 8192;
 };

@@ -11,11 +11,38 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "obs/metrics.hpp"
 #include "petri/astg_io.hpp"
 
 namespace asynth::store {
 
 namespace {
+
+/// Process-wide store counters (on top of the per-handle store_stats): every
+/// handle in the process feeds the same series, which is what the daemon's
+/// Prometheus exposition reports.
+struct store_counters {
+    obs::counter& hits;
+    obs::counter& misses;
+    obs::counter& heals;
+    obs::counter& corrupt;
+    obs::counter& writes;
+};
+
+store_counters& store_obs() {
+    auto& reg = obs::registry::global();
+    static store_counters c{
+        reg.get_counter("asynth_store_hits_total", "Result-store lookups served from disk"),
+        reg.get_counter("asynth_store_misses_total",
+                        "Result-store lookups that required synthesis"),
+        reg.get_counter("asynth_store_heals_total",
+                        "Puts that replaced an existing (stale or corrupt) record"),
+        reg.get_counter("asynth_store_corruptions_total",
+                        "Lookups that found an unparsable record"),
+        reg.get_counter("asynth_store_writes_total", "Records committed to the store"),
+    };
+    return c;
+}
 
 /// Store-level format line; bump only when the directory *layout* changes.
 constexpr std::string_view store_format_line = "asynth-store v1\n";
@@ -208,27 +235,33 @@ std::string result_store::object_path(const store_key& key) const {
 std::optional<stored_record> result_store::get(const store_key& key) const {
     if (!enabled_) {
         c_->misses.fetch_add(1, std::memory_order_relaxed);
+        store_obs().misses.add();
         return std::nullopt;
     }
     const file_lock lock(dir_ + "/lock", LOCK_SH);
     auto text = read_file(object_path(key));
     if (!text) {
         c_->misses.fetch_add(1, std::memory_order_relaxed);
+        store_obs().misses.add();
         return std::nullopt;
     }
     stored_record rec;
     switch (parse_record(*text, rec)) {
         case parse_status::ok:
             c_->hits.fetch_add(1, std::memory_order_relaxed);
+            store_obs().hits.add();
             return rec;
         case parse_status::version_skew:
             c_->skew.fetch_add(1, std::memory_order_relaxed);
+            store_obs().misses.add();
             return std::nullopt;
         case parse_status::corrupt: break;
     }
     // Corrupt record: a miss.  The caller's re-synthesis + put() will rename
     // a fresh record over it, healing the entry in place.
     c_->corrupt.fetch_add(1, std::memory_order_relaxed);
+    store_obs().corrupt.add();
+    store_obs().misses.add();
     return std::nullopt;
 }
 
@@ -270,8 +303,14 @@ bool result_store::put(const store_key& key, const stored_record& rec) const {
     // fd per dropped put.
     const bool flushed = ::fsync(fd) == 0;
     if (::close(fd) != 0 || !flushed) return fail();
+    // A put over an existing object heals it in place (version skew or a
+    // corrupt record found by get()); counted under the exclusive lock, so
+    // the existence check cannot race another writer's rename.
+    const bool heal = ::access(final_path.c_str(), F_OK) == 0;
     if (std::rename(tmp.c_str(), final_path.c_str()) != 0) return fail();
     c_->writes.fetch_add(1, std::memory_order_relaxed);
+    store_obs().writes.add();
+    if (heal) store_obs().heals.add();
     return true;
 }
 

@@ -5,6 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -210,7 +213,7 @@ TEST(batch, report_json_is_schema_stable) {
     // documented keys in a fixed order.
     EXPECT_EQ(json.front(), '{');
     EXPECT_EQ(json[json.size() - 2], '}');
-    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
     EXPECT_NE(json.find("\"tool\": \"asynth batch\""), std::string::npos);
     EXPECT_NE(json.find("\"specs_per_second\": "), std::string::npos);
     // schema_version 2: store efficiency + queue-wait aggregates are always
@@ -223,15 +226,69 @@ TEST(batch, report_json_is_schema_stable) {
     // for an unverified sweep) and every spec carries its flag.
     EXPECT_NE(json.find("\"impl_checked\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"impl_checked\": false"), std::string::npos);
+    // schema_version 4: the metrics-registry counters block sits between the
+    // aggregates and the stage percentiles; a real sweep always records at
+    // least the pipeline run counter.
+    EXPECT_NE(json.find("\"counters\": {"), std::string::npos);
+    EXPECT_NE(json.find("\"asynth_pipeline_runs_total\": "), std::string::npos);
     EXPECT_NE(json.find("\"stage_percentiles\": ["), std::string::npos);
     EXPECT_NE(json.find("\"specs\": ["), std::string::npos);
-    EXPECT_LT(json.find("\"schema_version\""), json.find("\"stage_percentiles\""));
+    EXPECT_LT(json.find("\"schema_version\""), json.find("\"counters\""));
+    EXPECT_LT(json.find("\"counters\""), json.find("\"stage_percentiles\""));
     EXPECT_LT(json.find("\"stage_percentiles\""), json.find("\"specs\""));
     for (const auto& s : rep.specs)
         EXPECT_NE(json.find("\"name\": \"" + s.name + "\""), std::string::npos) << s.name;
     // Diagnostics are escaped, never raw (quotes/backslashes would break
     // downstream parsers).
     EXPECT_EQ(json.find("\n\""), std::string::npos);
+}
+
+// A sweep with a failing spec flushes a partial report to the checkpoint
+// path (batch_options::checkpoint_file) before the sweep finishes its bookkeeping,
+// so a killed run still leaves a parsable report behind.
+TEST(batch, failing_spec_flushes_a_checkpoint_report) {
+    namespace fs = std::filesystem;
+    const std::string path =
+        (fs::temp_directory_path() / "asynth_batch_checkpoint_test.json").string();
+    fs::remove(path);
+
+    std::vector<benchmarks::named_spec> specs;
+    specs.push_back({"good", benchmarks::fig1_controller()});
+    specs.push_back({"poison", poisoned_spec()});
+    batch_options opt;
+    opt.jobs = 1;  // deterministic order: "good" finishes before "poison" fails
+    opt.checkpoint_file = path;
+    auto rep = run_batch(specs, opt);
+    EXPECT_EQ(rep.failed, 1u);
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good()) << "no checkpoint written to " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    const std::string json = text.str();
+    // The checkpoint is a normal v4 report over the rows finished so far --
+    // here both rows, since the failing one flushed after its own record landed.
+    EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"good\""), std::string::npos);
+    EXPECT_NE(json.find("\"name\": \"poison\""), std::string::npos);
+    EXPECT_NE(json.find("\"completed\": false"), std::string::npos);
+    fs::remove(path);
+}
+
+// Without a failure nothing is checkpointed: the final report is the CLI's
+// job, and a clean sweep must not pay the serialisation twice.
+TEST(batch, clean_sweep_writes_no_checkpoint) {
+    namespace fs = std::filesystem;
+    const std::string path =
+        (fs::temp_directory_path() / "asynth_batch_no_checkpoint_test.json").string();
+    fs::remove(path);
+    std::vector<benchmarks::named_spec> specs;
+    specs.push_back({"good", benchmarks::fig1_controller()});
+    batch_options opt;
+    opt.checkpoint_file = path;
+    auto rep = run_batch(specs, opt);
+    EXPECT_EQ(rep.failed, 0u);
+    EXPECT_FALSE(fs::exists(path));
 }
 
 TEST(batch, empty_workload) {

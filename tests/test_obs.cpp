@@ -1,0 +1,345 @@
+// Observability layer: metrics registry (counter/gauge/histogram) atomicity
+// and snapshot tear-freedom under writer threads, Prometheus text exposition,
+// the reservoir sampler's O(1)/bounded-memory contract over a 1M-sample
+// stream, and the tracing core (session arming, span collection, nesting,
+// Chrome-trace JSON invariants, flamegraph rendering).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+
+using namespace asynth;
+
+// ---- counters and gauges ---------------------------------------------------
+
+TEST(obs_counter, eight_thread_increment_stress_lands_exactly) {
+    obs::registry reg;
+    obs::counter& c = reg.get_counter("stress_total");
+    constexpr int kThreads = 8;
+    constexpr std::uint64_t kPerThread = 100000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([&c] {
+            for (std::uint64_t i = 0; i < kPerThread; ++i) c.add();
+        });
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(obs_counter, add_n_and_registry_reference_stability) {
+    obs::registry reg;
+    obs::counter& a = reg.get_counter("a_total");
+    obs::counter& again = reg.get_counter("a_total");
+    EXPECT_EQ(&a, &again);  // same name -> same metric object
+    a.add(41);
+    again.add();
+    EXPECT_EQ(a.value(), 42u);
+}
+
+TEST(obs_gauge, set_add_and_concurrent_adds_sum_exactly) {
+    obs::registry reg;
+    obs::gauge& g = reg.get_gauge("depth");
+    g.set(1.5);
+    EXPECT_DOUBLE_EQ(g.value(), 1.5);
+    g.add(-0.5);
+    EXPECT_DOUBLE_EQ(g.value(), 1.0);
+    // CAS-loop adds from several threads must not lose updates.  Use 1.0
+    // steps: every intermediate sum is exactly representable, so the final
+    // value is exact, not approximate.
+    g.set(0.0);
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&g] {
+            for (int i = 0; i < 10000; ++i) g.add(1.0);
+        });
+    for (auto& t : threads) t.join();
+    EXPECT_DOUBLE_EQ(g.value(), 40000.0);
+}
+
+// ---- histograms ------------------------------------------------------------
+
+TEST(obs_histogram, bucket_boundaries_are_le_edges) {
+    obs::registry reg;
+    obs::histogram& h = reg.get_histogram("lat_ms", {1.0, 10.0, 100.0});
+    // Prometheus semantics: bucket i counts v <= bounds[i]; exact edge values
+    // land in their own bucket, not the next one.
+    h.observe(0.5);    // <= 1
+    h.observe(1.0);    // <= 1 (edge)
+    h.observe(1.001);  // <= 10
+    h.observe(10.0);   // <= 10 (edge)
+    h.observe(99.9);   // <= 100
+    h.observe(1e9);    // +Inf
+    const auto s = h.snapshot();
+    ASSERT_EQ(s.buckets.size(), 4u);
+    EXPECT_EQ(s.buckets[0], 2u);
+    EXPECT_EQ(s.buckets[1], 2u);
+    EXPECT_EQ(s.buckets[2], 1u);
+    EXPECT_EQ(s.buckets[3], 1u);
+    EXPECT_EQ(s.count, 6u);
+    EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 1.001 + 10.0 + 99.9 + 1e9);
+}
+
+TEST(obs_histogram, percentile_estimates_from_upper_edges) {
+    obs::registry reg;
+    obs::histogram& h = reg.get_histogram("p_ms", {1.0, 2.0, 4.0});
+    for (int i = 0; i < 90; ++i) h.observe(0.5);  // first bucket
+    for (int i = 0; i < 10; ++i) h.observe(3.0);  // third bucket
+    const auto s = h.snapshot();
+    EXPECT_DOUBLE_EQ(s.percentile(0.5), 1.0);   // median inside bucket <= 1
+    EXPECT_DOUBLE_EQ(s.percentile(0.95), 4.0);  // tail inside bucket <= 4
+}
+
+TEST(obs_histogram, invalid_bounds_throw) {
+    obs::registry reg;
+    EXPECT_THROW(reg.get_histogram("bad_empty", {}), error);
+    EXPECT_THROW(reg.get_histogram("bad_order", {2.0, 1.0}), error);
+}
+
+TEST(obs_histogram, snapshot_while_writing_is_tear_free) {
+    obs::registry reg;
+    obs::histogram& h = reg.get_histogram("tear_ms", obs::default_ms_buckets());
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t)
+        writers.emplace_back([&h, &stop, t] {
+            double v = 0.01 * (t + 1);
+            while (!stop.load(std::memory_order_relaxed)) {
+                h.observe(v);
+                v = v > 8000.0 ? 0.01 : v * 1.7;  // walk across every bucket
+            }
+        });
+    // Snapshots taken mid-write must always be internally consistent: the
+    // count is derived from the buckets, so count == sum(buckets) exactly,
+    // and successive snapshots are monotone.
+    std::uint64_t last = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto s = h.snapshot();
+        const std::uint64_t derived =
+            std::accumulate(s.buckets.begin(), s.buckets.end(), std::uint64_t{0});
+        ASSERT_EQ(s.count, derived);
+        ASSERT_GE(s.count, last);
+        last = s.count;
+    }
+    stop.store(true);
+    for (auto& t : writers) t.join();
+}
+
+// ---- registry --------------------------------------------------------------
+
+TEST(obs_registry, kind_mismatch_throws) {
+    obs::registry reg;
+    reg.get_counter("x_total");
+    EXPECT_THROW(reg.get_gauge("x_total"), error);
+    EXPECT_THROW(reg.get_histogram("x_total", {1.0}), error);
+}
+
+TEST(obs_registry, counter_values_are_name_sorted) {
+    obs::registry reg;
+    reg.get_counter("zeta_total").add(3);
+    reg.get_counter("alpha_total").add(1);
+    reg.get_gauge("skip_me");  // not a counter -> not listed
+    const auto vals = reg.counter_values();
+    ASSERT_EQ(vals.size(), 2u);
+    EXPECT_EQ(vals[0].first, "alpha_total");
+    EXPECT_EQ(vals[0].second, 1u);
+    EXPECT_EQ(vals[1].first, "zeta_total");
+    EXPECT_EQ(vals[1].second, 3u);
+}
+
+TEST(obs_registry, prometheus_text_exposition_shape) {
+    obs::registry reg;
+    reg.get_counter("req_total", "requests").add(7);
+    reg.get_gauge("depth", "queue depth").set(2.5);
+    obs::histogram& h = reg.get_histogram("lat_ms", {1.0, 10.0}, "latency");
+    h.observe(0.5);
+    h.observe(5.0);
+    h.observe(50.0);
+    const std::string text = reg.prometheus_text();
+    EXPECT_NE(text.find("# HELP req_total requests\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE req_total counter\n"), std::string::npos);
+    EXPECT_NE(text.find("req_total 7\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE depth gauge\n"), std::string::npos);
+    EXPECT_NE(text.find("depth 2.5\n"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE lat_ms histogram\n"), std::string::npos);
+    // Histogram buckets are cumulative and end with the +Inf bucket == count.
+    EXPECT_NE(text.find("lat_ms_bucket{le=\"1\"} 1\n"), std::string::npos);
+    EXPECT_NE(text.find("lat_ms_bucket{le=\"10\"} 2\n"), std::string::npos);
+    EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+    EXPECT_NE(text.find("lat_ms_count 3\n"), std::string::npos);
+    EXPECT_NE(text.find("lat_ms_sum 55.5\n"), std::string::npos);
+}
+
+TEST(obs_registry, global_is_a_singleton) {
+    EXPECT_EQ(&obs::registry::global(), &obs::registry::global());
+}
+
+// ---- reservoir sampling ----------------------------------------------------
+
+TEST(obs_reservoir, one_million_samples_bounded_memory_and_uniform) {
+    obs::reservoir r(1024);
+    constexpr std::uint64_t kStream = 1000000;
+    for (std::uint64_t i = 0; i < kStream; ++i) r.offer(static_cast<double>(i));
+    EXPECT_EQ(r.seen(), kStream);
+    EXPECT_EQ(r.samples().size(), r.capacity());  // memory stays O(capacity)
+    // Uniformity sanity: the retained sample's mean must sit near the stream
+    // mean (kStream/2).  With 1024 uniform draws the standard error is about
+    // kStream / sqrt(12 * 1024) ~ 9k; a 5% band is ~15 standard errors.
+    const auto& s = r.samples();
+    const double mean = std::accumulate(s.begin(), s.end(), 0.0) / double(s.size());
+    EXPECT_NEAR(mean, kStream / 2.0, kStream * 0.05);
+    // And it must retain late elements, not just the warm-up prefix.
+    EXPECT_GT(*std::max_element(s.begin(), s.end()), kStream * 0.9);
+}
+
+TEST(obs_reservoir, short_streams_are_kept_verbatim) {
+    obs::reservoir r(16);
+    for (int i = 0; i < 10; ++i) r.offer(i);
+    EXPECT_EQ(r.seen(), 10u);
+    EXPECT_EQ(r.samples().size(), 10u);
+}
+
+// ---- tracing ---------------------------------------------------------------
+
+TEST(obs_trace, spans_without_a_session_record_nothing_but_still_time) {
+    obs::span sp("idle", "test");
+    sp.arg("k", std::uint64_t{1});
+    EXPECT_GE(sp.seconds(), 0.0);
+    obs::trace_session session;
+    session.start();
+    session.stop();
+    EXPECT_TRUE(session.events().empty());
+}
+
+TEST(obs_trace, session_collects_spans_with_args_and_nesting) {
+    obs::trace_session session;
+    session.start();
+    {
+        obs::span outer("outer", "test");
+        outer.arg("spec", "lr");
+        outer.arg("n", std::uint64_t{42});
+        obs::span inner("inner", "test");
+        inner.arg("w", 0.5);
+    }
+    session.stop();
+    ASSERT_EQ(session.events().size(), 2u);
+    // Sorted by start time: outer first, inner nested within it.
+    const auto& outer = session.events()[0];
+    const auto& inner = session.events()[1];
+    EXPECT_EQ(outer.name, "outer");
+    EXPECT_EQ(inner.name, "inner");
+    EXPECT_LE(outer.start_ns, inner.start_ns);
+    EXPECT_GE(outer.start_ns + outer.dur_ns, inner.start_ns + inner.dur_ns);
+    ASSERT_EQ(outer.args.size(), 2u);
+    EXPECT_EQ(outer.args[0].key, "spec");
+    EXPECT_EQ(outer.args[0].value, "lr");
+    EXPECT_FALSE(outer.args[0].numeric);
+    EXPECT_EQ(outer.args[1].value, "42");
+    EXPECT_TRUE(outer.args[1].numeric);
+}
+
+TEST(obs_trace, double_arm_throws_and_dtor_disarms) {
+    obs::trace_session a;
+    a.start();
+    obs::trace_session b;
+    EXPECT_THROW(b.start(), error);
+    a.stop();
+    b.start();  // now fine
+    b.stop();
+}
+
+TEST(obs_trace, spans_straddling_stop_are_dropped_benignly) {
+    obs::trace_session session;
+    auto sp = [&] {
+        session.start();
+        return std::make_unique<obs::span>("straddler", "test");
+    }();
+    session.stop();  // span still open: its event must simply vanish
+    sp.reset();
+    EXPECT_TRUE(session.events().empty());
+    // The next session must not resurrect it either.
+    session.start();
+    session.stop();
+    EXPECT_TRUE(session.events().empty());
+}
+
+TEST(obs_trace, chrome_json_has_matched_pairs_and_monotone_timestamps) {
+    obs::trace_session session;
+    session.start();
+    std::thread worker([] {
+        obs::name_thread("worker-1");
+        obs::span sp("work", "test");
+        obs::span nested("sub", "test");
+    });
+    worker.join();
+    {
+        obs::span sp("main-side", "test");
+    }
+    session.stop();
+    const std::string json = session.chrome_json();
+    EXPECT_EQ(json.find("traceEvents"), 2u);  // {"traceEvents":[...
+    EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+    EXPECT_NE(json.find("worker-1"), std::string::npos);
+    // Every B has its E: count occurrences of the phase markers.
+    auto count = [&](const std::string& needle) {
+        std::size_t n = 0;
+        for (std::size_t at = json.find(needle); at != std::string::npos;
+             at = json.find(needle, at + 1))
+            ++n;
+        return n;
+    };
+    EXPECT_EQ(count("\"ph\":\"B\""), 3u);
+    EXPECT_EQ(count("\"ph\":\"E\""), 3u);
+}
+
+TEST(obs_trace, flamegraph_renders_threads_spans_and_args) {
+    obs::trace_session session;
+    session.start();
+    {
+        obs::span sp("render-me", "test");
+        sp.arg("answer", std::uint64_t{42});
+        obs::span nested("nested-child", "test");
+    }
+    session.stop();
+    const std::string fg = session.flamegraph();
+    EXPECT_NE(fg.find("render-me"), std::string::npos);
+    EXPECT_NE(fg.find("nested-child"), std::string::npos);
+    EXPECT_NE(fg.find("answer=42"), std::string::npos);
+    EXPECT_NE(fg.find("ms"), std::string::npos);
+    // The nested child is indented deeper than its parent.
+    EXPECT_LT(fg.find("render-me"), fg.find("nested-child"));
+}
+
+TEST(obs_trace, per_thread_buffers_collect_across_threads) {
+    obs::trace_session session;
+    session.start();
+    constexpr int kThreads = 4, kSpans = 50;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([t] {
+            obs::name_thread("t" + std::to_string(t));
+            for (int i = 0; i < kSpans; ++i) obs::span sp("unit", "test");
+        });
+    for (auto& t : threads) t.join();
+    session.stop();
+    EXPECT_EQ(session.events().size(), std::size_t{kThreads} * kSpans);
+    EXPECT_EQ(session.dropped(), 0u);
+    // Spans landed on distinct per-thread tracks.
+    std::vector<std::uint64_t> tids;
+    for (const auto& ev : session.events()) tids.push_back(ev.tid);
+    std::sort(tids.begin(), tids.end());
+    tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+    EXPECT_EQ(tids.size(), std::size_t{kThreads});
+}

@@ -411,12 +411,12 @@ TEST_F(store_test, batch_sweep_is_resumable_and_warm_hits_everything) {
     EXPECT_EQ(resumed.store_misses, 2u);
 }
 
-TEST(store_json, report_json_is_schema_version_3_with_store_fields) {
+TEST(store_json, report_json_is_schema_version_4_with_store_fields) {
     batch::batch_report rep;
     rep.queue_wait_p90_ms = 1.5;
     rep.impl_checked = 2;
     const std::string json = batch::report_json(rep);
-    EXPECT_NE(json.find("\"schema_version\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
     EXPECT_NE(json.find("\"store_hits\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"store_misses\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"queue_wait_p50_ms\": 0"), std::string::npos);

@@ -42,6 +42,7 @@
 #include "benchmarks/corpus.hpp"
 #include "benchmarks/generate.hpp"
 #include "fuzz/fuzz.hpp"
+#include "obs/trace.hpp"
 #include "petri/astg_io.hpp"
 #include "pipeline/pipeline.hpp"
 #include "service/server.hpp"
@@ -97,6 +98,9 @@ void print_usage(std::FILE* to) {
                  "                        cmodel; repeatable; requires a synthesised circuit)\n"
                  "  --out <file>          write the recovered (reduced) STG as astg text\n"
                  "  --dot <file>          write the reduced state graph as Graphviz dot\n"
+                 "  --trace <file>        record a Chrome-trace of the run (load in Perfetto /\n"
+                 "                        chrome://tracing) and print a text flamegraph\n"
+                 "                        (docs/OBSERVABILITY.md)\n"
                  "  --print-spec          echo the parsed specification before running\n"
                  "  -q, --quiet           only print errors (exit code carries the result)\n"
                  "  -h, --help            this message\n"
@@ -126,7 +130,10 @@ void print_usage(std::FILE* to) {
                  "  --store <dir>         consult/fill a content-addressed result store;\n"
                  "                        finished specs are skipped on re-runs\n"
                  "  --report <file>       write the corpus report as JSON\n"
-                 "                        (BENCH_pipeline.json format)\n"
+                 "                        (BENCH_pipeline.json format); a partial report is\n"
+                 "                        checkpointed there whenever a spec fails\n"
+                 "  --trace <file>        record a Chrome-trace of the sweep (per-worker\n"
+                 "                        tracks) and print a text flamegraph\n"
                  "  -q, --quiet           suppress the per-spec table\n"
                  "\n"
                  "fuzz subcommand (differential fuzzing; see docs/FUZZING.md):\n"
@@ -155,13 +162,17 @@ void print_usage(std::FILE* to) {
                  "  --queue <n>           bounded request queue capacity (default 64);\n"
                  "                        overflow answers {\"error\":\"queue full\"}\n"
                  "  --report <file>       write a batch-format report on drain\n"
+                 "  --trace <dir>         write one Chrome-trace file per drained request\n"
+                 "                        batch into <dir> (trace_batch_<n>.json)\n"
                  "  -q, --quiet           suppress lifecycle output\n"
                  "  SIGTERM/SIGINT (or an op:\"shutdown\" request) drain gracefully:\n"
                  "  queued work finishes, responses flush, exit code 0.\n"
                  "\n"
                  "client subcommand (one request per invocation, line-JSON protocol):\n"
                  "  --socket <path>       daemon socket (default asynth.sock)\n"
-                 "  --op <op>             synth | stats | ping | shutdown (default synth)\n"
+                 "  --op <op>             synth | stats | metrics | ping | shutdown (default\n"
+                 "                        synth); op metrics prints the daemon's Prometheus\n"
+                 "                        text exposition\n"
                  "  <spec.g> | --corpus <name>   specification for op synth\n"
                  "  --name <label>        spec label in the daemon's report\n"
                  "  --id <n>              correlation id echoed in the response\n"
@@ -236,7 +247,7 @@ int run_batch_cli(int argc, char** argv) {
     uint64_t seed = 1;
     std::size_t count = 64;
     bool use_corpus = true, quiet = false;
-    std::string report_file, store_dir;
+    std::string report_file, store_dir, trace_file;
 
     auto need_value = [&](int& i, const char* flag) -> const char* {
         if (i + 1 >= argc) {
@@ -308,6 +319,8 @@ int run_batch_cli(int argc, char** argv) {
             store_dir = need_value(i, "--store");
         } else if (arg == "--report") {
             report_file = need_value(i, "--report");
+        } else if (arg == "--trace") {
+            trace_file = need_value(i, "--trace");
         } else if (arg == "-q" || arg == "--quiet") {
             quiet = true;
         } else {
@@ -315,6 +328,9 @@ int run_batch_cli(int argc, char** argv) {
             return 2;
         }
     }
+    // --report doubles as the failure-checkpoint path: a sweep that dies
+    // mid-corpus still leaves the finished rows there (batch/batch.hpp).
+    opt.checkpoint_file = report_file;
 
     if (!store_dir.empty()) {
         opt.store = store::result_store::open(store_dir);
@@ -343,7 +359,28 @@ int run_batch_cli(int argc, char** argv) {
         return 2;
     }
 
+    obs::trace_session session;
+    if (!trace_file.empty()) {
+        // The calling thread is pool worker 0 (batch/pool.hpp), so it gets a
+        // span track of its own; name it for the trace viewer.
+        obs::name_thread("main");
+        session.start();
+    }
     auto report = batch::run_batch(specs, opt);
+    if (!trace_file.empty()) {
+        session.stop();
+        std::ofstream out(trace_file, std::ios::binary);
+        out << session.chrome_json();
+        out.close();
+        if (!out) {
+            std::fprintf(stderr, "asynth batch: cannot write '%s'\n", trace_file.c_str());
+            return 1;
+        }
+        if (!quiet) {
+            std::fputs(session.flamegraph().c_str(), stdout);
+            std::printf("wrote %s\n", trace_file.c_str());
+        }
+    }
 
     if (!quiet) std::fputs(batch::report_text(report).c_str(), stdout);
     for (const auto& s : report.specs)
@@ -548,6 +585,8 @@ int run_serve_cli(int argc, char** argv) {
             }
         } else if (arg == "--report") {
             opt.report_file = need_value(i, "--report");
+        } else if (arg == "--trace") {
+            opt.trace_dir = need_value(i, "--trace");
         } else if (arg == "-q" || arg == "--quiet") {
             opt.verbose = false;
         } else {
@@ -685,6 +724,19 @@ int run_client_cli(int argc, char** argv) {
             return 1;
         }
     }
+    // op metrics carries a Prometheus text exposition escaped inside the
+    // JSON line; print it raw so the output pipes straight into a scrape
+    // file or promtool.
+    if (code == 0 && op == "metrics") {
+        const auto parsed = service::json_parse(response);
+        const service::json_value* text = parsed ? parsed->find("text") : nullptr;
+        if (!text || text->k != service::json_value::kind::string) {
+            std::fprintf(stderr, "asynth client: response carries no metrics text\n");
+            return 1;
+        }
+        if (!quiet) std::fputs(text->str.c_str(), stdout);
+        return 0;
+    }
     if (!quiet) std::printf("%s\n", response.c_str());
     return code;
 }
@@ -697,7 +749,7 @@ int main(int argc, char** argv) {
     if (argc > 1 && std::strcmp(argv[1], "serve") == 0) return run_serve_cli(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "client") == 0) return run_client_cli(argc, argv);
     pipeline_options opt;
-    std::string input_file, corpus_name, out_file, dot_file;
+    std::string input_file, corpus_name, out_file, dot_file, trace_file;
     std::vector<std::string> emit_backends;
     bool quiet = false, print_spec = false;
 
@@ -786,6 +838,8 @@ int main(int argc, char** argv) {
             out_file = need_value(i, "--out");
         } else if (arg == "--dot") {
             dot_file = need_value(i, "--dot");
+        } else if (arg == "--trace") {
+            trace_file = need_value(i, "--trace");
         } else if (arg == "--print-spec") {
             print_spec = true;
         } else if (arg == "-q" || arg == "--quiet") {
@@ -808,6 +862,12 @@ int main(int argc, char** argv) {
     }
     // --out needs the recovered STG, so it overrides --no-recover.
     if (!out_file.empty()) opt.recover_stg = true;
+
+    obs::trace_session session;
+    if (!trace_file.empty()) {
+        obs::name_thread("main");
+        session.start();
+    }
 
     pipeline_result result;
     if (!corpus_name.empty()) {
@@ -832,6 +892,21 @@ int main(int argc, char** argv) {
         text << in.rdbuf();
         if (print_spec && !quiet) std::printf("%s\n", text.str().c_str());
         result = run_pipeline_text(text.str(), opt);
+    }
+
+    if (!trace_file.empty()) {
+        session.stop();
+        std::ofstream tout(trace_file, std::ios::binary);
+        tout << session.chrome_json();
+        tout.close();
+        if (!tout) {
+            std::fprintf(stderr, "asynth: cannot write '%s'\n", trace_file.c_str());
+            return 1;
+        }
+        if (!quiet) {
+            std::fputs(session.flamegraph().c_str(), stdout);
+            std::printf("wrote %s\n", trace_file.c_str());
+        }
     }
 
     if (!quiet) std::fputs(pipeline_summary(result).c_str(), stdout);

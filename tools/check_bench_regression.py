@@ -6,9 +6,11 @@ BENCH_pipeline.json (checked in at the repo root) and a freshly generated
 report, over the *intersection* of spec names (the baseline sweeps more specs
 than the CI smoke run).  Repeat --stage to guard several stages in one run
 (the nightly workflow watches `reduce` and `logic`); the exit code reports
-the worst verdict across them.  Report schema_versions 1 through 3 are all
+the worst verdict across them.  Report schema_versions 1 through 4 are all
 accepted (v2 adds store/queue aggregates, v3 the impl-verification fields and
-emit/verify stage timings, all above or beside the specs[] layout this reads).
+emit/verify stage timings, v4 the metrics-registry "counters" block, all
+above or beside the specs[] layout this reads).  A v4 report missing its
+counters block is rejected: that key is part of the schema contract.
 Do NOT feed it a store-warmed report: a hit's timings describe the producing
 run, not this machine.
 
@@ -42,10 +44,11 @@ def die(message):
     sys.exit(2)
 
 
-SUPPORTED_SCHEMAS = (1, 2, 3)  # v2 adds store hit/miss + queue-wait
-                               # aggregates, v3 impl-verification fields and
-                               # emit/verify stage timings; the per-spec
-                               # layout this tool reads is shared.
+SUPPORTED_SCHEMAS = (1, 2, 3, 4)  # v2 adds store hit/miss + queue-wait
+                                  # aggregates, v3 impl-verification fields
+                                  # and emit/verify stage timings, v4 the
+                                  # counters block; the per-spec layout this
+                                  # tool reads is shared.
 
 
 def load_specs(path):
@@ -57,6 +60,13 @@ def load_specs(path):
     if report.get("schema_version") not in SUPPORTED_SCHEMAS:
         die(f"error: {path} has schema_version {report.get('schema_version')!r} "
             f"(supported: {SUPPORTED_SCHEMAS})")
+    if report.get("schema_version") == 4:
+        counters = report.get("counters")
+        if not isinstance(counters, dict):
+            die(f"error: {path} is schema_version 4 but has no counters object")
+        bad = [k for k, v in counters.items() if not isinstance(v, int) or v < 0]
+        if bad:
+            die(f"error: {path} counters carry non-count values: {bad}")
     specs = report.get("specs")
     if not isinstance(specs, list) or not specs:
         die(f"error: {path} has no specs[]")

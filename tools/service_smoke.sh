@@ -61,6 +61,18 @@ done
 "$ASYNTH" client --socket "$SOCKET" --op stats > stats.json || fail "stats request failed"
 grep -q '"store_enabled":true' stats.json || fail "store not enabled: $(cat stats.json)"
 
+# The metrics op returns Prometheus text exposition with the store and
+# queue-wait series the daemon accumulated (docs/OBSERVABILITY.md).
+"$ASYNTH" client --socket "$SOCKET" --op metrics > metrics.txt || fail "metrics request failed"
+grep -q '^asynth_store_hits_total [0-9]' metrics.txt \
+    || fail "metrics exposition lacks asynth_store_hits_total: $(head -5 metrics.txt)"
+grep -q '^asynth_store_misses_total [0-9]' metrics.txt \
+    || fail "metrics exposition lacks asynth_store_misses_total"
+grep -q '^asynth_service_queue_wait_ms_bucket{le="' metrics.txt \
+    || fail "metrics exposition lacks the queue-wait histogram"
+grep -q '^asynth_service_requests_total' metrics.txt \
+    || fail "metrics exposition lacks asynth_service_requests_total"
+
 # A synthesis client with --out must land the recovered STG on disk.
 "$ASYNTH" client --socket "$SOCKET" --corpus lr --out lr_recovered.g -q \
     || fail "client --out request failed"
@@ -79,7 +91,8 @@ trap - EXIT
 [ ! -e "$SOCKET" ] || fail "socket not removed on drain"
 grep -q "drained cleanly" serve.log || fail "no clean-drain line in serve.log: $(cat serve.log)"
 [ -s serve_report.json ] || fail "drain report not written"
-grep -q '"schema_version": 3' serve_report.json || fail "drain report is not schema v3"
+grep -q '"schema_version": 4' serve_report.json || fail "drain report is not schema v4"
+grep -q '"counters": {' serve_report.json || fail "drain report lacks the v4 counters block"
 
 # The store survives the daemon and is shared across tools: a batch sweep
 # over the embedded corpus against the same store must hit every spec the

@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Validate Chrome trace-event JSON emitted by `asynth --trace` / `serve --trace`.
+
+Checks the structural invariants that make a trace loadable and truthful in
+chrome://tracing / Perfetto, the same invariants src/obs/trace.cpp promises:
+
+  * the file is well-formed JSON with a traceEvents list;
+  * every event carries the required keys for its phase ("B"/"E" need
+    name/ts/pid/tid, "M" metadata needs a name and args);
+  * per (pid, tid), "B" and "E" events nest properly: every "E" closes the
+    most recent open "B" of the same name (a stack, never interleaved), and
+    the file leaves no span open;
+  * per (pid, tid), timestamps are monotone non-decreasing in file order --
+    the emitter sorts and clamps to guarantee this, so a violation means a
+    collector bug, not clock jitter.
+
+Exit code 0 = valid, 1 = invariant violation, 2 = usage/IO error.  Repeat the
+file argument to validate several traces (the CI bench-smoke job validates a
+traced sweep; the service smoke test validates the daemon's per-batch files).
+
+Example:
+    asynth --corpus lr --trace trace.json -q
+    python3 tools/validate_trace.py trace.json
+"""
+
+import json
+import sys
+
+
+def fail(path, message):
+    print(f"{path}: {message}", file=sys.stderr)
+    return False
+
+
+def validate(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"{path}: cannot read: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail(path, "no traceEvents list")
+
+    ok = True
+    stacks = {}     # (pid, tid) -> [open span names]
+    last_ts = {}    # (pid, tid) -> last timestamp seen, file order
+    counts = {"B": 0, "E": 0, "M": 0}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            ok = fail(path, f"event {i} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in counts:
+            ok = fail(path, f"event {i} has unexpected phase {ph!r}")
+            continue
+        counts[ph] += 1
+        if ph == "M":
+            if ev.get("name") != "thread_name" or "name" not in ev.get("args", {}):
+                ok = fail(path, f"metadata event {i} is not a thread_name record")
+            continue
+        missing = [k for k in ("name", "ts", "pid", "tid") if k not in ev]
+        if missing:
+            ok = fail(path, f"event {i} ({ph}) is missing {missing}")
+            continue
+        track = (ev["pid"], ev["tid"])
+        ts = float(ev["ts"])
+        if ts < last_ts.get(track, 0.0):
+            ok = fail(path, f"event {i} ({ev['name']}): timestamp {ts} goes backwards "
+                            f"on track {track} (last {last_ts[track]})")
+        last_ts[track] = ts
+        stack = stacks.setdefault(track, [])
+        if ph == "B":
+            stack.append(ev["name"])
+        else:
+            if not stack:
+                ok = fail(path, f"event {i}: E '{ev['name']}' with no open span "
+                                f"on track {track}")
+            elif stack[-1] != ev["name"]:
+                ok = fail(path, f"event {i}: E '{ev['name']}' closes '{stack[-1]}' "
+                                f"on track {track} (improper nesting)")
+                stack.pop()
+            else:
+                stack.pop()
+
+    for track, stack in stacks.items():
+        if stack:
+            ok = fail(path, f"track {track} ends with open spans: {stack}")
+    if counts["B"] != counts["E"]:
+        ok = fail(path, f"unbalanced phases: {counts['B']} B vs {counts['E']} E")
+    if ok:
+        print(f"{path}: OK ({counts['B']} spans on {len(stacks)} tracks, "
+              f"{counts['M']} named threads)")
+    return ok
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    return 0 if all([validate(p) for p in sys.argv[1:]]) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,7 @@ void aggregate(batch_report& rep) {
         rep.total_literals += s.literals;
         if (s.synthesized) rep.total_area += s.area;
         rep.cpu_seconds += s.seconds;
+        rep.max_bound_gap = std::max(rep.max_bound_gap, s.bound_gap);
     }
     rep.failed = rep.count - rep.completed;
     if (rep.wall_seconds > 0.0)
@@ -171,6 +172,8 @@ spec_record record_of(const std::string& name, const pipeline_result& r) {
     out.timings = r.timings;
     out.impl_checked = r.impl_check.ok;
     out.impl_states = r.impl_check.states_visited;
+    out.quality = quality_name(r.search.quality);
+    out.bound_gap = r.search.bound_gap;
     return out;
 }
 
@@ -203,6 +206,8 @@ spec_record record_of_stored(const std::string& name, const store::stored_record
             }
     out.impl_checked = rec.impl_checked;
     out.impl_states = rec.impl_states;
+    out.quality = rec.quality;
+    out.bound_gap = rec.bound_gap;
     out.store_hit = true;
     return out;
 }
@@ -303,7 +308,7 @@ batch_report make_report(std::vector<spec_record> specs, std::size_t jobs, doubl
 std::string report_json(const batch_report& r) {
     std::string out = "{\n  ";
     json_object top{out};
-    top.field("schema_version", std::size_t{4});
+    top.field("schema_version", std::size_t{5});
     top.field("tool", std::string("asynth batch"));
     top.field("jobs", r.jobs);
     top.field("count", r.count);
@@ -331,6 +336,9 @@ std::string report_json(const batch_report& r) {
     // (the emit/verify per-stage timings appear via the generic <stage>_ms
     // mechanism and the stage_percentiles block).
     top.field("impl_checked", r.impl_checked);
+    // schema_version 5 addition: the worst per-spec bound gap of the sweep
+    // (0 for exact sweeps -- check_bench_regression.py asserts exactly that).
+    top.field("max_bound_gap", r.max_bound_gap);
 
     // schema_version 4 addition: the metrics-registry counter block (sweep
     // deltas for run_batch, absolute totals for a service drain).
@@ -384,6 +392,9 @@ std::string report_json(const batch_report& r) {
         o.field("store_hit", s.store_hit);
         o.field("impl_checked", s.impl_checked);
         if (s.impl_checked) o.field("impl_states", s.impl_states);
+        // schema_version 5: the quality the search ran at and its bound gap.
+        o.field("quality", s.quality);
+        o.field("bound_gap", s.bound_gap);
         for (const auto& t : s.timings) {
             std::string k = std::string(stage_name(t.stage)) + "_ms";
             o.field(k.c_str(), t.seconds * 1e3);
@@ -398,15 +409,30 @@ std::string report_json(const batch_report& r) {
 std::string report_text(const batch_report& r) {
     std::string out;
     char line[256];
-    std::snprintf(line, sizeof line, "%-16s %7s %7s %6s %8s %8s %9s  %s\n", "spec", "states",
-                  "explored", "csc", "area", "cycle", "ms", "verdict");
+    // The gap column only appears when some spec ran at a non-exact quality:
+    // exact sweeps keep the historical table byte-for-byte.
+    bool any_gap = false;
+    for (const auto& s : r.specs) any_gap |= s.quality != "exact";
+    if (any_gap)
+        std::snprintf(line, sizeof line, "%-16s %7s %7s %6s %8s %8s %9s %6s  %s\n", "spec",
+                      "states", "explored", "csc", "area", "cycle", "ms", "gap", "verdict");
+    else
+        std::snprintf(line, sizeof line, "%-16s %7s %7s %6s %8s %8s %9s  %s\n", "spec", "states",
+                      "explored", "csc", "area", "cycle", "ms", "verdict");
     out += line;
     for (const auto& s : r.specs) {
         const char* verdict = !s.completed ? "FAILED" : (s.synthesized ? "ok" : "no circuit");
-        std::snprintf(line, sizeof line, "%-16s %7zu %7zu %6zu %8.0f %8.1f %9.2f  %s%s%s%s\n",
-                      s.name.c_str(), s.states, s.explored, s.csc_signals, s.area, s.cycle,
-                      s.seconds * 1e3, verdict, s.store_hit ? " (store)" : "",
-                      s.failed_stage.empty() ? "" : " at ", s.failed_stage.c_str());
+        if (any_gap)
+            std::snprintf(line, sizeof line,
+                          "%-16s %7zu %7zu %6zu %8.0f %8.1f %9.2f %6.1f  %s%s%s%s\n",
+                          s.name.c_str(), s.states, s.explored, s.csc_signals, s.area, s.cycle,
+                          s.seconds * 1e3, s.bound_gap, verdict, s.store_hit ? " (store)" : "",
+                          s.failed_stage.empty() ? "" : " at ", s.failed_stage.c_str());
+        else
+            std::snprintf(line, sizeof line, "%-16s %7zu %7zu %6zu %8.0f %8.1f %9.2f  %s%s%s%s\n",
+                          s.name.c_str(), s.states, s.explored, s.csc_signals, s.area, s.cycle,
+                          s.seconds * 1e3, verdict, s.store_hit ? " (store)" : "",
+                          s.failed_stage.empty() ? "" : " at ", s.failed_stage.c_str());
         out += line;
     }
     std::snprintf(line, sizeof line,
@@ -415,6 +441,10 @@ std::string report_text(const batch_report& r) {
                   r.count, r.completed, r.synthesized, r.failed, r.total_states, r.jobs,
                   r.wall_seconds, r.cpu_seconds, r.specs_per_second);
     out += line;
+    if (any_gap) {
+        std::snprintf(line, sizeof line, "quality: max bound gap %.1f\n", r.max_bound_gap);
+        out += line;
+    }
     if (r.store_hits + r.store_misses > 0) {
         std::snprintf(line, sizeof line, "store: %zu hits, %zu misses\n", r.store_hits,
                       r.store_misses);

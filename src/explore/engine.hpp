@@ -23,6 +23,17 @@
 //    over one persistent batch work-stealing pool per search; the expander
 //    merges in enumeration order, so results are independent of the job
 //    count.
+//
+// The bit-for-bit equivalence guarantee above is scoped to
+// search_options::quality == exact (the default).  `--quality bounded`
+// admits the beam provisionally on optimistic lower bounds, lazily refines
+// every candidate that could still change the selection, and certifies the
+// outcome in search_result::bound_gap / level_gap -- 0 at the refinement
+// fixpoint, so its results match exact search whenever the bounds are sound;
+// `--quality anytime` keeps the exact admission path but may cut the search
+// at a level boundary when the wall-clock deadline expires (deadline_hit).
+// Both non-exact qualities run on this engine only -- the reference engine
+// stays the exactness oracle.  See docs/SEARCH.md for the gap semantics.
 #pragma once
 
 #include "core/search.hpp"

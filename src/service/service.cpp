@@ -95,6 +95,16 @@ double percentile(const std::vector<double>& sorted, double q) {
         if (v->k != json_value::kind::boolean) return bad("'verify' must be a boolean");
         opt.verify_impl = v->b;
     }
+    if (const json_value* v = msg.find("quality")) {
+        if (v->k != json_value::kind::string) return bad("'quality' must be a string");
+        if (v->str == "exact") opt.search.quality = search_quality::exact;
+        else if (v->str == "bounded") opt.search.quality = search_quality::bounded;
+        else if (v->str == "anytime") opt.search.quality = search_quality::anytime;
+        else return bad("'quality' must be exact|bounded|anytime");
+    }
+    if (!positive_int("deadline_ms", opt.search.deadline_ms, 0)) return false;
+    if (opt.search.deadline_ms > 0 && opt.search.quality != search_quality::anytime)
+        return bad("'deadline_ms' requires 'quality': \"anytime\"");
     return true;
 }
 
@@ -216,6 +226,12 @@ std::string engine::execute(const request& req, double queue_wait_ms) {
         line.field("synth_seconds", rec->seconds);
         line.field("queue_ms", queue_wait_ms);
         line.field("service_ms", service_ms);
+        // Non-exact answers carry their quality label and bound gap, so a
+        // caller can always tell an approximate result from an exact one.
+        if (rec->quality != "exact") {
+            line.field("quality", rec->quality);
+            line.field("bound_gap", rec->bound_gap);
+        }
         if (!rec->netlist.empty()) {
             std::string eqs = "[";
             for (std::size_t i = 0; i < rec->netlist.size(); ++i) {

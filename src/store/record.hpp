@@ -38,7 +38,9 @@ namespace asynth::store {
 /// loses cache efficiency, never correctness.
 /// v2: emitted netlists (verilog/cmodel) + implementation-verification
 /// outcome added alongside the equations.
-inline constexpr int record_schema_version = 2;
+/// v3: search-quality dial -- the quality the producing search ran at and
+/// the bound gap it reported, so approximate results stay labelled on disk.
+inline constexpr int record_schema_version = 3;
 
 /// One synthesised signal implementation, as stored.
 struct stored_impl {
@@ -77,6 +79,10 @@ struct stored_record {
     std::string cmodel;                ///< emitted C model ("" when no circuit)
     bool impl_checked = false;         ///< verify stage ran and agreed
     std::size_t impl_states = 0;       ///< states the emulation walk visited
+    /// Quality the producing search ran at ("exact"/"bounded"/"anytime") and
+    /// the bound gap it reported (v3; see search_result::bound_gap).
+    std::string quality = "exact";
+    double bound_gap = 0.0;
 };
 
 /// Projects a pipeline outcome into its storable form.  @p fingerprint is

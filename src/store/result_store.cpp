@@ -114,7 +114,10 @@ std::string store_key::hex() const {
 std::string options_fingerprint(const pipeline_options& opt) {
     // v2: the verify knob joined the fingerprint (a verified record proves
     // strictly more than an unverified one, so they must never alias).
-    std::string fp = "asynth-options v2;";
+    // v3: the quality dial and its anytime deadline joined -- unlike
+    // engine/minimizer they AFFECT the result, and an approximate record
+    // must never be served for an exact request (or vice versa).
+    std::string fp = "asynth-options v3;";
     // expand
     fp_size(fp, "phases", static_cast<std::size_t>(opt.expand.phases));
     fp_bool(fp, "chan_if", opt.expand.channel_interface);
@@ -127,6 +130,10 @@ std::string options_fingerprint(const pipeline_options& opt) {
               ? "none"
               : (opt.strategy == reduction_strategy::beam ? "beam" : "full");
     fp += ';';
+    fp += "quality=";
+    fp += quality_name(opt.search.quality);
+    fp += ';';
+    fp_size(fp, "deadline_ms", opt.search.deadline_ms);
     fp_size(fp, "frontier", opt.search.size_frontier);
     fp_size(fp, "max_levels", opt.search.max_levels);
     fp_double(fp, "w", opt.search.cost.w);

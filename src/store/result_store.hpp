@@ -11,7 +11,10 @@
 // pipeline option.  Knobs that are provably result-neutral -- the search
 // engine, the minimizer mode, every jobs count -- are deliberately excluded,
 // so a sweep with `--engine reference` warms the cache for `--engine
-// incremental` and vice versa.
+// incremental` and vice versa.  The search-quality dial (and its anytime
+// deadline) is result-AFFECTING and therefore fingerprinted: exact, bounded
+// and anytime runs occupy distinct keys, so approximate results never
+// poison exact cache entries.
 //
 // Disk layout (DIR is the `--store` argument):
 //

@@ -213,7 +213,7 @@ TEST(batch, report_json_is_schema_stable) {
     // documented keys in a fixed order.
     EXPECT_EQ(json.front(), '{');
     EXPECT_EQ(json[json.size() - 2], '}');
-    EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
     EXPECT_NE(json.find("\"tool\": \"asynth batch\""), std::string::npos);
     EXPECT_NE(json.find("\"specs_per_second\": "), std::string::npos);
     // schema_version 2: store efficiency + queue-wait aggregates are always
@@ -231,6 +231,11 @@ TEST(batch, report_json_is_schema_stable) {
     // least the pipeline run counter.
     EXPECT_NE(json.find("\"counters\": {"), std::string::npos);
     EXPECT_NE(json.find("\"asynth_pipeline_runs_total\": "), std::string::npos);
+    // schema_version 5: the quality dial -- aggregate max gap plus a
+    // per-spec quality label and gap, "exact"/0 for a default sweep.
+    EXPECT_NE(json.find("\"max_bound_gap\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"quality\": \"exact\""), std::string::npos);
+    EXPECT_NE(json.find("\"bound_gap\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"stage_percentiles\": ["), std::string::npos);
     EXPECT_NE(json.find("\"specs\": ["), std::string::npos);
     EXPECT_LT(json.find("\"schema_version\""), json.find("\"counters\""));
@@ -266,9 +271,9 @@ TEST(batch, failing_spec_flushes_a_checkpoint_report) {
     std::ostringstream text;
     text << in.rdbuf();
     const std::string json = text.str();
-    // The checkpoint is a normal v4 report over the rows finished so far --
+    // The checkpoint is a normal v5 report over the rows finished so far --
     // here both rows, since the failing one flushed after its own record landed.
-    EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
     EXPECT_NE(json.find("\"name\": \"good\""), std::string::npos);
     EXPECT_NE(json.find("\"name\": \"poison\""), std::string::npos);
     EXPECT_NE(json.find("\"completed\": false"), std::string::npos);

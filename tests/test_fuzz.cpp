@@ -111,7 +111,7 @@ TEST(fuzz_oracles, all_pipeline_oracles_agree_on_a_corpus_entry) {
     const stg spec = benchmarks::lr_process();
     for (auto o : {fuzz::oracle::engines, fuzz::oracle::minimizers,
                    fuzz::oracle::store_roundtrip, fuzz::oracle::text_roundtrip,
-                   fuzz::oracle::impl_vs_sg})
+                   fuzz::oracle::impl_vs_sg, fuzz::oracle::bounded_vs_exact})
         EXPECT_EQ(fuzz::check_oracle(o, spec), "") << fuzz::oracle_name(o);
 }
 
@@ -258,12 +258,12 @@ TEST(fuzz_shrink, evaluation_cap_is_respected) {
 TEST(fuzz_loop, deterministic_and_green_on_current_code) {
     fuzz::fuzz_options opt;
     opt.seed = 1;
-    opt.iterations = 6;  // one check per oracle (rotation covers all six)
+    opt.iterations = 7;  // one check per oracle (rotation covers all seven)
     opt.max_size = 4;
     opt.jobs = 2;
     auto a = fuzz::run_fuzz(opt);
     EXPECT_TRUE(a.ok()) << a.summary();
-    EXPECT_EQ(a.iterations, 6u);
+    EXPECT_EQ(a.iterations, 7u);
     for (std::size_t i = 0; i < fuzz::oracle_count; ++i)
         EXPECT_EQ(a.oracles[i].checks, 1u) << fuzz::oracle_name(static_cast<fuzz::oracle>(i));
 

@@ -196,7 +196,7 @@ TEST(service_engine, executes_misses_then_hits_with_accounting) {
     EXPECT_EQ(rep.store_misses, 1u);
     EXPECT_EQ(rep.queue_wait_max_ms, 3.0);
     const std::string json = batch::report_json(rep);
-    EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
     EXPECT_NE(json.find("\"store_hits\": 1"), std::string::npos);
 }
 

@@ -116,6 +116,20 @@ TEST(store_record, roundtrips_a_real_pipeline_result) {
     EXPECT_EQ(back.cmodel, rec.cmodel);
     EXPECT_EQ(back.impl_checked, rec.impl_checked);
     EXPECT_EQ(back.impl_states, rec.impl_states);
+    // Schema v3: the quality label and bound gap ride along (a default
+    // pipeline run is exact with no gap).
+    EXPECT_EQ(back.quality, "exact");
+    EXPECT_EQ(back.bound_gap, 0.0);
+}
+
+TEST(store_record, quality_fields_roundtrip) {
+    store::stored_record rec = sample_record();
+    rec.quality = "bounded";
+    rec.bound_gap = 2.5;
+    store::stored_record back;
+    ASSERT_EQ(store::parse_record(store::serialize_record(rec), back), store::parse_status::ok);
+    EXPECT_EQ(back.quality, "bounded");
+    EXPECT_EQ(back.bound_gap, 2.5);
 }
 
 TEST(store_record, verification_outcome_roundtrips) {
@@ -179,7 +193,7 @@ TEST(store_record, every_single_bit_flip_is_rejected) {
 
 TEST(store_record, version_skew_is_detected_before_checksum) {
     std::string text = store::serialize_record(sample_record());
-    const auto pos = text.find("asynth-record v2 ");
+    const auto pos = text.find("asynth-record v3 ");
     ASSERT_NE(pos, std::string::npos);
     text[pos + std::string("asynth-record v").size()] = '7';
     store::stored_record out;
@@ -206,6 +220,23 @@ TEST(store_record, key_separates_specs_and_result_affecting_options) {
     neutral.search.minimizer = minimizer_mode::exact;
     neutral.search.jobs = 7;
     EXPECT_EQ(k_lr, store::key_of(benchmarks::lr_process(), neutral));
+
+    // The quality dial IS result-affecting: every mode (and every anytime
+    // deadline) gets its own key, so approximate results can never be
+    // served where an exact one was asked for.
+    pipeline_options bounded = defaults;
+    bounded.search.quality = search_quality::bounded;
+    pipeline_options anytime = defaults;
+    anytime.search.quality = search_quality::anytime;
+    anytime.search.deadline_ms = 500;
+    pipeline_options anytime_slower = anytime;
+    anytime_slower.search.deadline_ms = 5000;
+    const auto k_bounded = store::key_of(benchmarks::lr_process(), bounded);
+    const auto k_anytime = store::key_of(benchmarks::lr_process(), anytime);
+    EXPECT_NE(k_lr, k_bounded);
+    EXPECT_NE(k_lr, k_anytime);
+    EXPECT_NE(k_bounded, k_anytime);
+    EXPECT_NE(k_anytime, store::key_of(benchmarks::lr_process(), anytime_slower));
 }
 
 // ---- the store on disk ------------------------------------------------------
@@ -276,7 +307,7 @@ TEST_F(store_test, version_skewed_record_is_a_miss_not_stale_data) {
     ASSERT_TRUE(st.put(key, sample_record()));
     const std::string path = sole_object_path(dir);
     std::string text = slurp(path);
-    text[text.find(" v2 ") + 2] = '9';
+    text[text.find(" v3 ") + 2] = '9';
     spit(path, text);
     EXPECT_FALSE(st.get(key).has_value());
     EXPECT_EQ(st.stats().version_skew, 1u);
@@ -411,15 +442,17 @@ TEST_F(store_test, batch_sweep_is_resumable_and_warm_hits_everything) {
     EXPECT_EQ(resumed.store_misses, 2u);
 }
 
-TEST(store_json, report_json_is_schema_version_4_with_store_fields) {
+TEST(store_json, report_json_is_schema_version_5_with_store_fields) {
     batch::batch_report rep;
     rep.queue_wait_p90_ms = 1.5;
     rep.impl_checked = 2;
+    rep.max_bound_gap = 3.25;
     const std::string json = batch::report_json(rep);
-    EXPECT_NE(json.find("\"schema_version\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 5"), std::string::npos);
     EXPECT_NE(json.find("\"store_hits\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"store_misses\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"queue_wait_p50_ms\": 0"), std::string::npos);
     EXPECT_NE(json.find("\"queue_wait_p90_ms\": 1.5"), std::string::npos);
     EXPECT_NE(json.find("\"impl_checked\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"max_bound_gap\": 3.25"), std::string::npos);
 }

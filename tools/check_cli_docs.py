@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Check that fenced help-text blocks in the docs match the binary.
+
+Markdown files may annotate a fenced code block with a marker comment:
+
+    <!-- check-cli-docs: asynth --help -->
+    ```
+    usage: asynth [options] <spec.g>
+    ...
+    ```
+
+For every marker this tool runs the named command (resolving `asynth`
+against --bin-dir) and diffs its output byte-for-byte against the fence
+contents.  Any mismatch prints a unified diff and fails the run, so
+docs/CLI.md can never drift from what the CLI actually prints.
+
+Usage:
+    tools/check_cli_docs.py [--bin-dir build] [files...]
+
+With no files, every *.md under docs/ plus README.md is scanned.  Files
+without markers are fine (scanned, nothing to check).  Exit codes:
+0 all blocks match, 1 a block differs or a command failed, 2 usage error.
+"""
+
+import argparse
+import difflib
+import os
+import re
+import subprocess
+import sys
+
+MARKER = re.compile(r"^<!--\s*check-cli-docs:\s*(.+?)\s*-->\s*$")
+FENCE = re.compile(r"^```")
+
+
+def find_blocks(text, path):
+    """Yields (lineno, command, block_text) for each marked fence."""
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        m = MARKER.match(lines[i])
+        if not m:
+            i += 1
+            continue
+        command = m.group(1)
+        # The fence must open on the next non-blank line.
+        j = i + 1
+        while j < len(lines) and not lines[j].strip():
+            j += 1
+        if j >= len(lines) or not FENCE.match(lines[j]):
+            die(f"error: {path}:{i + 1}: marker not followed by a fenced block")
+        body = []
+        k = j + 1
+        while k < len(lines) and not FENCE.match(lines[k]):
+            body.append(lines[k])
+            k += 1
+        if k >= len(lines):
+            die(f"error: {path}:{j + 1}: unterminated fenced block")
+        yield i + 1, command, "\n".join(body) + "\n"
+        i = k + 1
+
+
+def die(message):
+    print(message, file=sys.stderr)
+    sys.exit(1)
+
+
+def run_command(command, bin_dir):
+    """Runs `command` with bin_dir prepended to PATH; returns its output."""
+    env = dict(os.environ)
+    env["PATH"] = os.path.abspath(bin_dir) + os.pathsep + env.get("PATH", "")
+    try:
+        proc = subprocess.run(
+            command, shell=True, env=env, capture_output=True, text=True, timeout=60
+        )
+    except subprocess.TimeoutExpired:
+        return None, f"timed out after 60s"
+    if proc.returncode != 0:
+        return None, f"exited {proc.returncode}: {proc.stderr.strip()}"
+    return proc.stdout, None
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bin-dir",
+        default="build",
+        help="directory holding the asynth binary (prepended to PATH)",
+    )
+    parser.add_argument("files", nargs="*", help="markdown files to scan")
+    args = parser.parse_args()
+
+    files = args.files
+    if not files:
+        files = sorted(
+            os.path.join("docs", f) for f in os.listdir("docs") if f.endswith(".md")
+        )
+        if os.path.exists("README.md"):
+            files.append("README.md")
+
+    checked = 0
+    failures = 0
+    for path in files:
+        try:
+            with open(path, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            die(f"error: cannot read {path}: {exc}")
+        for lineno, command, expected in find_blocks(text, path):
+            checked += 1
+            actual, err = run_command(command, args.bin_dir)
+            if err is not None:
+                print(f"FAIL {path}:{lineno}: `{command}` {err}")
+                failures += 1
+                continue
+            if actual == expected:
+                print(f"ok   {path}:{lineno}: `{command}`")
+                continue
+            failures += 1
+            print(f"FAIL {path}:{lineno}: `{command}` output differs from the doc:")
+            diff = difflib.unified_diff(
+                expected.splitlines(keepends=True),
+                actual.splitlines(keepends=True),
+                fromfile=f"{path} (documented)",
+                tofile=f"{command} (actual)",
+            )
+            sys.stdout.writelines(diff)
+    if checked == 0:
+        print("warning: no check-cli-docs markers found", file=sys.stderr)
+    if failures:
+        print(f"{failures} of {checked} block(s) out of sync", file=sys.stderr)
+        return 1
+    print(f"all {checked} documented block(s) match the binary")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,8 +91,10 @@ trap - EXIT
 [ ! -e "$SOCKET" ] || fail "socket not removed on drain"
 grep -q "drained cleanly" serve.log || fail "no clean-drain line in serve.log: $(cat serve.log)"
 [ -s serve_report.json ] || fail "drain report not written"
-grep -q '"schema_version": 4' serve_report.json || fail "drain report is not schema v4"
-grep -q '"counters": {' serve_report.json || fail "drain report lacks the v4 counters block"
+grep -q '"schema_version": 5' serve_report.json || fail "drain report is not schema v5"
+grep -q '"counters": {' serve_report.json || fail "drain report lacks the counters block"
+# Exact-mode service runs must declare a zero aggregate gap (schema v5).
+grep -q '"max_bound_gap": 0' serve_report.json || fail "drain report gap is not zero"
 
 # The store survives the daemon and is shared across tools: a batch sweep
 # over the embedded corpus against the same store must hit every spec the

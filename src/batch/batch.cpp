@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "batch/pool.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "perf/timing.hpp"
@@ -225,8 +226,9 @@ batch_report run_batch(const std::vector<benchmarks::named_spec>& specs,
     sweep_sp.arg("jobs", static_cast<std::uint64_t>(jobs));
 
     // One fingerprint per sweep: every spec runs under the same options.
-    const std::string fingerprint =
-        opt.store.enabled() ? store::options_fingerprint(opt.pipeline) : std::string();
+    // Computed even with the store off -- the (spec, options) key doubles as
+    // the per-spec correlation id on log lines and trace spans.
+    const std::string fingerprint = store::options_fingerprint(opt.pipeline);
 
     // The v4 counter block carries what *this sweep* contributed, not the
     // process-lifetime totals (several sweeps can share one process).
@@ -256,8 +258,12 @@ batch_report run_batch(const std::vector<benchmarks::named_spec>& specs,
             // exhaustion outside a stage) from sinking the whole sweep.
             [&] {
                 try {
+                    const auto key = store::key_of(write_astg(specs[i].net), fingerprint);
+                    // Stable per-spec req_id derived from the store key: the
+                    // same spec under the same options logs the same id in
+                    // every sweep, so failures can be diffed across runs.
+                    obs::log_context log_ctx(key.hex().substr(0, 16));
                     if (opt.store.enabled()) {
-                        const auto key = store::key_of(write_astg(specs[i].net), fingerprint);
                         if (auto hit = opt.store.get(key)) {
                             rep.specs[i] = record_of_stored(specs[i].name, *hit);
                             return;

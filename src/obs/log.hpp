@@ -1,0 +1,113 @@
+// Structured logging: a process-wide logger that emits one self-contained
+// JSON object per line (wall + monotonic timestamps, level, thread track
+// name, event name, typed key/value fields) to stderr or a --log-file, with
+// per-level runtime filtering and a bounded in-memory ring of recent events
+// for the daemon's `stats` op and crash paths to dump.
+//
+// Cost model (the same contract as the tracer, trace.hpp): a `log_event`
+// constructed below the configured level costs one relaxed atomic load --
+// no allocation, no clock read, no locking; `field()` calls are no-ops.
+// Events are therefore placed at request/run/lifecycle granularity, never
+// inside hot loops.
+//
+// Concurrency design, mirroring the tracer's owner-only-writes discipline:
+// the emitting thread formats the complete line into its own buffer (no
+// shared state touched while building), then takes the sink mutex only for
+// one fwrite of the finished line plus the ring push.  One fwrite per line
+// is what guarantees no torn or interleaved lines under concurrent emitters
+// (tests/test_log.cpp stresses this with 8 threads).
+//
+// Correlation: a thread may bind a request id with the RAII `log_context`
+// guard; every line emitted while the guard lives carries `"req_id"`.
+// Contexts nest (inner guards shadow, destructors restore), so a batch
+// worker's per-spec id and a nested helper's id compose correctly.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asynth::obs {
+
+/// Severity, ascending.  `off` is a filter level only, never an event level.
+enum class log_level : std::uint8_t { debug = 0, info, warn, error, off };
+
+/// "debug" | "info" | "warn" | "error" | "off".
+[[nodiscard]] const char* level_name(log_level l) noexcept;
+/// Inverse of level_name; nullopt on anything else.
+[[nodiscard]] std::optional<log_level> level_from_name(std::string_view s) noexcept;
+
+/// Runtime filter: events below @p l are dropped on the lock-free path.
+/// The process default is `warn` (the CLI's --log-level overrides it).
+void set_log_level(log_level l) noexcept;
+[[nodiscard]] log_level get_log_level() noexcept;
+/// One relaxed load: would an event at @p l be emitted right now?
+[[nodiscard]] bool log_enabled(log_level l) noexcept;
+
+/// Redirects emission from stderr to @p path (append mode).  Returns false
+/// and fills @p error when the file cannot be opened; the sink is unchanged.
+[[nodiscard]] bool open_log_file(const std::string& path, std::string& error);
+
+/// Capacity of the bounded recent-events ring.
+[[nodiscard]] std::size_t log_ring_capacity() noexcept;
+/// Snapshot of the ring, oldest first.  Each entry is one self-contained
+/// JSON object (no trailing newline), so callers may embed them verbatim.
+[[nodiscard]] std::vector<std::string> recent_log_lines();
+/// Writes the ring to @p to, one line per event -- the crash path (the
+/// daemon's terminate handler dumps to stderr before aborting).
+void dump_recent_log(std::FILE* to);
+
+/// One structured event, emitted on destruction.  Constructed below the
+/// configured level it is inert: fields are no-ops and nothing is emitted.
+///
+///     obs::log_event(obs::log_level::warn, "service.slow_request")
+///         .field("spec", name)
+///         .field("service_ms", ms);
+class log_event {
+public:
+    log_event(log_level lvl, std::string_view event);
+    ~log_event();
+    log_event(const log_event&) = delete;
+    log_event& operator=(const log_event&) = delete;
+
+    log_event& field(std::string_view key, std::string_view value);
+    log_event& field(std::string_view key, const char* value) {
+        return field(key, std::string_view(value));
+    }
+    log_event& field(std::string_view key, std::uint64_t v);
+    log_event& field(std::string_view key, std::int64_t v);
+    log_event& field(std::string_view key, double v);
+    log_event& field(std::string_view key, bool v);
+
+private:
+    bool emitting_ = false;
+    std::string line_;  ///< owner-only while building; published under the sink mutex
+};
+
+/// RAII request-identity binding for the calling thread.  An empty @p req_id
+/// binds nothing (the enclosing context, if any, stays visible).
+class log_context {
+public:
+    explicit log_context(std::string_view req_id);
+    ~log_context();
+    log_context(const log_context&) = delete;
+    log_context& operator=(const log_context&) = delete;
+
+private:
+    bool bound_ = false;
+    std::string prev_;
+};
+
+/// The req_id bound to the calling thread ("" when none).
+[[nodiscard]] const std::string& current_req_id() noexcept;
+
+namespace detail {
+/// Names the calling thread for log lines.  Called by obs::name_thread so
+/// trace tracks and log lines agree on one name per thread.
+void set_log_thread_name(std::string_view name);
+}  // namespace detail
+
+}  // namespace asynth::obs

@@ -7,11 +7,16 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 namespace asynth::obs {
 
 namespace {
+
+/// Test-only cap override (trace.hpp detail); 0 = the built-in 1M cap.
+std::atomic<std::size_t> g_test_cap{0};
 
 std::uint64_t now_ns() {
     return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -54,8 +59,17 @@ struct thread_buffer {
         }
         const std::size_t n = used.load(std::memory_order_relaxed);
         const std::size_t ci = n / chunk_events;
-        if (ci >= max_chunks) {
-            dropped.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t cap = g_test_cap.load(std::memory_order_relaxed);
+        if (ci >= max_chunks || (cap != 0 && n >= cap)) {
+            // Overflow is benign but must never be invisible: count it in the
+            // process metrics (the flamegraph already reports it per session)
+            // and warn once per thread per session when drops begin.
+            static counter& drop_metric = registry::global().get_counter(
+                "asynth_trace_dropped_total", "Spans dropped at the per-thread buffer cap");
+            drop_metric.add();
+            if (dropped.fetch_add(1, std::memory_order_relaxed) == 0)
+                log_event(log_level::warn, "trace.dropped")
+                    .field("events_kept", static_cast<std::uint64_t>(n));
             return;
         }
         chunk* c = chunks[ci].load(std::memory_order_relaxed);
@@ -144,9 +158,21 @@ void append_args_json(std::string& out, const std::vector<trace_arg>& args) {
 
 void name_thread(std::string_view name) {
     thread_buffer& b = local_buffer();
-    std::lock_guard lock(state().mutex);
-    b.name = std::string(name);
+    {
+        std::lock_guard lock(state().mutex);
+        b.name = std::string(name);
+    }
+    // One name per thread, shared by trace tracks and log lines.
+    detail::set_log_thread_name(name);
 }
+
+namespace detail {
+
+void set_trace_buffer_cap_for_testing(std::size_t max_events) {
+    g_test_cap.store(max_events, std::memory_order_relaxed);
+}
+
+}  // namespace detail
 
 trace_session::~trace_session() {
     if (armed_) stop();

@@ -51,8 +51,16 @@ struct trace_event {
 };
 
 /// Give the calling thread a human-readable track name ("worker-3") in trace
-/// exports.  Idempotent; call once near thread start.
+/// exports and structured log lines (obs/log.hpp).  Idempotent; call once
+/// near thread start.
 void name_thread(std::string_view name);
+
+namespace detail {
+/// Test-only override of the per-thread per-session span cap (0 restores the
+/// built-in 1M cap).  Exists so the overflow-drop accounting can be pinned
+/// without recording a million spans under the sanitizer job.
+void set_trace_buffer_cap_for_testing(std::size_t max_events);
+}  // namespace detail
 
 /// One tracing window: start() arms span recording process-wide, stop()
 /// disarms it and collects every thread's events into this object.  Exactly

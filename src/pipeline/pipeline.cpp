@@ -6,10 +6,12 @@
 #include <vector>
 
 #include "explore/analysis_cache.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "petri/astg_io.hpp"
 #include "util/error.hpp"
+#include "util/hash.hpp"
 
 namespace asynth {
 
@@ -83,6 +85,34 @@ void count_pipeline_run(const pipeline_result& rep, obs::span& sp) {
     total_ms.observe(rep.total_seconds * 1e3);
     sp.arg("spec", rep.spec.model_name);
     if (!rep.completed && rep.failed) sp.arg("failed_stage", stage_name(*rep.failed));
+    // Request correlation: a bound req_id (service requests, batch specs)
+    // rides on the run span and every log line below automatically.
+    if (!obs::current_req_id().empty()) sp.arg("req_id", obs::current_req_id());
+    obs::log_event(obs::log_level::info, "pipeline.run")
+        .field("spec", rep.spec.model_name)
+        .field("completed", rep.completed)
+        .field("total_ms", rep.total_seconds * 1e3);
+    if (!rep.completed && rep.failed) {
+        obs::log_event ev(obs::log_level::warn, "pipeline.stage_failed");
+        ev.field("spec", rep.spec.model_name)
+            .field("failed_stage", stage_name(*rep.failed))
+            .field("error", rep.message);
+        // The spec hash identifies the failing input even when model names
+        // collide; parse failures have no net worth hashing.
+        if (*rep.failed != pipeline_stage::parse) {
+            try {
+                const std::string canon = write_astg(rep.spec);
+                const hash128 h = hash128_bytes(canon.data(), canon.size());
+                char hex[33];
+                std::snprintf(hex, sizeof hex, "%016llx%016llx",
+                              static_cast<unsigned long long>(h.hi),
+                              static_cast<unsigned long long>(h.lo));
+                ev.field("spec_hash", hex);
+            } catch (const std::exception&) {
+                // A spec broken enough to not serialise is logged without a hash.
+            }
+        }
+    }
 }
 
 /// Stages after the spec has been provided/parsed.  Fills `rep` in place.

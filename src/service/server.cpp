@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <exception>
 #include <fstream>
 #include <memory>
 #include <mutex>
@@ -24,7 +25,9 @@
 #include <unistd.h>
 
 #include "batch/pool.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
+#include "util/version.hpp"
 
 namespace asynth::service {
 
@@ -98,13 +101,27 @@ void send_line(connection& conn, std::string line) {
     }
 }
 
-std::string error_line(std::uint64_t id, const std::string& what) {
+std::string error_line(std::uint64_t id, const std::string& what,
+                       const std::string& req_id = {}) {
     json_line line;
     line.field("op", "error");
     if (id != 0) line.field("id", id);
+    if (!req_id.empty()) line.field("req_id", req_id);
     line.field("ok", false);
     line.field("error", what);
     return std::move(line).finish();
+}
+
+/// On an unhandled exception the ring of recent log events is the flight
+/// recorder: dump it to stderr before dying so post-mortems see the last
+/// requests, not just the abort message.
+std::terminate_handler g_prev_terminate = nullptr;
+
+[[noreturn]] void terminate_with_recent_log() {
+    std::fputs("asynth serve: terminating on unhandled exception; recent events:\n", stderr);
+    obs::dump_recent_log(stderr);
+    if (g_prev_terminate) g_prev_terminate();
+    std::abort();
 }
 
 /// Wakes the poll loop (worker completions, queue transitions).
@@ -121,6 +138,8 @@ constexpr std::size_t max_inbuf = 16u << 20;
 
 int run_server(const server_options& opt) {
     const auto t_start = clock_type::now();
+    obs::name_thread("main");
+    g_prev_terminate = std::set_terminate(terminate_with_recent_log);
 
     // ---- listen socket -----------------------------------------------------
     sockaddr_un addr{};
@@ -175,6 +194,18 @@ int run_server(const server_options& opt) {
             std::printf("asynth serve: %s\n", eng.store().message().c_str());
         std::fflush(stdout);
     }
+    const std::size_t high_water =
+        opt.service.ready_high_water != 0
+            ? opt.service.ready_high_water
+            : std::max<std::size_t>(1, opt.service.queue_capacity * 3 / 4);
+    obs::log_event(obs::log_level::info, "server.start")
+        .field("socket", opt.socket_path)
+        .field("version", asynth::version_string)
+        .field("pid", static_cast<std::int64_t>(::getpid()))
+        .field("jobs", static_cast<std::uint64_t>(eng.options().jobs))
+        .field("queue_capacity", static_cast<std::uint64_t>(opt.service.queue_capacity))
+        .field("high_water", static_cast<std::uint64_t>(high_water))
+        .field("store", eng.store().enabled() ? eng.store().dir() : std::string("off"));
 
     std::mutex queue_m;
     std::condition_variable queue_cv;
@@ -238,10 +269,11 @@ int run_server(const server_options& opt) {
     auto begin_drain = [&](const char* why) {
         if (draining) return;
         draining = true;
-        if (listen_open) {
-            ::close(listen_fd);
-            listen_open = false;
-        }
+        // The listen socket stays open through the drain: supervisors keep
+        // probing health/ready on fresh connections while in-flight work
+        // finishes, and see ready:false instead of a connection refusal.
+        // Synth requests are refused with an explicit "draining" error.
+        obs::log_event(obs::log_level::info, "server.drain_begin").field("reason", why);
         if (opt.verbose) {
             std::printf("asynth serve: draining (%s)\n", why);
             std::fflush(stdout);
@@ -257,25 +289,65 @@ int run_server(const server_options& opt) {
             send_line(*conn, error_line(failed_id, error));
             return;
         }
+        // Inline ops answer from the poll thread: they never queue, so they
+        // stay responsive while every worker is busy (or while draining).
+        auto id_fields = [&](json_line& line, const char* op) {
+            line.field("op", op);
+            if (req->id != 0) line.field("id", req->id);
+            if (!req->req_id.empty()) line.field("req_id", req->req_id);
+        };
         if (req->op == "ping") {
             json_line line;
-            line.field("op", "ping");
-            if (req->id != 0) line.field("id", req->id);
+            id_fields(line, "ping");
             line.field("ok", true);
+            line.field("draining", draining);
+            line.field("uptime_s", ms_since(t_start) / 1e3);
+            line.field("version", asynth::version_string);
+            line.field("pid", static_cast<std::uint64_t>(::getpid()));
+            send_line(*conn, std::move(line).finish());
+            return;
+        }
+        if (req->op == "health") {
+            // Liveness: "the process is up and answering".  Always ok:true --
+            // a dead daemon answers nothing, which is the failure signal.
+            json_line line;
+            id_fields(line, "health");
+            line.field("ok", true);
+            line.field("uptime_s", ms_since(t_start) / 1e3);
+            line.field("version", asynth::version_string);
+            line.field("pid", static_cast<std::uint64_t>(::getpid()));
             line.field("draining", draining);
             send_line(*conn, std::move(line).finish());
             return;
         }
+        if (req->op == "ready") {
+            // Readiness: "send me traffic".  ok mirrors ready, so a probe can
+            // use the client's exit code directly (0 = ready, 1 = not).
+            std::size_t depth;
+            {
+                std::lock_guard<std::mutex> lock(queue_m);
+                depth = queue.size();
+            }
+            const char* reason = draining ? "draining" : depth >= high_water ? "queue" : "";
+            json_line line;
+            id_fields(line, "ready");
+            line.field("ok", *reason == '\0');
+            line.field("ready", *reason == '\0');
+            line.field("queue_depth", static_cast<std::uint64_t>(depth));
+            line.field("high_water", static_cast<std::uint64_t>(high_water));
+            if (*reason != '\0') line.field("reason", reason);
+            send_line(*conn, std::move(line).finish());
+            return;
+        }
         if (req->op == "stats") {
-            send_line(*conn, eng.stats_line());
+            send_line(*conn, eng.stats_line(req->want_log));
             return;
         }
         if (req->op == "metrics") {
             // Prometheus text exposition rides inside the line protocol as an
             // escaped "text" field; `asynth client --op metrics` unwraps it.
             json_line line;
-            line.field("op", "metrics");
-            if (req->id != 0) line.field("id", req->id);
+            id_fields(line, "metrics");
             line.field("ok", true);
             line.field("text", engine::metrics_text());
             send_line(*conn, std::move(line).finish());
@@ -283,23 +355,26 @@ int run_server(const server_options& opt) {
         }
         if (req->op == "shutdown") {
             json_line line;
-            line.field("op", "shutdown");
-            if (req->id != 0) line.field("id", req->id);
+            id_fields(line, "shutdown");
             line.field("ok", true);
             send_line(*conn, std::move(line).finish());
             begin_drain("shutdown request");
             return;
         }
         // op == "synth"
+        obs::log_context log_ctx(req->req_id);  // stamps the admission events below
         if (draining) {
-            send_line(*conn, error_line(req->id, "draining"));
+            send_line(*conn, error_line(req->id, "draining", req->req_id));
             return;
         }
         {
             std::lock_guard<std::mutex> lock(queue_m);
             if (queue.size() >= opt.service.queue_capacity) {
                 rejected.fetch_add(1, std::memory_order_relaxed);
-                send_line(*conn, error_line(req->id, "queue full"));
+                obs::log_event(obs::log_level::warn, "server.queue_full")
+                    .field("queue_capacity",
+                           static_cast<std::uint64_t>(opt.service.queue_capacity));
+                send_line(*conn, error_line(req->id, "queue full", req->req_id));
                 return;
             }
             conn->pending.fetch_add(1, std::memory_order_acq_rel);
@@ -428,6 +503,15 @@ int run_server(const server_options& opt) {
     ::close(wakepipe[1]);
 
     const double wall = ms_since(t_start) / 1e3;
+    {
+        const engine_stats s = eng.stats();
+        obs::log_event(obs::log_level::info, "server.drained")
+            .field("uptime_s", wall)
+            .field("requests", s.requests)
+            .field("completed", s.completed)
+            .field("failed", s.failed)
+            .field("rejected", rejected.load());
+    }
     if (!opt.report_file.empty()) {
         std::ofstream out(opt.report_file);
         out << batch::report_json(eng.drain_report(wall));
@@ -451,6 +535,7 @@ int run_server(const server_options& opt) {
                     s.queue_wait_p90_ms);
         std::fflush(stdout);
     }
+    std::set_terminate(g_prev_terminate);
     return 0;
 }
 

@@ -11,7 +11,8 @@
 //
 //   main        poll() over the listen socket, every connection and two
 //               self-pipes; owns all fds, parses lines, answers the cheap
-//               ops (ping/stats) inline and queues synth requests;
+//               ops (ping/stats/health/ready/metrics) inline and queues
+//               synth requests;
 //   dispatcher  pops the bounded queue in batches and fans them out over a
 //               persistent batch::work_stealing_pool;
 //   workers     run engine::execute() and write the response back under the
@@ -22,10 +23,12 @@
 // instead of reading ever more requests into memory -- backpressure is the
 // client's signal to retry, and an overload can never OOM the daemon.
 //
-// Graceful drain: SIGTERM/SIGINT (or an op:"shutdown" request) stops
-// accepting connections and new synth work, lets everything queued or in
-// flight finish and flush, writes the --report file if asked, removes the
-// socket and exits 0.  Because the store commits each record the moment it
+// Graceful drain: SIGTERM/SIGINT (or an op:"shutdown" request) refuses new
+// synth work ({"error":"draining"}) while the listen socket stays open, so
+// supervisors probing {"op":"health"} / {"op":"ready"} on fresh connections
+// keep getting answers (ready reports false) until everything queued or in
+// flight finishes and flushes; then the daemon writes the --report file if
+// asked, removes the socket and exits 0.  Because the store commits each record the moment it
 // is synthesised (temp-file + rename, store/result_store.hpp), killing the
 // daemon *hard* (SIGKILL) mid-request loses only the in-flight work; the
 // store is never corrupted -- the robustness tests in tests/test_store.cpp

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 #include "perf/timing.hpp"
 #include "petri/astg_io.hpp"
@@ -128,10 +129,28 @@ std::optional<request> parse_request(std::string_view line, const pipeline_optio
         req.id = static_cast<std::uint64_t>(v->num);
     // From here on a failure can still be correlated by the client.
     if (failed_id) *failed_id = req.id;
-    if (req.op == "stats" || req.op == "metrics" || req.op == "ping" || req.op == "shutdown")
+    // The string correlation id rides along on every op and is echoed in the
+    // response; its length is bounded because it lands in every log line.
+    if (const json_value* v = msg->find("req_id")) {
+        if (v->k != json_value::kind::string) {
+            error = "'req_id' must be a string";
+            return std::nullopt;
+        }
+        if (v->str.size() > 128) {
+            error = "'req_id' must be at most 128 characters";
+            return std::nullopt;
+        }
+        req.req_id = v->str;
+    }
+    if (req.op == "stats") {
+        req.want_log = msg->get_bool("log", false);
+        return req;
+    }
+    if (req.op == "metrics" || req.op == "ping" || req.op == "health" || req.op == "ready" ||
+        req.op == "shutdown")
         return req;
     if (req.op != "synth") {
-        error = "unknown op '" + req.op + "' (synth|stats|metrics|ping|shutdown)";
+        error = "unknown op '" + req.op + "' (synth|stats|metrics|ping|health|ready|shutdown)";
         return std::nullopt;
     }
     req.spec_text = msg->get_string("spec");
@@ -160,8 +179,12 @@ engine::engine(const service_options& opt) : opt_(opt) {
 }
 
 std::string engine::execute(const request& req, double queue_wait_ms) {
+    // Bind the request identity first: every log line, span arg and
+    // slow-request record emitted while serving this request carries it.
+    obs::log_context log_ctx(req.req_id);
     obs::span sp("service.request", "service");
     sp.arg("queue_ms", queue_wait_ms);
+    if (!req.req_id.empty()) sp.arg("req_id", req.req_id);
     stopwatch sw;
 
     // The parse stage runs inside run_pipeline_text; for the store key the
@@ -203,6 +226,7 @@ std::string engine::execute(const request& req, double queue_wait_ms) {
     json_line line;
     line.field("op", "synth");
     if (req.id != 0) line.field("id", req.id);
+    if (!req.req_id.empty()) line.field("req_id", req.req_id);
     if (!spec) {
         line.field("ok", false);
         line.field("error", "parse: " + parse_error);
@@ -251,9 +275,35 @@ std::string engine::execute(const request& req, double queue_wait_ms) {
     }
 
     // ---- accounting -------------------------------------------------------
+    const std::string spec_label =
+        spec ? (req.spec_name.empty() ? spec->model_name : req.spec_name) : std::string();
+    const char* store_state =
+        !store_.enabled() || req.store_bypass ? "off" : (hit ? "hit" : "miss");
     if (spec) {
-        sp.arg("spec", req.spec_name.empty() ? spec->model_name : req.spec_name);
-        sp.arg("store", !store_.enabled() || req.store_bypass ? "off" : (hit ? "hit" : "miss"));
+        sp.arg("spec", spec_label);
+        sp.arg("store", store_state);
+    }
+    {
+        obs::log_event ev(obs::log_level::info, "service.request");
+        ev.field("spec", spec_label);
+        ev.field("ok", spec && rec->completed);
+        ev.field("store", store_state);
+        ev.field("queue_ms", queue_wait_ms);
+        ev.field("service_ms", service_ms);
+        if (!spec) ev.field("error", "parse: " + parse_error);
+    }
+    // Requests over the slow threshold log their per-stage breakdown at warn
+    // level, so a tail-latency incident can be diagnosed from the log alone.
+    if (opt_.slow_ms > 0.0 && service_ms > opt_.slow_ms) {
+        obs::log_event ev(obs::log_level::warn, "service.slow_request");
+        ev.field("spec", spec_label);
+        ev.field("store", store_state);
+        ev.field("queue_ms", queue_wait_ms);
+        ev.field("service_ms", service_ms);
+        ev.field("slow_ms", opt_.slow_ms);
+        if (spec && rec)
+            for (const auto& [stage, seconds] : rec->timings)
+                ev.field("stage." + stage + "_ms", seconds * 1e3);
     }
     service_metrics& sm = svc_obs();
     sm.requests.add();
@@ -302,7 +352,7 @@ engine_stats engine::stats() const {
 
 std::string engine::metrics_text() { return obs::registry::global().prometheus_text(); }
 
-std::string engine::stats_line() const {
+std::string engine::stats_line(bool include_recent_log) const {
     const engine_stats s = stats();
     const store::store_stats ss = store_.stats();
     json_line line;
@@ -321,6 +371,18 @@ std::string engine::stats_line() const {
     line.field("queue_wait_p50_ms", s.queue_wait_p50_ms);
     line.field("queue_wait_p90_ms", s.queue_wait_p90_ms);
     line.field("queue_wait_max_ms", s.queue_wait_max_ms);
+    if (include_recent_log) {
+        // Every ring entry is a self-contained JSON object (obs/log.hpp), so
+        // the array can be assembled verbatim.
+        std::string arr = "[";
+        const auto lines = obs::recent_log_lines();
+        for (std::size_t i = 0; i < lines.size(); ++i) {
+            if (i) arr += ",";
+            arr += lines[i];
+        }
+        arr += "]";
+        line.raw("recent_log", arr);
+    }
     return std::move(line).finish();
 }
 

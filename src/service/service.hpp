@@ -43,17 +43,26 @@ struct service_options {
     std::string store_dir;         ///< result store directory; "" = no store
     std::size_t jobs = 0;          ///< synthesis workers; 0 = hardware cores
     std::size_t queue_capacity = 64;  ///< bounded request queue (daemon enforces)
+    /// Requests slower than this log their per-stage breakdown at warn level
+    /// ("service.slow_request"); 0 disables the slow-request log.
+    double slow_ms = 0.0;
+    /// Readiness high-water mark: `{"op":"ready"}` reports ready:false while
+    /// the queue holds at least this many requests.  0 = 3/4 of
+    /// queue_capacity (at least 1).
+    std::size_t ready_high_water = 0;
 };
 
 /// One parsed protocol request.
 struct request {
-    std::string op;         ///< "synth" | "stats" | "metrics" | "ping" | "shutdown"
+    std::string op;  ///< "synth" | "stats" | "metrics" | "ping" | "health" | "ready" | "shutdown"
     std::uint64_t id = 0;   ///< client-chosen correlation id, echoed back
+    std::string req_id;     ///< correlation id threaded through logs, spans and the response
     std::string spec_name;  ///< optional label for reports ("" = derived)
     std::string spec_text;  ///< astg text (op == "synth")
     pipeline_options options;  ///< defaults merged with request overrides
     bool store_bypass = false;  ///< "no_store": skip lookup AND fill
     bool want_astg = false;     ///< "astg": include recovered STG text in the response
+    bool want_log = false;      ///< "log" (op stats): include the recent-events ring
 };
 
 /// Parses one request line against @p defaults.  Returns nullopt and fills
@@ -99,8 +108,10 @@ public:
     /// the queue-wait percentiles.
     [[nodiscard]] std::string execute(const request& req, double queue_wait_ms);
 
-    /// One-line JSON stats response (op "stats").
-    [[nodiscard]] std::string stats_line() const;
+    /// One-line JSON stats response (op "stats").  With
+    /// @p include_recent_log the response embeds the logger's bounded ring of
+    /// recent events as a `recent_log` array of JSON objects.
+    [[nodiscard]] std::string stats_line(bool include_recent_log = false) const;
 
     /// Prometheus text exposition of the process-wide metrics registry
     /// (op "metrics").  The engine pre-registers the store and queue-wait

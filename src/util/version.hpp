@@ -1,0 +1,10 @@
+// The process version string, surfaced by the daemon's health/ping ops so
+// fleet tooling can fingerprint running daemons (docs/SERVICE.md).  Keep in
+// sync with the project VERSION in CMakeLists.txt.
+#pragma once
+
+namespace asynth {
+
+inline constexpr const char* version_string = "0.1.0";
+
+}  // namespace asynth

@@ -1,0 +1,283 @@
+// Structured logging: level names and runtime filtering, the one-fwrite-per-
+// line no-torn-lines guarantee under 8 concurrent emitters, the bounded
+// recent-events ring (wraparound, oldest-first snapshots, crash dump), field
+// escaping, and req_id scoping -- including the nested-context restore and
+// the pipeline run span picking up the bound id.
+//
+// The logger is process-global (one sink, one ring); every test that reads
+// the sink opens its own fresh file first, and every test that reads the
+// ring emits enough to own its tail.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "benchmarks/corpus.hpp"
+#include "obs/log.hpp"
+#include "obs/trace.hpp"
+#include "pipeline/pipeline.hpp"
+#include "service/json.hpp"
+
+using namespace asynth;
+
+namespace {
+
+/// A unique log-file path per test; removed on destruction.
+struct temp_log {
+    std::string path;
+    explicit temp_log(const char* tag) {
+        path = (std::filesystem::temp_directory_path() /
+                (std::string("asynth_log_") + tag + "_" + std::to_string(::getpid()) + ".log"))
+                   .string();
+        std::filesystem::remove(path);
+        std::string err;
+        if (!obs::open_log_file(path, err)) throw std::runtime_error(err);
+    }
+    ~temp_log() { std::filesystem::remove(path); }
+
+    [[nodiscard]] std::vector<std::string> lines() const {
+        std::ifstream in(path);
+        std::vector<std::string> out;
+        for (std::string line; std::getline(in, line);) out.push_back(line);
+        return out;
+    }
+};
+
+/// Asserts @p line is one self-contained JSON object with the schema fields
+/// every log line must carry, and returns the parse.
+service::json_value parse_line(const std::string& line) {
+    auto v = service::json_parse(line);
+    EXPECT_TRUE(v.has_value()) << "unparsable log line: " << line;
+    if (!v) return {};
+    for (const char* key : {"ts", "mono_ms", "level", "thread", "event"})
+        EXPECT_NE(v->find(key), nullptr) << "missing '" << key << "' in: " << line;
+    return *v;
+}
+
+}  // namespace
+
+TEST(obs_log, level_names_round_trip) {
+    using obs::log_level;
+    for (log_level l : {log_level::debug, log_level::info, log_level::warn, log_level::error,
+                        log_level::off}) {
+        auto back = obs::level_from_name(obs::level_name(l));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, l);
+    }
+    EXPECT_FALSE(obs::level_from_name("verbose").has_value());
+    EXPECT_FALSE(obs::level_from_name("").has_value());
+}
+
+TEST(obs_log, filtering_drops_below_the_configured_level) {
+    temp_log sink("filter");
+    obs::set_log_level(obs::log_level::warn);
+    EXPECT_FALSE(obs::log_enabled(obs::log_level::debug));
+    EXPECT_FALSE(obs::log_enabled(obs::log_level::info));
+    EXPECT_TRUE(obs::log_enabled(obs::log_level::warn));
+    EXPECT_TRUE(obs::log_enabled(obs::log_level::error));
+
+    obs::log_event(obs::log_level::debug, "dropped.debug").field("k", std::uint64_t{1});
+    obs::log_event(obs::log_level::info, "dropped.info");
+    obs::log_event(obs::log_level::warn, "kept.warn").field("k", std::uint64_t{2});
+    obs::log_event(obs::log_level::error, "kept.error");
+
+    obs::set_log_level(obs::log_level::off);
+    obs::log_event(obs::log_level::error, "dropped.even.errors");
+    obs::set_log_level(obs::log_level::warn);
+
+    const auto lines = sink.lines();
+    ASSERT_EQ(lines.size(), 2u);
+    auto warn = parse_line(lines[0]);
+    EXPECT_EQ(warn.find("event")->str, "kept.warn");
+    EXPECT_EQ(warn.find("level")->str, "warn");
+    EXPECT_EQ(warn.find("k")->num, 2.0);
+    EXPECT_EQ(parse_line(lines[1]).find("level")->str, "error");
+}
+
+TEST(obs_log, field_types_and_escaping_survive_the_parser) {
+    temp_log sink("escape");
+    obs::set_log_level(obs::log_level::info);
+    obs::log_event(obs::log_level::info, "typed")
+        .field("s", "quote\"back\\slash\nnewline\ttab")
+        .field("u", std::uint64_t{18446744073709551615ull})
+        .field("i", std::int64_t{-42})
+        .field("d", 2.5)
+        .field("b", true);
+    const auto lines = sink.lines();
+    ASSERT_EQ(lines.size(), 1u);
+    auto v = parse_line(lines[0]);
+    EXPECT_EQ(v.find("s")->str, "quote\"back\\slash\nnewline\ttab");
+    EXPECT_EQ(v.find("i")->num, -42.0);
+    EXPECT_EQ(v.find("d")->num, 2.5);
+    EXPECT_TRUE(v.find("b")->b);
+    // The thread track name is stable across lines from one thread.
+    EXPECT_FALSE(v.find("thread")->str.empty());
+}
+
+TEST(obs_log, eight_thread_stress_produces_no_torn_lines) {
+    temp_log sink("stress");
+    obs::set_log_level(obs::log_level::info);
+    constexpr int kThreads = 8, kEvents = 400;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t)
+        threads.emplace_back([t] {
+            for (int i = 0; i < kEvents; ++i)
+                obs::log_event(obs::log_level::info, "stress.event")
+                    .field("payload", "p-" + std::to_string(t) + "-" + std::to_string(i))
+                    .field("i", static_cast<std::uint64_t>(i));
+        });
+    for (auto& t : threads) t.join();
+
+    const auto lines = sink.lines();
+    ASSERT_EQ(lines.size(), std::size_t{kThreads} * kEvents);
+    std::set<std::string> payloads;
+    for (const auto& line : lines) {
+        // Byte-exact structure: parses as a single object, schema complete.
+        auto v = parse_line(line);
+        ASSERT_NE(v.find("payload"), nullptr) << line;
+        payloads.insert(v.find("payload")->str);
+    }
+    // Every emitted payload arrived exactly once -- no interleaving ate one.
+    EXPECT_EQ(payloads.size(), std::size_t{kThreads} * kEvents);
+}
+
+TEST(obs_log, ring_wraps_and_snapshots_oldest_first) {
+    temp_log sink("ring");
+    obs::set_log_level(obs::log_level::info);
+    const std::size_t cap = obs::log_ring_capacity();
+    ASSERT_GT(cap, 0u);
+    const std::size_t total = cap + 44;
+    for (std::size_t i = 0; i < total; ++i)
+        obs::log_event(obs::log_level::info, "ring.ev")
+            .field("i", static_cast<std::uint64_t>(i));
+
+    const auto recent = obs::recent_log_lines();
+    ASSERT_EQ(recent.size(), cap);
+    // Oldest-first: entry 0 is event (total - cap), the last is event total-1.
+    auto first = service::json_parse(recent.front());
+    auto last = service::json_parse(recent.back());
+    ASSERT_TRUE(first && last);
+    EXPECT_EQ(first->find("i")->num, static_cast<double>(total - cap));
+    EXPECT_EQ(last->find("i")->num, static_cast<double>(total - 1));
+    // Ring entries are self-contained objects with no trailing newline, so
+    // they can be embedded verbatim in a JSON array (the stats op does).
+    for (const auto& entry : recent) {
+        EXPECT_EQ(entry.find('\n'), std::string::npos);
+        parse_line(entry);
+    }
+}
+
+TEST(obs_log, dump_recent_log_writes_the_ring) {
+    temp_log sink("dump");
+    obs::set_log_level(obs::log_level::info);
+    obs::log_event(obs::log_level::info, "dump.me").field("tag", "dump-tag-1");
+
+    std::FILE* out = std::tmpfile();
+    ASSERT_NE(out, nullptr);
+    obs::dump_recent_log(out);
+    std::fflush(out);
+    std::rewind(out);
+    std::string text;
+    char buf[4096];
+    for (std::size_t n; (n = std::fread(buf, 1, sizeof buf, out)) > 0;) text.append(buf, n);
+    std::fclose(out);
+    EXPECT_NE(text.find("dump-tag-1"), std::string::npos);
+    // One line per ring entry, each a complete object.
+    std::istringstream lines(text);
+    std::size_t count = 0;
+    for (std::string line; std::getline(lines, line); ++count) parse_line(line);
+    EXPECT_GT(count, 0u);
+    EXPECT_LE(count, obs::log_ring_capacity());
+}
+
+TEST(obs_log, req_id_contexts_nest_and_restore) {
+    temp_log sink("ctx");
+    obs::set_log_level(obs::log_level::info);
+    EXPECT_EQ(obs::current_req_id(), "");
+    {
+        obs::log_context outer("outer-1");
+        EXPECT_EQ(obs::current_req_id(), "outer-1");
+        obs::log_event(obs::log_level::info, "ctx.outer");
+        {
+            obs::log_context inner("inner-2");
+            EXPECT_EQ(obs::current_req_id(), "inner-2");
+            obs::log_event(obs::log_level::info, "ctx.inner");
+            {
+                // An empty binding is a no-op: the inner id stays visible,
+                // mirroring requests that carry no req_id.
+                obs::log_context noop("");
+                EXPECT_EQ(obs::current_req_id(), "inner-2");
+            }
+        }
+        EXPECT_EQ(obs::current_req_id(), "outer-1");
+        obs::log_event(obs::log_level::info, "ctx.outer.again");
+    }
+    EXPECT_EQ(obs::current_req_id(), "");
+    obs::log_event(obs::log_level::info, "ctx.none");
+
+    const auto lines = sink.lines();
+    ASSERT_EQ(lines.size(), 4u);
+    EXPECT_EQ(parse_line(lines[0]).find("req_id")->str, "outer-1");
+    EXPECT_EQ(parse_line(lines[1]).find("req_id")->str, "inner-2");
+    EXPECT_EQ(parse_line(lines[2]).find("req_id")->str, "outer-1");
+    EXPECT_EQ(parse_line(lines[3]).find("req_id"), nullptr);
+}
+
+TEST(obs_log, contexts_are_thread_local) {
+    obs::log_context mine("main-thread-id");
+    std::string seen = "unset";
+    std::thread other([&] { seen = obs::current_req_id(); });
+    other.join();
+    EXPECT_EQ(seen, "");
+    EXPECT_EQ(obs::current_req_id(), "main-thread-id");
+}
+
+TEST(obs_log, pipeline_run_carries_the_bound_req_id_in_span_and_log) {
+    temp_log sink("pipe");
+    obs::set_log_level(obs::log_level::info);
+    stg spec;
+    for (const auto& e : benchmarks::corpus_table())
+        if (std::string_view(e.name) == "fig1") spec = e.make();
+    ASSERT_FALSE(spec.model_name.empty());
+
+    obs::trace_session session;
+    session.start();
+    {
+        obs::log_context ctx("it-77");
+        auto result = run_pipeline(spec);
+        EXPECT_TRUE(result.completed);
+    }
+    session.stop();
+
+    // The run span advertises the id so trace viewers can join with logs.
+    bool span_seen = false;
+    for (const auto& ev : session.events())
+        if (ev.name == "pipeline")
+            for (const auto& a : ev.args)
+                if (a.key == "req_id") {
+                    EXPECT_EQ(a.value, "it-77");
+                    span_seen = true;
+                }
+    EXPECT_TRUE(span_seen);
+
+    // So does the pipeline.run log line.
+    bool line_seen = false;
+    for (const auto& line : sink.lines()) {
+        auto v = service::json_parse(line);
+        if (v && v->find("event") && v->find("event")->str == "pipeline.run") {
+            ASSERT_NE(v->find("req_id"), nullptr) << line;
+            EXPECT_EQ(v->find("req_id")->str, "it-77");
+            line_seen = true;
+        }
+    }
+    EXPECT_TRUE(line_seen);
+}

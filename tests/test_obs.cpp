@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -342,4 +343,29 @@ TEST(obs_trace, per_thread_buffers_collect_across_threads) {
     std::sort(tids.begin(), tids.end());
     tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
     EXPECT_EQ(tids.size(), std::size_t{kThreads});
+}
+
+TEST(obs_trace, buffer_overflow_counts_drops_in_session_metric_and_log) {
+    // Pin the per-thread cap low so the overflow path runs without recording
+    // a million spans under the sanitizer job; 0 restores the built-in cap.
+    obs::detail::set_trace_buffer_cap_for_testing(64);
+    obs::counter& dropped_total = obs::registry::global().get_counter(
+        "asynth_trace_dropped_total", "Spans dropped at the per-thread buffer cap");
+    const std::uint64_t before = dropped_total.value();
+
+    obs::trace_session session;
+    session.start();
+    for (int i = 0; i < 100; ++i) obs::span sp("overflow", "test");
+    session.stop();
+    obs::detail::set_trace_buffer_cap_for_testing(0);
+
+    EXPECT_EQ(session.events().size(), 64u);
+    EXPECT_EQ(session.dropped(), 36u);
+    // The process metric accumulated exactly the drops of this session...
+    EXPECT_EQ(dropped_total.value() - before, 36u);
+    // ...and the first drop emitted one warn event into the recent ring.
+    bool warned = false;
+    for (const auto& line : obs::recent_log_lines())
+        if (line.find("\"event\":\"trace.dropped\"") != std::string::npos) warned = true;
+    EXPECT_TRUE(warned);
 }

@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include "benchmarks/corpus.hpp"
+#include "obs/log.hpp"
 #include "petri/astg_io.hpp"
 #include "service/json.hpp"
 #include "service/server.hpp"
@@ -422,4 +423,136 @@ TEST(service_server, serves_concurrent_clients_and_drains_on_shutdown) {
     server.join();
     EXPECT_EQ(server_rc, 0);
     EXPECT_FALSE(std::filesystem::exists(socket_path));  // socket removed on drain
+}
+
+// ---- request correlation, health and readiness ------------------------------
+
+TEST(service_request, req_id_parses_validates_and_threads_through) {
+    const pipeline_options defaults;
+    std::string error;
+
+    auto ping = service::parse_request(R"({"op":"ping","req_id":"abc-123"})", defaults, error);
+    ASSERT_TRUE(ping.has_value()) << error;
+    EXPECT_EQ(ping->req_id, "abc-123");
+
+    for (const char* op : {"health", "ready"}) {
+        auto req = service::parse_request(std::string(R"({"op":")") + op + R"("})", defaults,
+                                          error);
+        ASSERT_TRUE(req.has_value()) << op << ": " << error;
+        EXPECT_EQ(req->op, op);
+    }
+
+    // op stats may ask for the recent-events ring.
+    auto stats = service::parse_request(R"({"op":"stats","log":true})", defaults, error);
+    ASSERT_TRUE(stats.has_value()) << error;
+    EXPECT_TRUE(stats->want_log);
+    auto plain = service::parse_request(R"({"op":"stats"})", defaults, error);
+    ASSERT_TRUE(plain.has_value()) << error;
+    EXPECT_FALSE(plain->want_log);
+
+    // Hostile req_ids are structured errors, never truncated or coerced.
+    const std::string too_long(129, 'x');
+    EXPECT_FALSE(service::parse_request(R"({"op":"ping","req_id":")" + too_long + R"("})",
+                                        defaults, error)
+                     .has_value());
+    EXPECT_NE(error.find("req_id"), std::string::npos);
+    EXPECT_FALSE(
+        service::parse_request(R"({"op":"ping","req_id":7})", defaults, error).has_value());
+}
+
+TEST(service_engine, response_echoes_req_id_and_stats_embeds_recent_log) {
+    obs::set_log_level(obs::log_level::info);
+    service::service_options opt;  // no store
+    opt.jobs = 1;
+    service::engine eng(opt);
+
+    auto req = synth_request(benchmarks::lr_process(), opt.pipeline);
+    req.req_id = "corr-42";
+    auto resp = json_parse(eng.execute(req, 0.0));
+    obs::set_log_level(obs::log_level::warn);
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->get_string("req_id"), "corr-42");
+
+    // The per-request service.request event landed in the ring with the same
+    // id, and stats can dump the ring as a JSON array.
+    auto stats = json_parse(eng.stats_line(true));
+    ASSERT_TRUE(stats.has_value());
+    const service::json_value* ring = stats->find("recent_log");
+    ASSERT_NE(ring, nullptr);
+    ASSERT_EQ(ring->k, service::json_value::kind::array);
+    bool correlated = false;
+    for (const auto& entry : ring->arr)
+        if (entry.get_string("event") == "service.request" &&
+            entry.get_string("req_id") == "corr-42")
+            correlated = true;
+    EXPECT_TRUE(correlated);
+    // Without the flag the response stays lean.
+    auto lean = json_parse(eng.stats_line());
+    ASSERT_TRUE(lean.has_value());
+    EXPECT_FALSE(lean->has("recent_log"));
+}
+
+TEST(service_server, health_ready_and_req_id_echo_over_the_socket) {
+    const std::string socket_path = "svc_probe_" + std::to_string(::getpid()) + ".sock";
+    service::server_options opt;
+    opt.socket_path = socket_path;
+    opt.service.jobs = 1;
+    opt.service.queue_capacity = 8;
+    opt.verbose = false;
+
+    int server_rc = -1;
+    std::thread server([&] { server_rc = service::run_server(opt); });
+    service::client_options cl;
+    cl.socket_path = socket_path;
+
+    {
+        std::string resp;
+        ASSERT_EQ(service::run_client(cl, R"({"op":"health","req_id":"probe-h"})", resp), 0)
+            << resp;
+        auto v = json_parse(resp);
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(v->get_string("req_id"), "probe-h");
+        EXPECT_GE(v->get_number("uptime_s"), 0.0);
+        EXPECT_FALSE(v->get_string("version").empty());
+        EXPECT_GT(v->get_number("pid"), 0.0);
+        EXPECT_FALSE(v->get_bool("draining", true));
+    }
+    {
+        std::string resp;
+        ASSERT_EQ(service::run_client(cl, R"({"op":"ready"})", resp), 0) << resp;
+        auto v = json_parse(resp);
+        ASSERT_TRUE(v.has_value());
+        EXPECT_TRUE(v->get_bool("ready"));
+        EXPECT_EQ(v->get_number("queue_depth"), 0.0);
+        EXPECT_EQ(v->get_number("high_water"), 6.0);  // 3/4 of 8
+        EXPECT_FALSE(v->has("reason"));
+    }
+    {
+        // Ping carries the same fleet-fingerprint fields as health.
+        std::string resp;
+        ASSERT_EQ(service::run_client(cl, R"({"op":"ping"})", resp), 0) << resp;
+        auto v = json_parse(resp);
+        ASSERT_TRUE(v.has_value());
+        EXPECT_GE(v->get_number("uptime_s"), 0.0);
+        EXPECT_FALSE(v->get_string("version").empty());
+        EXPECT_GT(v->get_number("pid"), 0.0);
+    }
+    {
+        // A synth request's req_id comes back on its response.
+        service::json_line line;
+        line.field("op", "synth");
+        line.field("req_id", "probe-s1");
+        line.field("spec", write_astg(benchmarks::lr_process()));
+        std::string resp;
+        ASSERT_EQ(service::run_client(cl, std::move(line).finish(), resp), 0) << resp;
+        auto v = json_parse(resp);
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(v->get_string("req_id"), "probe-s1");
+    }
+    {
+        std::string resp;
+        ASSERT_EQ(service::run_client(cl, R"({"op":"shutdown"})", resp), 0) << resp;
+    }
+    server.join();
+    EXPECT_EQ(server_rc, 0);
 }

@@ -29,6 +29,7 @@
 //   asynth fuzz --budget 60 --seed 1 --oracle all --dir cex/
 //   asynth fuzz --replay cex/cex_engines_s1_i0.g
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,10 +40,13 @@
 #include <thread>
 #include <vector>
 
+#include <unistd.h>
+
 #include "batch/batch.hpp"
 #include "benchmarks/corpus.hpp"
 #include "benchmarks/generate.hpp"
 #include "fuzz/fuzz.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 #include "petri/astg_io.hpp"
 #include "pipeline/pipeline.hpp"
@@ -108,6 +112,10 @@ void print_usage(std::FILE* to) {
                  "  --trace <file>        record a Chrome-trace of the run (load in Perfetto /\n"
                  "                        chrome://tracing) and print a text flamegraph\n"
                  "                        (docs/OBSERVABILITY.md)\n"
+                 "  --log-level <l>       debug | info | warn | error | off; structured JSON\n"
+                 "                        event lines below this level are dropped\n"
+                 "                        (default warn; docs/OBSERVABILITY.md)\n"
+                 "  --log-file <file>     append structured log lines there instead of stderr\n"
                  "  --print-spec          echo the parsed specification before running\n"
                  "  -q, --quiet           only print errors (exit code carries the result)\n"
                  "  -h, --help            this message\n"
@@ -145,6 +153,9 @@ void print_usage(std::FILE* to) {
                  "                        checkpointed there whenever a spec fails\n"
                  "  --trace <file>        record a Chrome-trace of the sweep (per-worker\n"
                  "                        tracks) and print a text flamegraph\n"
+                 "  --log-level <l>       structured log filter (default warn); each spec's\n"
+                 "                        lines carry a req_id derived from its store key\n"
+                 "  --log-file <file>     append structured log lines there instead of stderr\n"
                  "  -q, --quiet           suppress the per-spec table\n"
                  "\n"
                  "fuzz subcommand (differential fuzzing; see docs/FUZZING.md):\n"
@@ -175,18 +186,29 @@ void print_usage(std::FILE* to) {
                  "  --report <file>       write a batch-format report on drain\n"
                  "  --trace <dir>         write one Chrome-trace file per drained request\n"
                  "                        batch into <dir> (trace_batch_<n>.json)\n"
+                 "  --log-level <l>       structured log filter (default info for daemons)\n"
+                 "  --log-file <file>     append structured log lines there instead of stderr\n"
+                 "  --slow-ms <ms>        log a warn-level per-stage breakdown for requests\n"
+                 "                        slower than this (default: off)\n"
+                 "  --high-water <n>      op:\"ready\" reports ready:false at this queue depth\n"
+                 "                        (default: 3/4 of --queue)\n"
                  "  -q, --quiet           suppress lifecycle output\n"
-                 "  SIGTERM/SIGINT (or an op:\"shutdown\" request) drain gracefully:\n"
-                 "  queued work finishes, responses flush, exit code 0.\n"
+                 "  SIGTERM/SIGINT (or an op:\"shutdown\" request) drain gracefully: queued\n"
+                 "  work finishes, responses flush, exit code 0; health/ready probes keep\n"
+                 "  answering (ready:false) until the drain completes.\n"
                  "\n"
                  "client subcommand (one request per invocation, line-JSON protocol):\n"
                  "  --socket <path>       daemon socket (default asynth.sock)\n"
-                 "  --op <op>             synth | stats | metrics | ping | shutdown (default\n"
-                 "                        synth); op metrics prints the daemon's Prometheus\n"
-                 "                        text exposition\n"
+                 "  --op <op>             synth | stats | metrics | ping | health | ready |\n"
+                 "                        shutdown (default synth); op metrics prints the\n"
+                 "                        daemon's Prometheus text exposition; op ready's\n"
+                 "                        exit code is the readiness verdict (0 = ready)\n"
                  "  <spec.g> | --corpus <name>   specification for op synth\n"
                  "  --name <label>        spec label in the daemon's report\n"
                  "  --id <n>              correlation id echoed in the response\n"
+                 "  --req-id <s>          request id threaded through the daemon's log lines,\n"
+                 "                        trace spans and the response (<= 128 chars;\n"
+                 "                        generated for op synth when omitted)\n"
                  "  --w <x> | --strategy <s>     per-request option overrides\n"
                  "  --out <file>          write the recovered (reduced) STG returned by the\n"
                  "                        daemon as astg text (op synth)\n"
@@ -267,6 +289,42 @@ void print_usage(std::FILE* to) {
     return false;
 }
 
+/// Parses a --log-level value; prints a diagnostic and returns false on typos.
+[[nodiscard]] bool parse_log_level(const char* s, obs::log_level& out) {
+    if (auto lvl = obs::level_from_name(s)) {
+        out = *lvl;
+        return true;
+    }
+    std::fprintf(stderr, "asynth: unknown log level '%s' (debug | info | warn | error | off)\n",
+                 s);
+    return false;
+}
+
+/// Applies --log-level / --log-file; an unopenable log file is a usage error
+/// (the user asked for a capture that cannot happen).
+[[nodiscard]] bool configure_logging(obs::log_level lvl, const std::string& file) {
+    obs::set_log_level(lvl);
+    if (file.empty()) return true;
+    std::string err;
+    if (!obs::open_log_file(file, err)) {
+        std::fprintf(stderr, "asynth: %s\n", err.c_str());
+        return false;
+    }
+    return true;
+}
+
+/// A locally-unique request correlation id for `asynth client` when the user
+/// did not pass --req-id: pid + monotonic nanoseconds.
+[[nodiscard]] std::string generate_req_id() {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now().time_since_epoch())
+                        .count();
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "c%x-%llx", static_cast<unsigned>(::getpid()),
+                  static_cast<unsigned long long>(ns));
+    return buf;
+}
+
 /// `asynth batch`: embedded corpus + generated workload through run_batch().
 /// Exit code 0 only when every spec completed (a CSC "no circuit" verdict
 /// still counts as completed -- the verdict is the result).
@@ -276,7 +334,8 @@ int run_batch_cli(int argc, char** argv) {
     uint64_t seed = 1;
     std::size_t count = 64;
     bool use_corpus = true, quiet = false;
-    std::string report_file, store_dir, trace_file;
+    std::string report_file, store_dir, trace_file, log_file;
+    obs::log_level log_lvl = obs::log_level::warn;
 
     auto need_value = [&](int& i, const char* flag) -> const char* {
         if (i + 1 >= argc) {
@@ -356,6 +415,10 @@ int run_batch_cli(int argc, char** argv) {
             report_file = need_value(i, "--report");
         } else if (arg == "--trace") {
             trace_file = need_value(i, "--trace");
+        } else if (arg == "--log-level") {
+            if (!parse_log_level(need_value(i, "--log-level"), log_lvl)) return 2;
+        } else if (arg == "--log-file") {
+            log_file = need_value(i, "--log-file");
         } else if (arg == "-q" || arg == "--quiet") {
             quiet = true;
         } else {
@@ -368,6 +431,7 @@ int run_batch_cli(int argc, char** argv) {
         std::fprintf(stderr, "asynth batch: --deadline requires --quality anytime\n");
         return 2;
     }
+    if (!configure_logging(log_lvl, log_file)) return 2;
     // --report doubles as the failure-checkpoint path: a sweep that dies
     // mid-corpus still leaves the finished rows there (batch/batch.hpp).
     opt.checkpoint_file = report_file;
@@ -599,6 +663,10 @@ int run_fuzz_cli(int argc, char** argv) {
 /// `asynth serve`: the synthesis daemon (service/server.hpp).
 int run_serve_cli(int argc, char** argv) {
     service::server_options opt;
+    // Daemons default to info so the lifecycle and per-request events land in
+    // the journal; one-shot commands stay at warn.
+    obs::log_level log_lvl = obs::log_level::info;
+    std::string log_file;
     auto need_value = [&](int& i, const char* flag) -> const char* {
         if (i + 1 >= argc) {
             std::fprintf(stderr, "asynth serve: %s requires a value\n", flag);
@@ -628,6 +696,25 @@ int run_serve_cli(int argc, char** argv) {
             opt.report_file = need_value(i, "--report");
         } else if (arg == "--trace") {
             opt.trace_dir = need_value(i, "--trace");
+        } else if (arg == "--log-level") {
+            if (!parse_log_level(need_value(i, "--log-level"), log_lvl)) return 2;
+        } else if (arg == "--log-file") {
+            log_file = need_value(i, "--log-file");
+        } else if (arg == "--slow-ms") {
+            double t = 0;
+            if (!parse_double(need_value(i, "--slow-ms"), t) || !(t > 0)) {
+                std::fprintf(stderr, "asynth serve: --slow-ms expects milliseconds > 0\n");
+                return 2;
+            }
+            opt.service.slow_ms = t;
+        } else if (arg == "--high-water") {
+            if (!parse_size("--high-water", need_value(i, "--high-water"),
+                            opt.service.ready_high_water))
+                return 2;
+            if (opt.service.ready_high_water == 0) {
+                std::fprintf(stderr, "asynth serve: --high-water must be at least 1\n");
+                return 2;
+            }
         } else if (arg == "-q" || arg == "--quiet") {
             opt.verbose = false;
         } else {
@@ -635,13 +722,18 @@ int run_serve_cli(int argc, char** argv) {
             return 2;
         }
     }
+    if (opt.service.ready_high_water > opt.service.queue_capacity) {
+        std::fprintf(stderr, "asynth serve: --high-water cannot exceed --queue\n");
+        return 2;
+    }
+    if (!configure_logging(log_lvl, log_file)) return 2;
     return service::run_server(opt);
 }
 
 /// `asynth client`: builds one protocol line, sends it, prints the response.
 int run_client_cli(int argc, char** argv) {
     service::client_options opt;
-    std::string op = "synth", corpus_name, input_file, name, out_file;
+    std::string op = "synth", corpus_name, input_file, name, out_file, req_id;
     std::size_t id = 0;
     bool quiet = false, no_store = false;
     double w = -1.0;
@@ -669,6 +761,12 @@ int run_client_cli(int argc, char** argv) {
             name = need_value(i, "--name");
         } else if (arg == "--id") {
             if (!parse_size("--id", need_value(i, "--id"), id)) return 2;
+        } else if (arg == "--req-id") {
+            req_id = need_value(i, "--req-id");
+            if (req_id.empty() || req_id.size() > 128) {
+                std::fprintf(stderr, "asynth client: --req-id must be 1..128 characters\n");
+                return 2;
+            }
         } else if (arg == "--w") {
             if (!parse_double(need_value(i, "--w"), w) || w < 0 || w > 1) {
                 std::fprintf(stderr, "asynth client: --w expects a number in [0,1]\n");
@@ -701,9 +799,15 @@ int run_client_cli(int argc, char** argv) {
         }
     }
 
+    // Every synth request carries a correlation id (user-chosen or generated)
+    // so its log lines, spans and response can be joined; other ops only echo
+    // an explicit --req-id.
+    if (req_id.empty() && op == "synth") req_id = generate_req_id();
+
     service::json_line line;
     line.field("op", op);
     if (id != 0) line.field("id", static_cast<std::uint64_t>(id));
+    if (!req_id.empty()) line.field("req_id", req_id);
     if (op == "synth") {
         std::string spec_text;
         if (input_file.empty() == corpus_name.empty()) {
@@ -790,7 +894,8 @@ int main(int argc, char** argv) {
     if (argc > 1 && std::strcmp(argv[1], "serve") == 0) return run_serve_cli(argc, argv);
     if (argc > 1 && std::strcmp(argv[1], "client") == 0) return run_client_cli(argc, argv);
     pipeline_options opt;
-    std::string input_file, corpus_name, out_file, dot_file, trace_file;
+    std::string input_file, corpus_name, out_file, dot_file, trace_file, log_file;
+    obs::log_level log_lvl = obs::log_level::warn;
     std::vector<std::string> emit_backends;
     bool quiet = false, print_spec = false;
 
@@ -886,6 +991,10 @@ int main(int argc, char** argv) {
             dot_file = need_value(i, "--dot");
         } else if (arg == "--trace") {
             trace_file = need_value(i, "--trace");
+        } else if (arg == "--log-level") {
+            if (!parse_log_level(need_value(i, "--log-level"), log_lvl)) return 2;
+        } else if (arg == "--log-file") {
+            log_file = need_value(i, "--log-file");
         } else if (arg == "--print-spec") {
             print_spec = true;
         } else if (arg == "-q" || arg == "--quiet") {
@@ -912,6 +1021,7 @@ int main(int argc, char** argv) {
     }
     // --out needs the recovered STG, so it overrides --no-recover.
     if (!out_file.empty()) opt.recover_stg = true;
+    if (!configure_logging(log_lvl, log_file)) return 2;
 
     obs::trace_session session;
     if (!trace_file.empty()) {

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validate structured log files emitted by `asynth --log-file` (obs/log.hpp).
+
+Checks the contract every consumer (journald shippers, jq pipelines, the
+daemon's stats op) relies on:
+
+  * every line parses as exactly one self-contained JSON object -- a torn or
+    interleaved line is a logger concurrency bug, never tolerable noise;
+  * every line carries the schema fields ts, mono_ms, level, thread, event,
+    with ts/mono_ms numeric and level one of debug|info|warn|error;
+  * per thread, mono_ms is monotone non-decreasing in file order (lines of
+    one thread are emitted under the sink mutex in construction order);
+  * with --responses FILE..., every response JSON that carries a req_id has
+    at least one log line carrying the same req_id -- the end-to-end
+    correlation contract (docs/OBSERVABILITY.md).
+
+Exit code 0 = valid, 1 = invariant violation, 2 = usage/IO error.
+
+Example:
+    asynth batch --count 4 --log-level info --log-file events.log -q
+    python3 tools/check_log_lines.py events.log
+    python3 tools/check_log_lines.py serve.log --responses resp_*.json
+"""
+
+import json
+import sys
+
+REQUIRED = ("ts", "mono_ms", "level", "thread", "event")
+LEVELS = {"debug", "info", "warn", "error"}
+
+
+def fail(where, message):
+    print(f"{where}: {message}", file=sys.stderr)
+    return False
+
+
+def check_log(path):
+    try:
+        with open(path) as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        print(f"{path}: cannot read: {e}", file=sys.stderr)
+        sys.exit(2)
+
+    ok = True
+    req_ids = set()
+    last_mono = {}  # thread -> last mono_ms seen
+    for n, line in enumerate(lines, 1):
+        where = f"{path}:{n}"
+        if not line:
+            ok = fail(where, "empty line")
+            continue
+        try:
+            ev = json.loads(line)
+        except ValueError as e:
+            ok = fail(where, f"not a JSON object: {e}")
+            continue
+        if not isinstance(ev, dict):
+            ok = fail(where, "line is not a JSON object")
+            continue
+        missing = [k for k in REQUIRED if k not in ev]
+        if missing:
+            ok = fail(where, f"missing required fields: {', '.join(missing)}")
+            continue
+        if not isinstance(ev["ts"], (int, float)) or not isinstance(
+            ev["mono_ms"], (int, float)
+        ):
+            ok = fail(where, "ts/mono_ms must be numeric")
+            continue
+        if ev["level"] not in LEVELS:
+            ok = fail(where, f"unknown level {ev['level']!r}")
+            continue
+        if not isinstance(ev["event"], str) or not ev["event"]:
+            ok = fail(where, "event must be a non-empty string")
+            continue
+        thread = ev["thread"]
+        if ev["mono_ms"] < last_mono.get(thread, float("-inf")):
+            ok = fail(where, f"mono_ms went backwards on thread {thread!r}")
+        last_mono[thread] = ev["mono_ms"]
+        if isinstance(ev.get("req_id"), str):
+            req_ids.add(ev["req_id"])
+    if not lines:
+        ok = fail(path, "log file is empty")
+    return ok, req_ids
+
+
+def check_responses(paths, logged_ids):
+    ok = True
+    for path in paths:
+        try:
+            with open(path) as f:
+                text = f.read().strip()
+        except OSError as e:
+            print(f"{path}: cannot read: {e}", file=sys.stderr)
+            sys.exit(2)
+        try:
+            resp = json.loads(text.splitlines()[0]) if text else {}
+        except ValueError as e:
+            ok = fail(path, f"response is not JSON: {e}")
+            continue
+        req_id = resp.get("req_id")
+        if req_id is None:
+            continue  # ops without correlation (stats, metrics) are fine
+        if req_id not in logged_ids:
+            ok = fail(path, f"response req_id {req_id!r} appears in no log line")
+    return ok
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    if "--responses" in argv:
+        split = argv.index("--responses")
+        log_paths, resp_paths = argv[1:split], argv[split + 1:]
+    else:
+        log_paths, resp_paths = argv[1:], []
+    if not log_paths:
+        print("check_log_lines: no log files given", file=sys.stderr)
+        return 2
+
+    ok = True
+    all_ids = set()
+    for path in log_paths:
+        good, ids = check_log(path)
+        ok = good and ok
+        all_ids |= ids
+        print(f"{path}: {'OK' if good else 'INVALID'}")
+    if resp_paths and not check_responses(resp_paths, all_ids):
+        ok = False
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # End-to-end smoke of the synthesis service: start `asynth serve` with a
 # result store, fire N concurrent client requests twice (distinct specs per
-# request), assert the second pass is >= 90% store hits, then SIGTERM the
-# daemon and assert it drains cleanly (exit 0, socket removed).
+# request), assert the second pass is >= 90% store hits, demonstrate
+# request correlation (one --req-id greps identically from the response,
+# the daemon's --log-file and the trace spans), probe health/readiness
+# before and during a SIGTERM drain, then assert the daemon drains cleanly
+# (exit 0, socket removed).
 #
 # Usage: service_smoke.sh <asynth-binary> <workdir> [concurrency]
 #
@@ -20,6 +23,7 @@ fail() { echo "service_smoke: FAIL: $*" >&2; exit 1; }
 # ./build/asynth).
 [ -x "$ASYNTH" ] || fail "not an executable: $ASYNTH"
 ASYNTH=$(cd "$(dirname "$ASYNTH")" && pwd)/$(basename "$ASYNTH")
+TOOLS_DIR=$(cd "$(dirname "$0")" && pwd)
 
 rm -rf "$WORKDIR"
 mkdir -p "$WORKDIR" || fail "cannot create $WORKDIR"
@@ -30,6 +34,7 @@ SOCKET=svc.sock   # relative: AF_UNIX paths are length-limited
 CORPUS=(fig1 lr qmodule lr_full fig6 par par_manual mmu)
 
 "$ASYNTH" serve --socket "$SOCKET" --store store --jobs 2 --queue 64 \
+    --log-file serve_events.log --trace traces \
     --report serve_report.json > serve.log 2>&1 &
 SERVER_PID=$!
 trap 'kill -9 $SERVER_PID 2>/dev/null' EXIT
@@ -73,14 +78,69 @@ grep -q '^asynth_service_queue_wait_ms_bucket{le="' metrics.txt \
 grep -q '^asynth_service_requests_total' metrics.txt \
     || fail "metrics exposition lacks asynth_service_requests_total"
 
+# Liveness and readiness while healthy: health always answers with the
+# process fingerprint; ready's exit code is the verdict (0 = ready).
+"$ASYNTH" client --socket "$SOCKET" --op health > health.json || fail "health request failed"
+grep -q '"ok":true' health.json || fail "health not ok: $(cat health.json)"
+grep -q '"version":"' health.json || fail "health lacks version: $(cat health.json)"
+grep -q '"uptime_s":' health.json || fail "health lacks uptime_s: $(cat health.json)"
+grep -q '"pid":' health.json || fail "health lacks pid: $(cat health.json)"
+"$ASYNTH" client --socket "$SOCKET" --op ready > ready.json || fail "daemon not ready while idle"
+grep -q '"ready":true' ready.json || fail "ready not true: $(cat ready.json)"
+"$ASYNTH" client --socket "$SOCKET" --op ping > ping.json || fail "ping request failed"
+grep -q '"version":"' ping.json || fail "ping lacks version: $(cat ping.json)"
+grep -q '"uptime_s":' ping.json || fail "ping lacks uptime_s: $(cat ping.json)"
+
+# End-to-end request correlation: one request with a known --req-id must be
+# greppable from its response, from the daemon's structured log and from the
+# service.request span args of the daemon's trace capture.
+"$ASYNTH" client --socket "$SOCKET" --corpus fig1 --req-id smoke-corr-1 \
+    > resp_corr.json || fail "correlated request failed"
+grep -q '"req_id":"smoke-corr-1"' resp_corr.json \
+    || fail "response does not echo the req_id: $(cat resp_corr.json)"
+grep -q '"req_id":"smoke-corr-1"' serve_events.log \
+    || fail "no log line carries req_id smoke-corr-1"
+sleep 0.3  # the dispatcher writes the trace file after the batch drains
+grep -ql 'smoke-corr-1' traces/trace_batch_*.json 2>/dev/null \
+    || fail "no trace span carries req_id smoke-corr-1"
+
+# Every log line must parse as one self-contained JSON object with the
+# schema fields, and every response req_id must appear in the log.
+if command -v python3 > /dev/null 2>&1; then
+    python3 "$TOOLS_DIR/check_log_lines.py" serve_events.log --responses resp_*.json \
+        || fail "check_log_lines rejected serve_events.log"
+else
+    echo "service_smoke: python3 not found; skipping check_log_lines.py" >&2
+fi
+
 # A synthesis client with --out must land the recovered STG on disk.
 "$ASYNTH" client --socket "$SOCKET" --corpus lr --out lr_recovered.g -q \
     || fail "client --out request failed"
 [ -s lr_recovered.g ] || fail "client --out wrote no recovered STG"
 grep -q '^\.model' lr_recovered.g || fail "recovered STG is not ASTG text: $(head -1 lr_recovered.g)"
 
-# Graceful drain on SIGTERM: exit code 0, socket gone, drain line logged.
+# Graceful drain on SIGTERM with work in flight: the listen socket stays
+# open, so health keeps answering ok:true while ready flips to false until
+# the backlog finishes.  --no-store keeps the backlog slow enough to probe.
+DRAIN_PIDS=()
+for ((i = 0; i < 8; i++)); do
+    "$ASYNTH" client --socket "$SOCKET" --corpus mmu --no-store -q &
+    DRAIN_PIDS+=($!)
+done
+sleep 0.3  # let the requests reach the daemon's queue
 kill -TERM $SERVER_PID
+"$ASYNTH" client --socket "$SOCKET" --op ready > ready_drain.json
+READY_RC=$?
+[ "$READY_RC" = "1" ] || fail "ready during drain: exit $READY_RC, want 1 ($(cat ready_drain.json))"
+grep -q '"ready":false' ready_drain.json || fail "ready not false during drain: $(cat ready_drain.json)"
+grep -q '"reason":"draining"' ready_drain.json || fail "ready lacks the drain reason: $(cat ready_drain.json)"
+"$ASYNTH" client --socket "$SOCKET" --op health > health_drain.json \
+    || fail "health stopped answering during drain: $(cat health_drain.json)"
+grep -q '"ok":true' health_drain.json || fail "health not ok during drain: $(cat health_drain.json)"
+grep -q '"draining":true' health_drain.json || fail "health does not report draining: $(cat health_drain.json)"
+for p in "${DRAIN_PIDS[@]}"; do wait "$p" || fail "in-flight request failed during drain"; done
+
+# Graceful drain on SIGTERM: exit code 0, socket gone, drain line logged.
 SERVER_RC=-1
 for _ in $(seq 1 100); do
     if ! kill -0 $SERVER_PID 2>/dev/null; then wait $SERVER_PID; SERVER_RC=$?; break; fi
@@ -90,6 +150,10 @@ trap - EXIT
 [ "$SERVER_RC" = "0" ] || fail "server exit code $SERVER_RC after SIGTERM (log: $(cat serve.log))"
 [ ! -e "$SOCKET" ] || fail "socket not removed on drain"
 grep -q "drained cleanly" serve.log || fail "no clean-drain line in serve.log: $(cat serve.log)"
+# The structured journal tells the same lifecycle story.
+for ev in server.start server.drain_begin server.drained; do
+    grep -q "\"event\":\"$ev\"" serve_events.log || fail "no $ev event in serve_events.log"
+done
 [ -s serve_report.json ] || fail "drain report not written"
 grep -q '"schema_version": 5' serve_report.json || fail "drain report is not schema v5"
 grep -q '"counters": {' serve_report.json || fail "drain report lacks the counters block"
